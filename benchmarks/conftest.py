@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark / experiment-reproduction suite.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index). Run with::
+
+    pytest benchmarks/ --benchmark-only            # quick versions
+    REPRO_FULL=1 pytest benchmarks/ --benchmark-only   # paper-scale sweeps
+
+Each bench prints the reproduced rows/series (visible with ``-s``) and
+asserts the *shape* claims of the paper (who wins, by roughly what factor,
+where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.hardware.presets import Preset, case_study_accelerator, inhouse_accelerator
+from repro.workload.generator import dense_layer
+
+
+def full_mode() -> bool:
+    """Whether paper-scale sweeps were requested (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def case_preset() -> Preset:
+    """The Section-V scaled-down machine (Cases 1 and 2)."""
+    return case_study_accelerator()
+
+
+@pytest.fixture(scope="session")
+def inhouse_preset() -> Preset:
+    """The Section-IV validation chip."""
+    return inhouse_accelerator()
+
+
+@pytest.fixture(scope="session")
+def case1_layer():
+    """Dense layer with CC_ideal = 38400 on the 256-MAC machine."""
+    return dense_layer(64, 128, 1200)
+
+
+def make_mapper(preset: Preset, enumerated: int = 300, samples: int = 300,
+                seed: int = 0) -> TemporalMapper:
+    """Mapper with a benchmark-friendly budget."""
+    return TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=enumerated, samples=samples, seed=seed),
+    )

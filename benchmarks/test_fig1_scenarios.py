@@ -1,0 +1,88 @@
+"""E1 — Fig. 1(b): the four computation-phase scenarios.
+
+Builds one mapping per scenario on the case-study machine and checks the
+table's latency / utilization formulas, then benchmarks a full model
+evaluation.
+"""
+
+import pytest
+
+from repro.core.baseline import BwUnawareModel
+from repro.core.model import LatencyModel
+from repro.core.scenarios import classify
+from repro.workload.generator import dense_layer
+
+from benchmarks.conftest import make_mapper
+
+
+def _best(preset, layer):
+    return make_mapper(preset, enumerated=100, samples=80).best_mapping(layer)
+
+
+def test_scenario1_ideal(case_preset):
+    """Full spatial + generous BW: CC = CC_ideal, U = 100 %."""
+    from repro.hardware.presets import case_study_accelerator
+
+    fast = case_study_accelerator(gb_read_bw=65536.0)
+    layer = dense_layer(64, 32, 60)  # divides the unrolling exactly
+    best = make_mapper(fast, enumerated=100, samples=80).best_mapping(layer)
+    report = best.report
+    q = classify(best.mapping, fast.accelerator.mac_array.size, report.ss_overall)
+    assert q.scenario in (1, 3)
+    if q.scenario == 1:
+        assert q.utilization == pytest.approx(1.0)
+    assert report.cc_spatial == pytest.approx(report.cc_ideal)
+
+
+def test_scenario2_spatial_underuse(case_preset):
+    """Layer dims below the unrolling: CC = CC_spatial > CC_ideal."""
+    from repro.hardware.presets import case_study_accelerator
+
+    fast = case_study_accelerator(gb_read_bw=65536.0)
+    layer = dense_layer(4, 8, 60)  # B=4 < 8, K=8 < 16
+    best = make_mapper(fast, enumerated=100, samples=80).best_mapping(layer)
+    q = classify(best.mapping, fast.accelerator.mac_array.size, best.report.ss_overall)
+    assert not q.spatially_full
+    assert q.cc_spatial > q.cc_ideal
+    assert q.utilization == pytest.approx(q.cc_ideal / q.latency)
+
+
+def test_scenario3_temporal_stall(case_preset, case1_layer):
+    """BW-starved GB: CC = CC_ideal + SS_overall (spatially full)."""
+    best = _best(case_preset, case1_layer)
+    q = classify(best.mapping, case_preset.accelerator.mac_array.size,
+                 best.report.ss_overall)
+    assert q.scenario == 3
+    assert q.spatially_full and not q.temporally_full
+    assert q.latency == pytest.approx(q.cc_ideal + q.temporal_stall)
+
+
+def test_scenario4_both_stalls(case_preset):
+    layer = dense_layer(4, 8, 4800)  # spatially AND temporally starved
+    best = _best(case_preset, layer)
+    q = classify(best.mapping, case_preset.accelerator.mac_array.size,
+                 best.report.ss_overall)
+    if q.temporal_stall > 0:
+        assert q.scenario == 4
+        assert q.latency == pytest.approx(q.cc_spatial + q.temporal_stall)
+
+
+def test_scenario_table_printout(case_preset, case1_layer):
+    """Print the reproduced Fig. 1(b)-style row for the Case-1 layer."""
+    best = _best(case_preset, case1_layer)
+    q = classify(best.mapping, 256, best.report.ss_overall)
+    print(
+        f"\nFig1(b) row: scenario={q.scenario} CC_ideal={q.cc_ideal:.0f} "
+        f"CC_spatial={q.cc_spatial} SS_overall={q.ss_overall:.0f} "
+        f"latency={q.latency:.0f} U={q.utilization:.1%}"
+    )
+    unaware = BwUnawareModel(case_preset.accelerator).evaluate(best.mapping)
+    assert unaware.ss_overall == 0
+
+
+def test_bench_model_evaluation(benchmark, case_preset, case1_layer):
+    """Benchmark: one full 3-step model evaluation."""
+    best = _best(case_preset, case1_layer)
+    model = LatencyModel(case_preset.accelerator)
+    report = benchmark(model.evaluate, best.mapping, False)
+    assert report.total_cycles > 0

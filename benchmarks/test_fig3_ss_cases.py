@@ -1,0 +1,106 @@
+"""E3 — Fig. 3: six timeline cases of memory-induced stall/slack.
+
+(a)(b)(c): double-buffered memory or non-DB with an r loop on top — the
+update can overlap computation fully (X_REQ = Mem_CC).
+(d)(e)(f): non-DB with an ir loop on top — a keep-out zone shrinks the
+window (X_REQ < Mem_CC).
+Columns: SS_u = 0 (X_REAL = X_REQ), SS_u < 0 (slack), SS_u > 0 (stall).
+"""
+
+import pytest
+
+from repro.analysis.timeline import render_timeline
+from repro.core.dtl import TrafficKind
+from repro.core.step1 import ModelOptions, build_dtls
+from repro.mapping.mapping import Mapping
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping, loops_from_pairs
+from repro.testing import toy_accelerator
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+# W level 0 holds [C4]; K4 (r) directly above -> full-period window (a-c).
+_R_TOP_LOOPS = ([("C", 4), ("K", 4), ("B", 8)], (1,))
+# W level 0 holds [K4]; B8 ir directly above -> keep-out zone (cases d-f).
+_IR_TOP_LOOPS = ([("K", 4), ("B", 8), ("C", 4)], (1,))
+
+
+def _gb_side_w_refill(acc, loops, cuts_w):
+    layer = dense_layer(8, 4, 4)
+    tm = TemporalMapping(
+        loops_from_pairs(loops),
+        {Operand.W: cuts_w, Operand.I: (0,), Operand.O: (0,)},
+    )
+    mapping = Mapping(layer, SpatialMapping({}), tm)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    return [
+        d for d in dtls
+        if d.transfer.operand is Operand.W
+        and d.transfer.kind is TrafficKind.REFILL
+        and d.memory == "GB"
+    ][0]
+
+
+# (case label, loops, db?, gb read bw, expected SS_u sign)
+# X_REQ: r-top/db -> full period (data 32b over P=4 cycles -> 8 b/cyc par);
+# ir-top non-db -> window P/8.
+_CASES = [
+    ("a", _R_TOP_LOOPS, True, 8.0, 0),      # X_REAL = X_REQ
+    ("b", _R_TOP_LOOPS, True, 32.0, -1),    # X_REAL < X_REQ: slack
+    ("c", _R_TOP_LOOPS, False, 4.0, 1),     # X_REAL > X_REQ: stall
+    ("d", _IR_TOP_LOOPS, False, 8.0, 0),    # keep-out, exactly met
+    ("e", _IR_TOP_LOOPS, False, 16.0, -1),  # keep-out, slack
+    ("f", _IR_TOP_LOOPS, False, 4.0, 1),    # keep-out, stall
+]
+
+
+@pytest.mark.parametrize("label,loop_spec,db,bw,sign", _CASES)
+def test_case_sign(label, loop_spec, db, bw, sign):
+    acc = toy_accelerator(
+        reg_bits=64 if db else 32, o_reg_bits=24 * 8,
+        reg_double_buffered=db, gb_read_bw=bw,
+    )
+    dtl = _gb_side_w_refill(acc, *loop_spec)
+    if label == "d":
+        # Case (d): X_REQ < Mem_CC yet SS_u = 0 because X_REAL matches.
+        assert dtl.x_req < dtl.transfer.period
+    if sign == 0:
+        assert dtl.ss_u == pytest.approx(0.0, abs=1e-9)
+    elif sign < 0:
+        assert dtl.ss_u < 0
+    else:
+        assert dtl.ss_u > 0
+
+
+def test_cases_a_and_d_same_ss_different_window():
+    """Fig. 3 note: (a) and (d) both have SS_u = 0 despite different types."""
+    acc_a = toy_accelerator(reg_bits=64, o_reg_bits=24 * 8,
+                            reg_double_buffered=True, gb_read_bw=8.0)
+    acc_d = toy_accelerator(reg_bits=32, o_reg_bits=24 * 8, gb_read_bw=8.0)
+    a = _gb_side_w_refill(acc_a, *_R_TOP_LOOPS)
+    d = _gb_side_w_refill(acc_d, *_IR_TOP_LOOPS)
+    assert a.ss_u == pytest.approx(0.0)
+    assert d.ss_u == pytest.approx(0.0)
+    assert a.x_req == pytest.approx(a.transfer.period)
+    assert d.x_req < d.transfer.period
+
+
+def test_render_all_six_timelines():
+    print()
+    for label, loop_spec, db, bw, __ in _CASES:
+        acc = toy_accelerator(
+            reg_bits=64 if db else 32, o_reg_bits=24 * 8,
+            reg_double_buffered=db, gb_read_bw=bw,
+        )
+        dtl = _gb_side_w_refill(acc, *loop_spec)
+        text = render_timeline(dtl, periods=3)
+        print(f"--- Fig.3({label}) ---")
+        print(text)
+        assert "comp:" in text
+
+
+def test_bench_timeline_rendering(benchmark):
+    acc = toy_accelerator(reg_bits=32, o_reg_bits=24 * 8, gb_read_bw=4.0)
+    dtl = _gb_side_w_refill(acc, *_IR_TOP_LOOPS)
+    text = benchmark(render_timeline, dtl)
+    assert "mem:" in text

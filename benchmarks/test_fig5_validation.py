@@ -1,0 +1,82 @@
+"""E5 — Fig. 5(c): latency-model validation on the in-house accelerator.
+
+The paper validates against RTL simulation of the taped-out chip and
+reports 94.3 % average accuracy across hand-tracking NN layers. Our ground
+truth is the event-driven cycle-level simulator (see DESIGN.md's
+substitution table); the workload is the SSD-MobileNetV1 layer table,
+Im2Col-lowered exactly like the chip's RISC-V front-end does.
+"""
+
+import pytest
+
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import accuracy
+from repro.workload.im2col import im2col
+from repro.workload.networks import validation_layers
+
+from benchmarks.conftest import full_mode, make_mapper
+
+
+def _validation_set():
+    layers = validation_layers()
+    return layers if full_mode() else layers[:8]
+
+
+@pytest.fixture(scope="module")
+def validation_rows(inhouse_preset):
+    mapper = make_mapper(inhouse_preset, enumerated=200, samples=150)
+    rows = []
+    for layer in _validation_set():
+        lowered = im2col(layer)
+        best = mapper.best_mapping(lowered)
+        sim = CycleSimulator(inhouse_preset.accelerator, best.mapping).run()
+        rows.append(
+            {
+                "layer": layer.name,
+                "macs": layer.total_macs,
+                "model_cc": best.report.total_cycles,
+                "sim_cc": sim.total_cycles,
+                "accuracy": accuracy(best.report.total_cycles, sim.total_cycles),
+                "utilization": best.report.utilization,
+            }
+        )
+    return rows
+
+
+def test_fig5c_table(validation_rows):
+    print("\nFig. 5(c) reproduction (model vs cycle-level simulator):")
+    print(f"{'layer':10s} {'MACs':>12s} {'model cc':>12s} {'sim cc':>12s} "
+          f"{'accuracy':>9s} {'util':>7s}")
+    for row in validation_rows:
+        print(
+            f"{row['layer']:10s} {row['macs']:12d} {row['model_cc']:12.0f} "
+            f"{row['sim_cc']:12.0f} {row['accuracy']:9.1%} {row['utilization']:7.1%}"
+        )
+    mean = sum(r["accuracy"] for r in validation_rows) / len(validation_rows)
+    print(f"average accuracy: {mean:.1%} (paper reports 94.3 %)")
+    # Shape claim: high average accuracy, comparable to the paper's 94.3 %.
+    assert mean >= 0.90
+    assert all(r["accuracy"] > 0.75 for r in validation_rows)
+
+
+def test_validation_spans_layer_sizes(validation_rows):
+    macs = [r["macs"] for r in validation_rows]
+    assert max(macs) / min(macs) > 50
+
+
+def test_model_never_absurd(validation_rows):
+    for row in validation_rows:
+        assert row["model_cc"] >= 0.5 * row["sim_cc"]
+        assert row["model_cc"] <= 2.0 * row["sim_cc"]
+
+
+def test_bench_one_validation_layer(benchmark, inhouse_preset):
+    """Benchmark: full model evaluation of one Im2Col'd conv layer."""
+    from repro.core.model import LatencyModel
+
+    layer = im2col(_validation_set()[2])
+    mapper = make_mapper(inhouse_preset, enumerated=100, samples=60)
+    best = mapper.best_mapping(layer)
+    model = LatencyModel(inhouse_preset.accelerator)
+    report = benchmark(model.evaluate, best.mapping, False)
+    assert report.total_cycles > 0

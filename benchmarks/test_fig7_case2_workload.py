@@ -1,0 +1,149 @@
+"""E7 — Fig. 7 / Case study 2: workload size vs. latency breakdown.
+
+Sweeps Dense layer dimensions B/K/C between 8 and 512 on the fixed
+case-study machine and reproduces:
+
+* Fig. 7(a): operand size shares and total MAC counts per layer;
+* Fig. 7(b): the latency breakdown (preload / ideal / spatial stall /
+  temporal stall) where *Ideal latency follows total MAC ops but Real
+  latency follows total data size*;
+* the cyan-dotted-line claim: a BW-unaware model under-predicts
+  Output-dominant layers by large factors (paper: 7.4x at (128,128,8),
+  9.2x at (512,512,8)).
+"""
+
+import math
+
+import pytest
+
+from repro.core.baseline import BwUnawareModel
+from repro.workload.dims import LoopDim
+from repro.workload.generator import bkc_sweep, dense_layer
+from repro.workload.operand import Operand
+
+from benchmarks.conftest import full_mode, make_mapper
+
+
+def _sweep_layers():
+    values = (8, 32, 128, 512) if full_mode() else (8, 128, 512)
+    return bkc_sweep(values=values)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(case_preset):
+    mapper = make_mapper(case_preset, enumerated=150, samples=120)
+    unaware = BwUnawareModel(case_preset.accelerator)
+    rows = []
+    for layer in _sweep_layers():
+        best = mapper.best_mapping(layer)
+        report = best.report
+        rows.append(
+            {
+                "b": layer.size(LoopDim.B),
+                "k": layer.size(LoopDim.K),
+                "c": layer.size(LoopDim.C),
+                "macs": layer.total_macs,
+                "data_bits": layer.total_data_bits,
+                "o_share": layer.operand_bits(Operand.O) / layer.total_data_bits,
+                "report": report,
+                "unaware_cc": unaware.evaluate(best.mapping).total_cycles,
+            }
+        )
+    return rows
+
+
+def test_fig7_breakdown_table(sweep_rows):
+    print("\nCase study 2 (Fig. 7) reproduction:")
+    print(f"{'(B,K,C)':>15s} {'MACs':>11s} {'data kb':>9s} {'O%':>5s} "
+          f"{'preload':>8s} {'ideal':>9s} {'sp.stall':>9s} {'tmp.stall':>10s} "
+          f"{'total':>10s} {'unaware':>10s}")
+    for row in sweep_rows:
+        bd = row["report"].breakdown
+        print(
+            f"({row['b']:4d},{row['k']:4d},{row['c']:4d}) {row['macs']:11d} "
+            f"{row['data_bits'] / 8192:9.1f} {row['o_share']:5.0%} "
+            f"{bd.preload:8.0f} {bd.ideal:9.0f} {bd.spatial_stall:9.0f} "
+            f"{bd.temporal_stall:10.0f} {bd.total:10.0f} {row['unaware_cc']:10.0f}"
+        )
+    assert len(sweep_rows) >= 7
+
+
+def test_ideal_latency_follows_mac_ops(sweep_rows):
+    """Fig. 7: 'the Ideal latency matches with Total MAC Ops'."""
+    pairs = sorted(
+        ((r["macs"], r["report"].cc_ideal) for r in sweep_rows)
+    )
+    for (m1, i1), (m2, i2) in zip(pairs, pairs[1:]):
+        if m1 < m2:
+            assert i1 <= i2 + 1e-9
+
+
+def test_real_latency_follows_data_size(sweep_rows):
+    """'the Real latency follows the Total data size' — rank correlation."""
+    data = [r["data_bits"] for r in sweep_rows]
+    total = [r["report"].total_cycles for r in sweep_rows]
+
+    def ranks(xs):
+        order = sorted(range(len(xs)), key=lambda i: xs[i])
+        out = [0] * len(xs)
+        for rank, i in enumerate(order):
+            out[i] = rank
+        return out
+
+    rd, rt = ranks(data), ranks(total)
+    n = len(rd)
+    spearman = 1 - 6 * sum((a - b) ** 2 for a, b in zip(rd, rt)) / (n * (n * n - 1))
+    print(f"\nSpearman(total data, real latency) = {spearman:.3f}")
+    assert spearman > 0.8
+
+
+def test_output_dominant_layers_deviate_most(sweep_rows):
+    """Large B,K / small C: O-precision bloat + weak output stationarity
+    push the Real latency far above Ideal."""
+    def deviation(row):
+        return row["report"].total_cycles / max(row["report"].cc_ideal, 1)
+
+    o_dominant = [r for r in sweep_rows if r["o_share"] > 0.5]
+    compute_dominant = [r for r in sweep_rows if r["o_share"] < 0.1]
+    assert o_dominant and compute_dominant
+    worst_o = max(deviation(r) for r in o_dominant)
+    worst_c = max(deviation(r) for r in compute_dominant)
+    assert worst_o > worst_c
+
+
+def test_bw_unaware_discrepancy_factors(sweep_rows):
+    """Paper: 7.4x under-prediction at (128,128,8), 9.2x at (512,512,8)."""
+    factors = {}
+    for row in sweep_rows:
+        key = (row["b"], row["k"], row["c"])
+        factors[key] = row["report"].total_cycles / row["unaware_cc"]
+    print("\nBW-unaware under-prediction factors:")
+    for key in ((128, 128, 8), (512, 512, 8)):
+        if key in factors:
+            print(f"  {key}: {factors[key]:.1f}x")
+    assert factors[(128, 128, 8)] > 3
+    assert factors[(512, 512, 8)] > 3
+    assert factors[(512, 512, 8)] >= factors[(128, 128, 8)] * 0.8
+
+
+def test_large_c_layers_converge_to_ideal(sweep_rows):
+    """'For larger layer sizes (large C), Ideal computation cycles dominate
+    and the deviation reduces.'"""
+    big_c = [r for r in sweep_rows if r["c"] == 512 and r["b"] >= 128 and r["k"] >= 128]
+    small_c = [r for r in sweep_rows if r["c"] == 8 and r["b"] >= 128 and r["k"] >= 128]
+    assert big_c and small_c
+    dev_big = min(r["report"].total_cycles / r["report"].cc_ideal for r in big_c)
+    dev_small = min(r["report"].total_cycles / r["report"].cc_ideal for r in small_c)
+    assert dev_big < dev_small
+
+
+def test_bench_sweep_single_layer(benchmark, case_preset):
+    mapper = make_mapper(case_preset, enumerated=60, samples=40)
+    layer = dense_layer(128, 128, 8)
+    result = benchmark(mapper.best_mapping, layer)
+    assert result.report.total_cycles > 0
+
+
+def test_math_isfinite(sweep_rows):
+    for row in sweep_rows:
+        assert math.isfinite(row["report"].total_cycles)

@@ -1,0 +1,152 @@
+"""E8 — Fig. 8 / Case study 3: hardware design space vs. latency-area.
+
+Sweeps the memory pool across the three MAC-array sizes at GB bandwidths
+128 (low) and 1024 (high) bit/cycle and reproduces the figure's claims:
+
+(a) with a memory-BW-unaware model, all designs of one array size land on
+    (almost) the same latency, so the min-area point looks optimal;
+(b) at low GB BW the memory hierarchy matters a lot (wide latency spread
+    per array size) and a mid-size array can beat the biggest one;
+(c) at high GB BW same-array designs cluster again and the largest array
+    extends the Pareto front.
+"""
+
+import pytest
+
+from repro.dse.arch_search import ArchSearch, ArchSearchConfig
+from repro.dse.mapper import MapperConfig
+from repro.hardware.pool import MemoryPool
+from repro.hardware.presets import KB, array_scales
+from repro.workload.generator import dense_layer
+
+from benchmarks.conftest import full_mode
+
+
+def _pool():
+    if full_mode():
+        return MemoryPool(
+            w_reg_options=(8, 16, 32),
+            i_reg_options=(8, 16, 32),
+            o_reg_options=(24, 48, 96),
+            w_lb_options=tuple(s * KB for s in (4, 8, 16, 32, 64)),
+            i_lb_options=tuple(s * KB for s in (2, 4, 8, 16, 32)),
+        )
+    return MemoryPool(
+        w_reg_options=(8,),
+        i_reg_options=(8, 32),
+        o_reg_options=(24, 96),
+        w_lb_options=(8 * KB, 32 * KB),
+        i_lb_options=(4 * KB, 16 * KB),
+    )
+
+
+def _layer():
+    # A GEMM big enough that every array size is exercised.
+    return dense_layer(128, 256, 512)
+
+
+def _config(gb_bws, bw_aware=True):
+    return ArchSearchConfig(
+        array_scales=array_scales(),
+        pool=_pool(),
+        gb_bandwidths=gb_bws,
+        bw_aware=bw_aware,
+        mapper_config=MapperConfig(max_enumerated=80, samples=50, keep_top=1),
+    )
+
+
+@pytest.fixture(scope="module")
+def aware_points():
+    return ArchSearch(_config((128.0, 1024.0))).evaluate(_layer())
+
+
+@pytest.fixture(scope="module")
+def unaware_points():
+    return ArchSearch(_config((128.0,), bw_aware=False)).evaluate(_layer())
+
+
+def _subset(points, array=None, gb=None):
+    return [
+        p for p in points
+        if (array is None or p.array_label == array)
+        and (gb is None or p.gb_bandwidth == gb)
+    ]
+
+
+def test_design_count_reported(aware_points):
+    per_bw = len(_subset(aware_points, gb=128.0))
+    print(f"\nCase study 3: {len(aware_points)} designs evaluated "
+          f"({per_bw} per GB bandwidth; paper sweeps 4176).")
+    assert len(aware_points) == 2 * 3 * len(_pool())
+
+
+def test_fig8a_unaware_designs_collapse(unaware_points):
+    """Same-array designs are indistinguishable without BW awareness."""
+    for label in array_scales():
+        lats = [p.latency for p in _subset(unaware_points, array=label)]
+        assert max(lats) - min(lats) <= 1e-6
+    # Hence the min-area design is trivially 'optimal'.
+    front = ArchSearch.front(unaware_points)
+    min_area = min(p.area_mm2 for p in unaware_points)
+    assert any(abs(p.area_mm2 - min_area) < 1e-9 for p in front)
+
+
+def test_fig8b_low_bw_memory_hierarchy_matters(aware_points):
+    """At 128 b/cyc the same array spans a wide latency range."""
+    spreads = {}
+    for label in array_scales():
+        lats = [p.latency for p in _subset(aware_points, array=label, gb=128.0)]
+        spreads[label] = (max(lats) - min(lats)) / min(lats)
+    print(f"\nlow-BW relative latency spread per array: "
+          f"{ {k: f'{v:.1%}' for k, v in spreads.items()} }")
+    assert max(spreads.values()) > 0.10
+
+
+def test_fig8c_high_bw_designs_cluster(aware_points):
+    """At 1024 b/cyc the spread shrinks markedly (less SS_overall impact)."""
+    def spread(label, gb):
+        lats = [p.latency for p in _subset(aware_points, array=label, gb=gb)]
+        return (max(lats) - min(lats)) / min(lats)
+
+    for label in array_scales():
+        assert spread(label, 1024.0) <= spread(label, 128.0) + 1e-9
+
+
+def test_fig8_array_size_preference_vs_bw(aware_points):
+    """Low BW: the biggest array cannot translate peak into latency.
+    High BW: 64x64 extends the Pareto front (fastest overall)."""
+    best = {
+        (label, gb): min(
+            p.latency for p in _subset(aware_points, array=label, gb=gb)
+        )
+        for label in array_scales()
+        for gb in (128.0, 1024.0)
+    }
+    print("\nbest latency per (array, GB BW):")
+    for key, lat in sorted(best.items()):
+        print(f"  {key}: {lat:.0f} cc")
+    # High BW: bigger array is strictly better.
+    assert best[("64x64", 1024.0)] < best[("32x32", 1024.0)] < best[("16x16", 1024.0)]
+    # Low BW: the 64x64 advantage collapses (paper: 32x32 can even win).
+    gain_high = best[("32x32", 1024.0)] / best[("64x64", 1024.0)]
+    gain_low = best[("32x32", 128.0)] / best[("64x64", 128.0)]
+    assert gain_low < gain_high
+
+
+def test_pareto_front_printout(aware_points):
+    for gb in (128.0, 1024.0):
+        front = ArchSearch.front(_subset(aware_points, gb=gb))
+        front.sort(key=lambda p: p.area_mm2)
+        print(f"\nFig. 8 Pareto front at GB BW {gb:.0f} b/cyc:")
+        for p in front:
+            print(f"  {p.array_label:6s} {p.candidate.label():30s} "
+                  f"area {p.area_mm2:7.3f} mm2  latency {p.latency:9.0f} cc")
+        assert front
+
+
+def test_bench_one_design_point(benchmark):
+    config = _config((128.0,))
+    search = ArchSearch(config)
+    label, gb, cand, preset = next(search.design_points())
+    point = benchmark(search.evaluate_one, _layer(), label, gb, cand, preset)
+    assert point is not None

@@ -1,0 +1,80 @@
+"""E12 — the Section-I speed argument: analytical beats cycle-level.
+
+"Analytical models are preferred for early-phase DSE, thanks to their fast
+run-time (orders of magnitude faster than others)." The analytical model's
+cost is set by the number of DTLs — *independent of the layer's cycle
+count* — while a cycle-level simulator scales with the number of transfer
+jobs (~ cycles). This bench measures both runtimes across a 64x range of
+layer sizes and asserts the scaling separation.
+"""
+
+import time
+
+import pytest
+
+from repro.core.model import LatencyModel
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.simulator.engine import CycleSimulator
+from repro.workload.generator import dense_layer
+
+from benchmarks.conftest import make_mapper
+
+
+def _timed(fn, repeat=3):
+    best = float("inf")
+    for __ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def scaling_rows(case_preset):
+    model = LatencyModel(case_preset.accelerator)
+    rows = []
+    for c in (150, 600, 2400, 9600):
+        layer = dense_layer(64, 128, c)
+        mapper = make_mapper(case_preset, enumerated=80, samples=60)
+        mapping = mapper.best_mapping(layer).mapping
+        model_s = _timed(lambda: model.evaluate(mapping, validate=False))
+        sim_s = _timed(lambda: CycleSimulator(case_preset.accelerator, mapping).run(), repeat=1)
+        rows.append(
+            {
+                "cycles": mapping.spatial_cycles,
+                "model_s": model_s,
+                "sim_s": sim_s,
+                "speedup": sim_s / model_s,
+            }
+        )
+    return rows
+
+
+def test_speed_table(scaling_rows):
+    print("\nModel-vs-simulator runtime scaling:")
+    print(f"{'CC_spatial':>12s} {'model ms':>10s} {'sim ms':>10s} {'speedup':>9s}")
+    for row in scaling_rows:
+        print(f"{row['cycles']:12d} {row['model_s'] * 1e3:10.2f} "
+              f"{row['sim_s'] * 1e3:10.1f} {row['speedup']:8.0f}x")
+    # Orders of magnitude faster on non-trivial layers.
+    assert scaling_rows[-1]["speedup"] > 100
+
+
+def test_model_runtime_nearly_size_independent(scaling_rows):
+    """64x more cycles must not cost anywhere near 64x model time."""
+    growth = scaling_rows[-1]["model_s"] / scaling_rows[0]["model_s"]
+    cycle_growth = scaling_rows[-1]["cycles"] / scaling_rows[0]["cycles"]
+    assert growth < cycle_growth / 4
+
+
+def test_simulator_runtime_grows_with_cycles(scaling_rows):
+    assert scaling_rows[-1]["sim_s"] > scaling_rows[0]["sim_s"]
+
+
+def test_bench_model_largest_layer(benchmark, case_preset):
+    layer = dense_layer(64, 128, 9600)
+    mapper = make_mapper(case_preset, enumerated=60, samples=40)
+    mapping = mapper.best_mapping(layer).mapping
+    model = LatencyModel(case_preset.accelerator)
+    report = benchmark(model.evaluate, mapping, False)
+    assert report.total_cycles > 0

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Case study 1: two mappings, identical ideal latency, very different reality.
+
+Rebuilds the Fig. 6 experiment: a full output-stationary mapping (all C
+loops at the O registers — only final outputs ever reach the global
+buffer) against an input-reuse-first mapping (K loops at the I-LB, part of
+the C reduction pushed above the registers so partial sums round-trip
+through the GB). A BW-unaware model scores them identically; the uniform
+latency model — confirmed by the cycle-level simulator — shows a >25 %
+gap and explains it link by link.
+
+Run:  python examples/case1_mapping_comparison.py
+"""
+
+from repro import (
+    BwUnawareModel,
+    CycleSimulator,
+    EnergyModel,
+    LatencyModel,
+    Mapping,
+    TemporalMapper,
+    case_study_accelerator,
+    dense_layer,
+)
+from repro.analysis.bottleneck import diagnose
+from repro.dse.mapper import MapperConfig
+from repro.workload.dims import LoopDim
+from repro.workload.operand import Operand
+
+
+def build_mapping(mapper, layer, order):
+    """Allocate an explicit loop order (inner first) onto the machine."""
+    order = tuple((LoopDim(d), f) for d, f in order)
+    temporal = mapper.allocate(layer, order)
+    if temporal is None:
+        raise RuntimeError("order does not fit the memory hierarchy")
+    return Mapping(layer, mapper.spatial, temporal)
+
+
+def main() -> None:
+    preset = case_study_accelerator()
+    accelerator = preset.accelerator
+    layer = dense_layer(64, 128, 1200)   # CC_ideal = 38400 on 256 MACs
+    mapper = TemporalMapper(accelerator, preset.spatial_unrolling, MapperConfig())
+
+    mapping_b = build_mapping(mapper, layer, [          # full output stationary
+        ("C", 2), ("C", 2), ("C", 2), ("C", 3), ("C", 5), ("C", 5),
+        ("K", 2), ("K", 2), ("K", 2), ("B", 2), ("B", 2), ("B", 2),
+    ])
+    mapping_a = build_mapping(mapper, layer, [          # I-reuse + psum traffic
+        ("C", 2), ("C", 2), ("C", 2), ("C", 3), ("C", 5),
+        ("K", 2), ("K", 2), ("K", 2), ("B", 2), ("B", 2), ("B", 2), ("C", 5),
+    ])
+
+    model = LatencyModel(accelerator)
+    unaware = BwUnawareModel(accelerator, include_loading=False)
+    energy = EnergyModel(accelerator)
+
+    print(f"{'':24s}{'Mapping A':>14s}{'Mapping B':>14s}")
+    rows = {}
+    for name, mapping in (("A", mapping_a), ("B", mapping_b)):
+        rows[name] = {
+            "aware": model.evaluate(mapping),
+            "unaware": unaware.evaluate(mapping),
+            "energy": energy.evaluate(mapping),
+            "sim": CycleSimulator(accelerator, mapping).run(),
+        }
+    for label, getter in (
+        ("CC_ideal", lambda r: f"{r['aware'].cc_ideal:.0f}"),
+        ("BW-unaware latency", lambda r: f"{r['unaware'].total_cycles:.0f}"),
+        ("uniform-model latency", lambda r: f"{r['aware'].total_cycles:.0f}"),
+        ("simulated latency", lambda r: f"{r['sim'].total_cycles:.0f}"),
+        ("MAC utilization", lambda r: f"{r['aware'].utilization:.1%}"),
+        ("energy (uJ)", lambda r: f"{r['energy'].total_pj / 1e6:.3f}"),
+    ):
+        print(f"{label:24s}{getter(rows['A']):>14s}{getter(rows['B']):>14s}")
+
+    print("\nWhere mapping B loses — its stall anatomy:")
+    for finding in diagnose(rows["B"]["aware"], top=3):
+        print("  " + finding.describe())
+
+    print("\nMapping A's O-chain:", mapping_a.temporal.describe(Operand.O))
+    print("Mapping B's O-chain:", mapping_b.temporal.describe(Operand.O))
+    print(
+        "\nTakeaway: both mappings look identical to a BW-unaware model "
+        "(equal CC_ideal and CC_spatial), yet their real latencies differ "
+        "by more than 25% — only a temporal-stall-aware model can steer "
+        "the mapper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Case study 2: how layer shape moves the latency breakdown (Fig. 7).
+
+Sweeps Dense layer dimensions B/K/C on the fixed case-study machine and
+prints the Fig. 7(b)-style stacked breakdown: data pre-loading, ideal
+compute, spatial stall and temporal stall, next to the BW-unaware estimate
+(the figure's cyan dotted line). Output-dominant layers (large B and K,
+small C) deviate most, because 24-bit outputs under weak output
+stationarity hammer the 128 b/cycle GB write port.
+
+Run:  python examples/case2_workload_sweep.py
+"""
+
+from repro import BwUnawareModel, TemporalMapper, case_study_accelerator
+from repro.analysis.export import to_csv
+from repro.dse.mapper import MapperConfig
+from repro.workload.dims import LoopDim
+from repro.workload.generator import bkc_sweep
+from repro.workload.operand import Operand
+
+
+def main() -> None:
+    preset = case_study_accelerator()
+    mapper = TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling,
+        MapperConfig(max_enumerated=150, samples=120),
+    )
+    unaware = BwUnawareModel(preset.accelerator)
+
+    print(f"{'(B,K,C)':>16s} {'MACs':>11s} {'W%':>4s} {'I%':>4s} {'O%':>4s} "
+          f"{'preload':>8s} {'ideal':>9s} {'tmp.stall':>10s} {'real':>10s} "
+          f"{'unaware':>10s} {'err':>6s}")
+    rows = []
+    for layer in bkc_sweep(values=(8, 128, 512)):
+        best = mapper.best_mapping(layer)
+        report = best.report
+        bd = report.breakdown
+        naive = unaware.evaluate(best.mapping).total_cycles
+        shares = {
+            op: layer.operand_bits(op) / layer.total_data_bits for op in Operand
+        }
+        b, k, c = (layer.size(d) for d in (LoopDim.B, LoopDim.K, LoopDim.C))
+        print(f"({b:4d},{k:4d},{c:4d}) {layer.total_macs:11d} "
+              f"{shares[Operand.W]:4.0%} {shares[Operand.I]:4.0%} "
+              f"{shares[Operand.O]:4.0%} {bd.preload:8.0f} {bd.ideal:9.0f} "
+              f"{bd.temporal_stall:10.0f} {bd.total:10.0f} {naive:10.0f} "
+              f"{bd.total / naive:5.1f}x")
+        row = {"B": b, "K": k, "C": c, "macs": layer.total_macs, "unaware": naive}
+        row.update(bd.as_dict())
+        rows.append(row)
+
+    path = "case2_breakdown.csv"
+    to_csv(rows, path)
+    print(f"\nFull breakdown written to {path}.")
+    print("Note how 'ideal' tracks the MAC count while 'real' tracks the "
+          "total data size, and how the BW-unaware error explodes for "
+          "Output-dominant layers such as (512,512,8).")
+
+
+if __name__ == "__main__":
+    main()

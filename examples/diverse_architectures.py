@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""One model, many machines: the uniformity tour.
+
+Evaluates the same GEMM on four architecturally different machines — the
+dual-ported case-study chip, a shared-LB design where every operand
+contends on single read/write ports, the big validation chip, and a
+JSON-defined custom machine — classifying each best mapping's dataflow and
+cross-checking every prediction against the cycle-level simulator. This is
+the paper's title in executable form.
+
+Run:  python examples/diverse_architectures.py
+"""
+
+import json
+
+from repro import CycleSimulator, TemporalMapper, dense_layer
+from repro.dse.mapper import MapperConfig
+from repro.hardware.presets import (
+    case_study_accelerator,
+    inhouse_accelerator,
+    shared_lb_accelerator,
+)
+from repro.hardware.serde import preset_from_json, preset_to_dict
+from repro.mapping.stationarity import classify_dataflow
+from repro.simulator.result import accuracy
+
+
+def custom_machine():
+    """A machine defined purely as data: edit and re-run."""
+    base = preset_to_dict(case_study_accelerator())
+    base["name"] = "custom-from-json"
+    for memory in base["memories"]:
+        if memory["name"] == "GB":
+            for port in memory["ports"]:
+                port["bandwidth"] = 256.0   # a 2x-GB-BW variant
+    return preset_from_json(json.dumps(base))
+
+
+def main() -> None:
+    layer = dense_layer(64, 128, 1200)
+    machines = {
+        "case-study (dual-port LBs)": case_study_accelerator(),
+        "shared-LB (single RW ports)": shared_lb_accelerator(),
+        "in-house 1024-MAC chip": inhouse_accelerator(),
+        "custom JSON machine": custom_machine(),
+    }
+
+    print(f"Workload: {layer.describe()}\n")
+    print(f"{'machine':30s} {'MACs':>6s} {'latency':>10s} {'util':>7s} "
+          f"{'sim-match':>10s}  dataflow")
+    for name, preset in machines.items():
+        mapper = TemporalMapper(
+            preset.accelerator, preset.spatial_unrolling,
+            MapperConfig(max_enumerated=200, samples=200),
+        )
+        best = mapper.best_mapping(layer)
+        report = best.report
+        sim = CycleSimulator(preset.accelerator, best.mapping).run()
+        df = classify_dataflow(best.mapping)
+        print(
+            f"{name:30s} {preset.accelerator.mac_array.size:6d} "
+            f"{report.total_cycles:10.0f} {report.utilization:7.1%} "
+            f"{accuracy(report.total_cycles, sim.total_cycles):10.1%}  {df.label}"
+        )
+
+    print(
+        "\nThe SAME three-step model produced every number above — no "
+        "per-architecture special cases — and the event-driven simulator "
+        "confirms each prediction. That is the paper's uniformity claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

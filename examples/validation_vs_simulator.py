@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Fig. 5(c): validate the analytical model against the cycle simulator.
+
+Runs the hand-tracking (SSD-MobileNetV1) layer table, Im2Col-lowered,
+through the in-house-chip configuration; for every layer the mapper picks a
+schedule, the 3-step analytical model predicts the latency, and the
+event-driven cycle-level simulator measures it. Prints the per-layer
+accuracy like the paper's validation bar chart.
+
+Run:  python examples/validation_vs_simulator.py
+"""
+
+import time
+
+from repro import CycleSimulator, LatencyModel, TemporalMapper, im2col, inhouse_accelerator
+from repro.dse.mapper import MapperConfig
+from repro.simulator.result import accuracy
+from repro.workload.networks import validation_layers
+
+
+def main() -> None:
+    preset = inhouse_accelerator()
+    print(preset.accelerator.describe())
+    mapper = TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling,
+        MapperConfig(max_enumerated=200, samples=150),
+    )
+    model = LatencyModel(preset.accelerator)
+
+    print(f"\n{'layer':10s} {'MACs':>12s} {'model cc':>12s} {'sim cc':>12s} "
+          f"{'accuracy':>9s} {'model ms':>9s} {'sim ms':>8s}")
+    accs = []
+    for layer in validation_layers():
+        lowered = im2col(layer)
+        best = mapper.best_mapping(lowered)
+
+        t0 = time.perf_counter()
+        report = model.evaluate(best.mapping, validate=False)
+        model_ms = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        sim = CycleSimulator(preset.accelerator, best.mapping).run()
+        sim_ms = (time.perf_counter() - t0) * 1e3
+
+        acc = accuracy(report.total_cycles, sim.total_cycles)
+        accs.append(acc)
+        print(f"{layer.name or '?':10s} {layer.total_macs:12d} "
+              f"{report.total_cycles:12.0f} {sim.total_cycles:12.0f} "
+              f"{acc:9.1%} {model_ms:9.2f} {sim_ms:8.0f}")
+
+    print(f"\naverage accuracy: {sum(accs) / len(accs):.1%} "
+          f"(the paper reports 94.3% against its taped-out chip)")
+    print("The analytical model runs orders of magnitude faster than the "
+          "simulator — the Section-I argument for analytical DSE.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — uniform intra-layer latency model for DNN accelerators.
+
+A faithful, from-scratch reproduction of *"A Uniform Latency Model for DNN
+Accelerators with Diverse Architectures and Dataflows"* (Mei, Liu, Wu,
+Sumbul, Verhelst, Beigne — DATE 2022), plus every substrate the paper's
+evaluation depends on: workload & mapping representations, a hardware
+description layer, an energy model, a ZigZag-style mapper and architecture
+search, and an event-driven cycle-level reference simulator used in place
+of the authors' (unavailable) taped-out chip for validation.
+
+Quickstart::
+
+    from repro import (
+        LatencyModel, case_study_accelerator, dense_layer, TemporalMapper,
+    )
+
+    preset = case_study_accelerator()
+    layer = dense_layer(64, 128, 1200)
+    mapper = TemporalMapper(preset.accelerator, preset.spatial_unrolling)
+    best = mapper.best_mapping(layer)
+    report = LatencyModel(preset.accelerator).evaluate(best.mapping)
+    print(report.summary())
+"""
+
+from repro.analysis.network import NetworkEvaluator
+from repro.analysis.summary import generate_report
+from repro.core import (
+    BwUnawareModel,
+    LatencyModel,
+    LatencyReport,
+    ModelOptions,
+)
+from repro.core.advisor import UpgradeAdvisor
+from repro.core.sensitivity import SensitivityAnalyzer
+from repro.energy import EnergyModel, EnergyReport
+from repro.hardware import Accelerator, MacArray, MemoryHierarchy, MemoryInstance
+from repro.hardware.presets import (
+    Preset,
+    build_accelerator,
+    case_study_accelerator,
+    inhouse_accelerator,
+    shared_lb_accelerator,
+)
+from repro.mapping import Mapping, SpatialMapping, TemporalMapping
+from repro.simulator import CycleSimulator, SimulationResult
+from repro.dse import MappingSearchResult, TemporalMapper
+from repro.workload import LayerSpec, LayerType, Operand, dense_layer, im2col
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accelerator",
+    "BwUnawareModel",
+    "CycleSimulator",
+    "EnergyModel",
+    "EnergyReport",
+    "LatencyModel",
+    "LatencyReport",
+    "LayerSpec",
+    "LayerType",
+    "MacArray",
+    "Mapping",
+    "MappingSearchResult",
+    "MemoryHierarchy",
+    "MemoryInstance",
+    "ModelOptions",
+    "NetworkEvaluator",
+    "Operand",
+    "Preset",
+    "SensitivityAnalyzer",
+    "SimulationResult",
+    "SpatialMapping",
+    "TemporalMapper",
+    "TemporalMapping",
+    "UpgradeAdvisor",
+    "build_accelerator",
+    "case_study_accelerator",
+    "dense_layer",
+    "generate_report",
+    "im2col",
+    "inhouse_accelerator",
+    "shared_lb_accelerator",
+]

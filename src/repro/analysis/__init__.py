@@ -1,0 +1,50 @@
+"""Reporting and analysis helpers on top of the latency/energy models.
+
+* :mod:`~repro.analysis.breakdown` — tabulate latency breakdowns across
+  layers / mappings (the Fig. 7(b) stacked-bar data);
+* :mod:`~repro.analysis.bottleneck` — rank stall sources and suggest the
+  Section-V remedies (raise RealBW or reduce traffic on the hot link);
+* :mod:`~repro.analysis.timeline` — render Fig. 3-style ASCII timelines of
+  computation vs. memory-update windows for a DTL;
+* :mod:`~repro.analysis.export` — CSV/JSON export of any report table.
+"""
+
+from repro.analysis.breakdown import breakdown_table, compare_reports
+from repro.analysis.bottleneck import BottleneckFinding, diagnose
+from repro.analysis.network import LayerResult, NetworkEvaluator, NetworkResult
+from repro.analysis.pipeline import (
+    PipelinedEstimate,
+    estimate_network_pipeline,
+    estimate_pipeline,
+)
+from repro.analysis.roofline import (
+    RooflineComparison,
+    RooflinePoint,
+    compare_with_roofline,
+    roofline_point,
+)
+from repro.analysis.summary import ReportConfig, generate_report
+from repro.analysis.timeline import render_timeline
+from repro.analysis.export import to_csv, to_json
+
+__all__ = [
+    "BottleneckFinding",
+    "LayerResult",
+    "NetworkEvaluator",
+    "NetworkResult",
+    "PipelinedEstimate",
+    "ReportConfig",
+    "RooflineComparison",
+    "RooflinePoint",
+    "compare_with_roofline",
+    "estimate_network_pipeline",
+    "estimate_pipeline",
+    "generate_report",
+    "roofline_point",
+    "breakdown_table",
+    "compare_reports",
+    "diagnose",
+    "render_timeline",
+    "to_csv",
+    "to_json",
+]

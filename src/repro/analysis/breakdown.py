@@ -1,0 +1,55 @@
+"""Latency-breakdown tables (the data behind Fig. 7(b))."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.report import LatencyReport
+
+_COLUMNS = ("preload", "ideal", "spatial_stall", "temporal_stall", "offload", "total")
+
+
+def breakdown_table(reports: Sequence[LatencyReport]) -> List[Dict[str, float]]:
+    """One row per report with the five Fig. 7(b) components plus total."""
+    rows: List[Dict[str, float]] = []
+    for report in reports:
+        row: Dict[str, float] = {"layer": report.layer_name}  # type: ignore[dict-item]
+        row.update(report.breakdown.as_dict())
+        row["utilization"] = report.utilization
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: Sequence[Dict[str, float]]) -> str:
+    """Fixed-width text rendering of a breakdown table."""
+    if not rows:
+        return "(empty)"
+    header = ["layer"] + [c for c in _COLUMNS] + ["utilization"]
+    widths = {h: max(len(h), 12) for h in header}
+    for row in rows:
+        widths["layer"] = max(widths["layer"], len(str(row.get("layer", ""))))
+    lines = ["  ".join(h.ljust(widths[h]) for h in header)]
+    for row in rows:
+        cells = [str(row.get("layer", "")).ljust(widths["layer"])]
+        for col in _COLUMNS:
+            cells.append(f"{row.get(col, 0.0):>{widths[col]}.0f}")
+        cells.append(f"{row.get('utilization', 0.0):>{widths['utilization']}.1%}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def compare_reports(a: LatencyReport, b: LatencyReport) -> Dict[str, float]:
+    """Relative differences of ``b`` vs ``a`` (the Case-1 comparison).
+
+    Returns ratios: ``latency_ratio`` < 1 means ``b`` is faster;
+    ``utilization_gain`` > 0 means ``b`` utilizes the array better.
+    """
+    return {
+        "latency_ratio": b.total_cycles / a.total_cycles,
+        "latency_saving": 1.0 - b.total_cycles / a.total_cycles,
+        "utilization_gain": (b.utilization - a.utilization) / a.utilization,
+        "temporal_stall_ratio": (
+            b.ss_overall / a.ss_overall if a.ss_overall > 0 else float("inf")
+        ),
+        "ideal_identical": float(a.cc_ideal == b.cc_ideal),
+    }

@@ -1,0 +1,42 @@
+"""CSV / JSON export of report tables."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Optional, Sequence
+
+
+def to_csv(rows: Sequence[Dict[str, Any]], path: Optional[str] = None) -> str:
+    """Serialize ``rows`` (list of flat dicts) to CSV; optionally write it.
+
+    Column order is the union of keys in first-seen order so that tables
+    from :mod:`repro.analysis.breakdown` stay readable.
+    """
+    if not rows:
+        return ""
+    columns = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def to_json(data: Any, path: Optional[str] = None, indent: int = 2) -> str:
+    """Serialize any JSON-compatible structure; optionally write it."""
+    text = json.dumps(data, indent=indent, default=str)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,161 @@
+"""Whole-network evaluation: apply the intra-layer model layer by layer.
+
+The paper's model is intra-layer by design ("builds a solid foundation for
+future work of modeling and optimizing latency in cross-layer multi-core
+DNN mapping scenarios" — Section VI). This module provides the natural
+layer-by-layer composition a user needs today: lower each layer (Im2Col
+when requested), search a mapping, evaluate latency and energy, and sum —
+assuming layers run back to back with their (off)loading phases exposed,
+which is an upper bound on a pipelined deployment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.model import LatencyModel
+from repro.core.report import LatencyReport
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.energy.energy_model import EnergyModel, EnergyReport
+from repro.hardware.presets import Preset
+from repro.mapping.mapping import Mapping, MappingError
+from repro.workload.im2col import im2col
+from repro.workload.layer import LayerSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerResult:
+    """One layer's mapping, latency and (optional) energy."""
+
+    layer: LayerSpec
+    mapping: Mapping
+    report: LatencyReport
+    energy: Optional[EnergyReport]
+
+    @property
+    def cycles(self) -> float:
+        """Layer latency in cycles."""
+        return self.report.total_cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkResult:
+    """Aggregate of every layer of a network on one machine."""
+
+    accelerator_name: str
+    layers: Sequence[LayerResult]
+    skipped: Sequence[str]
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of layer latencies (back-to-back execution)."""
+        return sum(r.cycles for r in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC operations across the network."""
+        return sum(r.layer.total_macs for r in self.layers)
+
+    @property
+    def utilization(self) -> float:
+        """Network-level MAC utilization at the machine's peak rate."""
+        if not self.layers:
+            return 0.0
+        peak = self.total_cycles * self._array_size()
+        return self.total_macs / peak if peak else 0.0
+
+    def _array_size(self) -> int:
+        # All layer reports share one machine; recover its array size from
+        # the per-layer ideal cycles.
+        first = self.layers[0]
+        return round(first.layer.total_macs / first.report.cc_ideal)
+
+    @property
+    def total_energy_pj(self) -> Optional[float]:
+        """Total dynamic energy, when energy evaluation was requested."""
+        if any(r.energy is None for r in self.layers):
+            return None
+        return sum(r.energy.total_pj for r in self.layers)
+
+    def dominant_layers(self, top: int = 3) -> List[LayerResult]:
+        """The layers that dominate the network latency."""
+        return sorted(self.layers, key=lambda r: -r.cycles)[:top]
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Network on {self.accelerator_name}: "
+            f"{len(self.layers)} layers, {self.total_macs} MACs",
+            f"  total latency : {self.total_cycles:12.0f} cc",
+            f"  utilization   : {self.utilization:12.1%}",
+        ]
+        energy = self.total_energy_pj
+        if energy is not None:
+            lines.append(f"  total energy  : {energy / 1e6:12.3f} uJ")
+        lines.append("  dominant layers:")
+        for r in self.dominant_layers():
+            lines.append(
+                f"    {r.layer.name or '?':12s} {r.cycles:12.0f} cc "
+                f"(U {r.report.utilization:6.1%})"
+            )
+        if self.skipped:
+            lines.append(f"  skipped (unmappable): {', '.join(self.skipped)}")
+        return "\n".join(lines)
+
+
+class NetworkEvaluator:
+    """Run every layer of a network through mapper + latency (+ energy)."""
+
+    def __init__(
+        self,
+        preset: Preset,
+        mapper_config: Optional[MapperConfig] = None,
+        apply_im2col: bool = True,
+        with_energy: bool = False,
+    ) -> None:
+        self.preset = preset
+        self.mapper = TemporalMapper(
+            preset.accelerator,
+            preset.spatial_unrolling,
+            mapper_config or MapperConfig(max_enumerated=150, samples=100),
+        )
+        self.model = LatencyModel(preset.accelerator)
+        self.energy = EnergyModel(preset.accelerator) if with_energy else None
+        self.apply_im2col = apply_im2col
+
+    def evaluate(self, layers: Sequence[LayerSpec]) -> NetworkResult:
+        """Evaluate ``layers`` back to back."""
+        results: List[LayerResult] = []
+        skipped: List[str] = []
+        for layer in layers:
+            lowered = im2col(layer) if self.apply_im2col else layer
+            try:
+                best = self.mapper.best_mapping(lowered)
+            except MappingError:
+                skipped.append(layer.name or str(layer.layer_type))
+                continue
+            energy = self.energy.evaluate(best.mapping) if self.energy else None
+            results.append(
+                LayerResult(
+                    layer=lowered, mapping=best.mapping,
+                    report=best.report, energy=energy,
+                )
+            )
+        return NetworkResult(
+            accelerator_name=self.preset.accelerator.name,
+            layers=tuple(results),
+            skipped=tuple(skipped),
+        )
+
+    def layer_table(self, result: NetworkResult) -> List[Dict[str, float]]:
+        """Flat per-layer rows for CSV export."""
+        rows = []
+        for r in result.layers:
+            row: Dict[str, float] = {"layer": r.layer.name}  # type: ignore[dict-item]
+            row["macs"] = float(r.layer.total_macs)
+            row.update(r.report.as_dict())
+            if r.energy is not None:
+                row["energy_pj"] = r.energy.total_pj
+            rows.append(row)
+        return rows

@@ -1,0 +1,69 @@
+"""Fig. 3-style ASCII timelines of computation vs. memory updates.
+
+Renders a DTL's periodic behaviour the way Fig. 3 draws it: a computation
+row of back-to-back periods and a memory row showing each update burst
+(``X_REAL`` long) inside or overflowing its allowed window (``X_REQ``
+starting at ``S``), with keep-out zones marked.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.dtl import DTL
+
+
+def render_timeline(dtl: DTL, periods: int = 3, width: int = 72) -> str:
+    """ASCII timeline of ``periods`` periods of ``dtl``.
+
+    Legend: ``C`` computation, ``#`` memory update, ``.`` allowed-window
+    slack, ``x`` keep-out zone, ``!`` update overflowing past the window
+    (stall). One character is ``periods * period / width`` cycles.
+    """
+    transfer = dtl.transfer
+    period = transfer.period
+    shown = min(periods, transfer.repeats) or 1
+    span = shown * period
+    scale = span / width
+
+    def col(t: float) -> int:
+        return min(width - 1, int(t / scale))
+
+    compute_row = ["C"] * width
+    mem_row = [" "] * width
+    # First pass: keep-out zones and allowed windows of every period.
+    for k in range(shown):
+        base = k * period
+        w_start = base + transfer.window_start
+        w_end = w_start + dtl.x_req
+        for i in range(col(base), col(w_start)):
+            mem_row[i] = "x" if not math.isclose(dtl.x_req, period) else "."
+        for i in range(col(w_start), max(col(w_start) + 1, col(min(w_end, span)))):
+            mem_row[i] = "."
+    # Second pass: actual updates, overflow past the window marked '!'.
+    for k in range(shown):
+        base = k * period
+        w_start = base + transfer.window_start
+        w_end = w_start + dtl.x_req
+        u_end = w_start + dtl.x_real
+        for i in range(col(w_start), max(col(w_start) + 1, col(min(u_end, span)))):
+            mem_row[i] = "#" if (i * scale) <= w_end else "!"
+
+    marks = [" "] * width
+    for k in range(shown + 1):
+        marks[col(min(k * period, span - scale))] = "|"
+
+    header = (
+        f"{transfer.operand}-{transfer.kind.value} on {dtl.memory}.{dtl.port}: "
+        f"P={period:g} X_REQ={dtl.x_req:g} X_REAL={dtl.x_real:g} "
+        f"SS_u={dtl.ss_u:+.1f}"
+    )
+    return "\n".join(
+        [
+            header,
+            "comp: " + "".join(compute_row),
+            "mem:  " + "".join(mem_row),
+            "      " + "".join(marks),
+            "      (C compute, # update, ! overflow/stall, x keep-out, . window)",
+        ]
+    )

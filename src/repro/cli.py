@@ -1,0 +1,265 @@
+"""Command-line interface: evaluate, simulate, search and run case studies.
+
+Examples::
+
+    repro-latency evaluate --layer 64,128,1200 --gb-bw 128
+    repro-latency simulate --layer 64,128,1200
+    repro-latency search --layer 64,128,1200 --samples 500 --top 5
+    repro-latency validate --limit 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.model import LatencyModel
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.energy.energy_model import EnergyModel
+from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import accuracy
+from repro.workload.generator import dense_layer
+from repro.workload.im2col import im2col
+from repro.workload.networks import validation_layers
+
+
+def _parse_layer(text: str):
+    parts = [int(p) for p in text.split(",")]
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError("layer must be B,K,C (e.g. 64,128,1200)")
+    return dense_layer(*parts)
+
+
+def _preset(args: argparse.Namespace):
+    if getattr(args, "arch", None):
+        from repro.hardware.serde import load_preset
+
+        return load_preset(args.arch)
+    if args.chip == "inhouse":
+        return inhouse_accelerator()
+    return case_study_accelerator(gb_read_bw=args.gb_bw)
+
+
+def _mapper(preset, args: argparse.Namespace) -> TemporalMapper:
+    config = MapperConfig(max_enumerated=args.enumerate, samples=args.samples)
+    return TemporalMapper(preset.accelerator, preset.spatial_unrolling, config)
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    preset = _preset(args)
+    mapper = _mapper(preset, args)
+    best = mapper.best_mapping(args.layer)
+    print(best.mapping.describe())
+    print(best.report.summary())
+    energy = EnergyModel(preset.accelerator).evaluate(best.mapping)
+    print(energy.summary())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    preset = _preset(args)
+    mapper = _mapper(preset, args)
+    best = mapper.best_mapping(args.layer)
+    print(best.report.summary())
+    sim = CycleSimulator(preset.accelerator, best.mapping).run()
+    print(sim.summary())
+    print(f"model-vs-simulator accuracy: {accuracy(best.report.total_cycles, sim.total_cycles):.1%}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    preset = _preset(args)
+    mapper = _mapper(preset, args)
+    results = mapper.search(args.layer)
+    print(f"mapping space: {mapper.space_size(args.layer)} orders; showing top {args.top}")
+    for result in results[: args.top]:
+        print("  " + result.describe())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    preset = _preset(args)
+    mapper = _mapper(preset, args)
+    model = LatencyModel(preset.accelerator)
+    layers = validation_layers()[: args.limit]
+    accs: List[float] = []
+    for layer in layers:
+        lowered = im2col(layer)
+        best = mapper.best_mapping(lowered)
+        sim = CycleSimulator(preset.accelerator, best.mapping).run()
+        acc = accuracy(best.report.total_cycles, sim.total_cycles)
+        accs.append(acc)
+        print(
+            f"{layer.name or '?':8s} model {best.report.total_cycles:10.0f}  "
+            f"sim {sim.total_cycles:10.0f}  accuracy {acc:6.1%}"
+        )
+    print(f"average accuracy: {sum(accs) / len(accs):.1%}")
+    del model
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.analysis.export import to_csv
+    from repro.analysis.network import NetworkEvaluator
+    from repro.dse.mapper import MapperConfig as _MC
+    from repro.workload.networks import (
+        hand_tracking_layers,
+        resnet18_layers,
+        transformer_gemm_layers,
+    )
+
+    preset = _preset(args)
+    zoo = {
+        "handtracking": lambda: hand_tracking_layers(limit=args.limit),
+        "resnet18": lambda: resnet18_layers()[: args.limit],
+        "transformer": lambda: transformer_gemm_layers()[: args.limit],
+    }
+    layers = zoo[args.network]()
+    evaluator = NetworkEvaluator(
+        preset,
+        mapper_config=_MC(max_enumerated=args.enumerate, samples=args.samples),
+        with_energy=True,
+    )
+    result = evaluator.evaluate(layers)
+    print(result.summary())
+    if args.csv:
+        to_csv(evaluator.layer_table(result), args.csv)
+        print(f"per-layer table written to {args.csv}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import SensitivityAnalyzer
+
+    preset = _preset(args)
+    analyzer = SensitivityAnalyzer(preset.accelerator, preset.spatial_unrolling)
+    bandwidths = [float(b) for b in args.bandwidths.split(",")]
+    curve = analyzer.bandwidth_sweep(args.layer, args.memory, bandwidths)
+    print(f"{args.memory} bandwidth sweep for {args.layer.describe()}:")
+    for p in curve.points:
+        print(f"  {p.value:8.0f} b/cyc -> {p.total_cycles:10.0f} cc "
+              f"(stall {p.ss_overall:9.0f}, U {p.utilization:6.1%})")
+    knee = curve.knee()
+    if knee is not None:
+        print(f"knee: {knee.value:.0f} b/cyc (within 2% of best latency)")
+    bound = curve.compute_bound_from()
+    if bound is not None:
+        print(f"compute-bound from: {bound:.0f} b/cyc")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import UpgradeAdvisor
+    from repro.dse.mapper import MapperConfig as _MC
+
+    preset = _preset(args)
+    advisor = UpgradeAdvisor(
+        preset.accelerator, preset.spatial_unrolling,
+        _MC(max_enumerated=args.enumerate, samples=args.samples),
+    )
+    options = advisor.advise(args.layer)
+    if not options:
+        print("no single-knob upgrade saves >= 1% latency — the design is "
+              "balanced for this layer.")
+        return 0
+    print(f"ranked single-knob upgrades for {args.layer.describe()}:")
+    for option in options[: args.top]:
+        print("  " + option.describe())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import ReportConfig, generate_report
+    from repro.dse.mapper import MapperConfig as _MC
+
+    preset = _preset(args)
+    config = ReportConfig(
+        mapper_config=_MC(max_enumerated=args.enumerate, samples=args.samples),
+        simulate=args.with_simulator,
+    )
+    text = generate_report(preset, args.layer, config)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_export_arch(args: argparse.Namespace) -> int:
+    from repro.hardware.serde import save_preset
+
+    preset = _preset(args)
+    save_preset(preset, args.out)
+    print(f"{preset.accelerator.name} written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-latency argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-latency",
+        description="Uniform intra-layer latency model for DNN accelerators "
+        "(DATE 2022 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, func, needs_layer in (
+        ("evaluate", _cmd_evaluate, True),
+        ("simulate", _cmd_simulate, True),
+        ("search", _cmd_search, True),
+        ("validate", _cmd_validate, False),
+        ("network", _cmd_network, False),
+        ("sensitivity", _cmd_sensitivity, True),
+        ("report", _cmd_report, True),
+        ("advise", _cmd_advise, True),
+        ("export-arch", _cmd_export_arch, False),
+    ):
+        p = sub.add_parser(name)
+        p.set_defaults(func=func)
+        if needs_layer:
+            p.add_argument("--layer", type=_parse_layer, required=True,
+                           help="Dense layer as B,K,C")
+        p.add_argument("--chip", choices=("case-study", "inhouse"), default="case-study")
+        p.add_argument("--arch", default=None,
+                       help="JSON accelerator description (overrides --chip)")
+        p.add_argument("--gb-bw", type=float, default=128.0,
+                       help="GB read/write bandwidth in bits/cycle (case-study chip)")
+        p.add_argument("--enumerate", type=int, default=500,
+                       help="exhaustive enumeration cap for the mapper")
+        p.add_argument("--samples", type=int, default=400,
+                       help="sampled loop orders above the cap")
+        p.add_argument("--top", type=int, default=5)
+        p.add_argument("--limit", type=int, default=6,
+                       help="layer-count limit (validate / network)")
+        if name == "network":
+            p.add_argument("--network",
+                           choices=("handtracking", "resnet18", "transformer"),
+                           default="handtracking")
+            p.add_argument("--csv", default=None,
+                           help="write the per-layer table to this CSV file")
+        if name == "sensitivity":
+            p.add_argument("--memory", default="GB",
+                           help="memory whose port bandwidth is swept")
+            p.add_argument("--bandwidths",
+                           default="64,128,256,512,1024,2048",
+                           help="comma-separated bits/cycle values")
+        if name == "report":
+            p.add_argument("--out", default=None, help="write markdown here")
+            p.add_argument("--with-simulator", action="store_true",
+                           help="include a simulator cross-check section")
+        if name == "export-arch":
+            p.add_argument("--out", required=True, help="output JSON path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The uniform intra-layer latency model (the paper's core contribution).
+
+Public entry points:
+
+* :class:`~repro.core.model.LatencyModel` — the full 3-step
+  memory-type / bandwidth / sharing-aware model;
+* :class:`~repro.core.baseline.BwUnawareModel` — the prior-art baseline
+  that ignores temporal stalls;
+* :class:`~repro.core.report.LatencyReport` — the result object with the
+  Fig. 1 / Fig. 7 breakdown and the stall anatomy;
+* the step modules (:mod:`~repro.core.step1`, :mod:`~repro.core.step2`,
+  :mod:`~repro.core.step3`) for fine-grained access to DTL attributes,
+  port combinations and the integration.
+"""
+
+from repro.core.baseline import BwUnawareModel, ideal_cycles
+from repro.core.dtl import DTL, TrafficKind, Transfer
+from repro.core.model import LatencyModel
+from repro.core.report import LatencyBreakdown, LatencyReport
+from repro.core.scenarios import ScenarioQuantities, classify
+from repro.core.step1 import ModelOptions, build_dtls
+from repro.core.step2 import (
+    PortCombination,
+    ServedMemoryStall,
+    combine_all_ports,
+    combine_port,
+    served_memory_stalls,
+)
+from repro.core.step3 import StallIntegration, integrate_stalls
+from repro.core.windows import PeriodicWindow, intersection_length, union_length
+
+__all__ = [
+    "BwUnawareModel",
+    "DTL",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "LatencyReport",
+    "ModelOptions",
+    "PeriodicWindow",
+    "PortCombination",
+    "ScenarioQuantities",
+    "ServedMemoryStall",
+    "StallIntegration",
+    "TrafficKind",
+    "Transfer",
+    "build_dtls",
+    "classify",
+    "combine_all_ports",
+    "combine_port",
+    "ideal_cycles",
+    "integrate_stalls",
+    "intersection_length",
+    "served_memory_stalls",
+    "union_length",
+]

@@ -1,0 +1,55 @@
+"""Baseline latency models the paper compares against.
+
+* :class:`BwUnawareModel` — the "memory-BW-unaware" model of Fig. 7(b)'s
+  cyan dotted line and Fig. 8(a): it keeps the spatial-mapping effects
+  (``CC_spatial``) and the data (off)loading phases but assumes perfectly
+  double-buffered, never-contended memories, i.e. ``SS_overall = 0``.
+* :func:`ideal_cycles` — scenario 1 of Fig. 1(b): total MACs / array size.
+"""
+
+from __future__ import annotations
+
+from repro.core.loading import offload_cycles, preload_cycles
+from repro.core.report import LatencyReport
+from repro.hardware.accelerator import Accelerator
+from repro.mapping.mapping import Mapping, utilization_scenario
+
+
+def ideal_cycles(mapping: Mapping, array_size: int) -> float:
+    """``CC_ideal``: the 100 %-utilization roofline latency."""
+    return mapping.ideal_cycles(array_size)
+
+
+class BwUnawareModel:
+    """Latency model that ignores memory bandwidth (the prior-art baseline).
+
+    Most existing analytical latency models "rely on ideal assumptions,
+    such as: all memories at different levels are double-buffered [...];
+    memories that are shared by multiple operands always have multiple
+    read/write ports" (Section I). Under those assumptions no temporal
+    stall exists, so latency reduces to ``preload + CC_spatial + offload``.
+    """
+
+    def __init__(self, accelerator: Accelerator, include_loading: bool = True) -> None:
+        self.accelerator = accelerator
+        self.include_loading = include_loading
+
+    def evaluate(self, mapping: Mapping) -> LatencyReport:
+        """Evaluate ``mapping`` with all temporal stalls assumed away."""
+        array_size = self.accelerator.mac_array.size
+        preload = preload_cycles(self.accelerator, mapping) if self.include_loading else 0.0
+        offload = offload_cycles(self.accelerator, mapping) if self.include_loading else 0.0
+        return LatencyReport(
+            layer_name=mapping.layer.name or str(mapping.layer.layer_type),
+            accelerator_name=f"{self.accelerator.name} (BW-unaware)",
+            cc_ideal=mapping.ideal_cycles(array_size),
+            cc_spatial=mapping.spatial_cycles,
+            ss_overall=0.0,
+            preload=preload,
+            offload=offload,
+            scenario=utilization_scenario(mapping, array_size, 0.0),
+            dtls=(),
+            port_combinations={},
+            served_stalls=(),
+            integration=None,
+        )

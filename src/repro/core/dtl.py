@@ -1,0 +1,172 @@
+"""Data Transfer Links (DTLs) and their Step-1 attributes.
+
+Step 1 decouples every memory-interface operation into DTLs: separate read
+and write links at each unit memory (Fig. 2b, links 1-18). One *logical
+transfer* (e.g. refilling the W local buffer from the global buffer)
+produces **two** DTLs: the read endpoint on the source memory's port and
+the write endpoint on the destination memory's port. Both carry the same
+periodic traffic (same ``Mem_DATA``, period and repeats) but see different
+``RealBW`` — their own port's — and belong to different physical-port
+groups in Step 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+from repro.core.windows import PeriodicWindow
+from repro.hardware.port import EndpointKind
+from repro.workload.operand import Operand
+
+
+class TrafficKind(str, enum.Enum):
+    """Why a transfer happens."""
+
+    REFILL = "refill"            # W/I tile moving down the hierarchy
+    FLUSH = "flush"              # O tile (final or partial) moving up
+    PSUM_READBACK = "psum"       # partial sum returning down for more accumulation
+    COMPUTE_READ = "compute"     # innermost level feeding the MAC array
+
+
+@dataclasses.dataclass(frozen=True)
+class Transfer:
+    """One logical periodic data movement between two adjacent levels.
+
+    Attributes
+    ----------
+    operand / kind:
+        What moves and why.
+    served_memory / served_level:
+        The unit memory (memory name + chain level index) whose periodic
+        operation this transfer implements — the "served mem" of Step 2's
+        final max. This is the *lower* level of the pair.
+    src_memory / dst_memory:
+        Physical memory names of the two endpoints (src is read, dst is
+        written). ``None`` for compute-edge reads (the MAC array is not a
+        memory).
+    data_bits:
+        ``Mem_DATA`` moved per period, in bits.
+    period:
+        Effective turnaround ``Mem_CC`` in cycles (residency-extended).
+    repeats:
+        ``Z`` — number of periods whose transfers land in the computation
+        phase (steady state).
+    x_req:
+        Allowed updating span per period (``X_REQ = Mem_DATA / ReqBW``).
+    window_start:
+        ``S`` — where the allowed span sits inside the period.
+    """
+
+    operand: Operand
+    kind: TrafficKind
+    served_memory: str
+    served_level: int
+    src_memory: Optional[str]
+    dst_memory: Optional[str]
+    data_bits: float
+    period: float
+    repeats: int
+    x_req: float
+    window_start: float
+
+    @property
+    def req_bw(self) -> float:
+        """``ReqBW_u`` — minimum bandwidth for stall-free operation."""
+        if self.x_req <= 0:
+            return float("inf")
+        return self.data_bits / self.x_req
+
+    @property
+    def bw0(self) -> float:
+        """``BW_0 = Mem_DATA / Mem_CC`` (Table I footnote)."""
+        return self.data_bits / self.period
+
+    def window(self) -> PeriodicWindow:
+        """The allowed-updating-window periodic function."""
+        return PeriodicWindow(self.period, self.x_req, self.window_start, self.repeats)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.operand}-{self.kind.value} {self.src_memory or 'MAC'}"
+            f"->{self.dst_memory or 'MAC'} {self.data_bits:g}b / {self.period:g}cc x{self.repeats}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DTL:
+    """One endpoint of a :class:`Transfer` on a physical memory port.
+
+    ``SS_u = (X_REAL - X_REQ) * Z`` measures this endpoint's own stall (+)
+    or slack (-) against computation (Fig. 3), where
+    ``X_REAL = Mem_DATA / RealBW`` uses the *port's* bandwidth. When the
+    memory has a minimum burst (word) size, the transfer pads up to a
+    whole number of bursts first — small tiles on wide-word memories pay
+    for the full word.
+    """
+
+    transfer: Transfer
+    memory: str
+    port: str
+    endpoint: EndpointKind
+    real_bw: float
+    burst_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.real_bw <= 0:
+            raise ValueError(f"DTL on {self.memory}.{self.port}: RealBW must be positive")
+        if self.burst_bits < 1:
+            raise ValueError(f"DTL on {self.memory}.{self.port}: burst_bits must be >= 1")
+
+    @property
+    def padded_bits(self) -> float:
+        """Transfer size rounded up to whole bursts (words)."""
+        if self.burst_bits <= 1:
+            return self.transfer.data_bits
+        import math
+
+        return math.ceil(self.transfer.data_bits / self.burst_bits) * self.burst_bits
+
+    @property
+    def x_real(self) -> float:
+        """Actual updating span per period given the port bandwidth."""
+        return self.padded_bits / self.real_bw
+
+    @property
+    def x_req(self) -> float:
+        """Allowed updating span per period (from the transfer)."""
+        return self.transfer.x_req
+
+    @property
+    def ss_u(self) -> float:
+        """Per-DTL stall (+) or slack (-): ``(X_REAL - X_REQ) * Z``."""
+        return (self.x_real - self.x_req) * self.transfer.repeats
+
+    @property
+    def muw_u(self) -> float:
+        """Total allowed updating window ``X_REQ * Z``."""
+        return self.x_req * self.transfer.repeats
+
+    @property
+    def req_bw(self) -> float:
+        """``ReqBW_u`` of the underlying transfer."""
+        return self.transfer.req_bw
+
+    def window(self) -> PeriodicWindow:
+        """Periodic allowed window (shared with the sibling endpoint)."""
+        return self.transfer.window()
+
+    @property
+    def port_key(self) -> Tuple[str, str]:
+        """Step-2 grouping key: (memory name, port name)."""
+        return (self.memory, self.port)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.memory}.{self.port}[{self.endpoint.value}] {self.transfer.operand}-"
+            f"{self.transfer.kind.value}: ReqBW={self.req_bw:.3f} RealBW={self.real_bw:.3f} "
+            f"SS_u={self.ss_u:.1f}"
+        )

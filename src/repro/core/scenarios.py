@@ -1,0 +1,71 @@
+"""The four computation-phase scenarios of Fig. 1(b).
+
+========  ==================  ==================  =============================
+Scenario  temporally full?    spatially full?     latency
+========  ==================  ==================  =============================
+1         yes                 yes                 ``CC_ideal``
+2         yes                 no                  ``CC_spatial``
+3         no                  yes                 ``CC_ideal + SS_overall``
+4         no                  no                  ``CC_spatial + SS_overall``
+========  ==================  ==================  =============================
+
+with spatial stall ``CC_spatial - CC_ideal`` and temporal stall
+``SS_overall``; utilization is always ``CC_ideal`` over the scenario's
+latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.mapping.mapping import Mapping, utilization_scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioQuantities:
+    """The Fig. 1(b) row for one (mapping, array, SS_overall) triple."""
+
+    scenario: int
+    cc_ideal: float
+    cc_spatial: int
+    ss_overall: float
+
+    @property
+    def latency(self) -> float:
+        """Computation-phase cycle count for the scenario."""
+        return self.cc_spatial + self.ss_overall
+
+    @property
+    def spatial_stall(self) -> float:
+        """``CC_spatial - CC_ideal``."""
+        return self.cc_spatial - self.cc_ideal
+
+    @property
+    def temporal_stall(self) -> float:
+        """``SS_overall`` (zero in scenarios 1-2)."""
+        return self.ss_overall
+
+    @property
+    def utilization(self) -> float:
+        """``U = CC_ideal / latency``."""
+        return self.cc_ideal / self.latency
+
+    @property
+    def spatially_full(self) -> bool:
+        """Whether the MAC array is spatially fully mapped."""
+        return self.scenario in (1, 3)
+
+    @property
+    def temporally_full(self) -> bool:
+        """Whether the MAC array is temporally fully mapped."""
+        return self.scenario in (1, 2)
+
+
+def classify(mapping: Mapping, array_size: int, ss_overall: float) -> ScenarioQuantities:
+    """Build the Fig. 1(b) quantities for a computed ``SS_overall``."""
+    return ScenarioQuantities(
+        scenario=utilization_scenario(mapping, array_size, ss_overall),
+        cc_ideal=mapping.ideal_cycles(array_size),
+        cc_spatial=mapping.spatial_cycles,
+        ss_overall=max(0.0, ss_overall),
+    )

@@ -1,0 +1,72 @@
+"""Step 3 — Integrate per-memory stalls into the overall temporal stall.
+
+"SS_overall accounts for the parallel memory operation as well as multiple
+stall sources across all memory levels. For the memory operations that can
+be overlapped, SS_overall takes the maximum of SS_comb [...]; otherwise,
+SS_overall is the sum of all stalls [...]. Users can customize this memory
+parallel operation constraint based on the design." (Section III-D)
+
+The :class:`~repro.hardware.accelerator.StallOverlapConfig` partitions the
+memory modules into concurrent groups: inside a group stalls hide under
+each other (max); the groups themselves serialize (sum). Each group's
+contribution is clamped at zero before summing so that one group's slack
+never cancels another group's stall — the same no-cancellation philosophy
+as Eq. (2) — and the final ``SS_overall`` is clamped at zero per the paper
+("if calculated SS_overall <= 0, we take zero").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.step2 import ServedMemoryStall
+from repro.hardware.accelerator import StallOverlapConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class StallIntegration:
+    """The Step-3 result: overall stall plus its per-group breakdown."""
+
+    ss_overall: float
+    group_stalls: Tuple[Tuple[int, float], ...]
+    dominant: Tuple[ServedMemoryStall, ...]
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        groups = ", ".join(f"g{gid}={ss:.1f}" for gid, ss in self.group_stalls)
+        return f"SS_overall={self.ss_overall:.1f} cc ({groups or 'no stall sources'})"
+
+
+def integrate_stalls(
+    served: Sequence[ServedMemoryStall],
+    overlap: StallOverlapConfig = StallOverlapConfig.all_concurrent(),
+) -> StallIntegration:
+    """Combine unit-memory stalls into ``SS_overall``.
+
+    Returns the integration together with the *dominant* stall source of
+    every group — the bottleneck list that Section V's case studies read
+    off to decide what to fix (raise RealBW or reduce the traffic).
+    """
+    groups: Dict[int, List[ServedMemoryStall]] = {}
+    for stall in served:
+        gid = overlap.group_of(stall.memory)
+        groups.setdefault(gid, []).append(stall)
+
+    group_stalls: List[Tuple[int, float]] = []
+    dominant: List[ServedMemoryStall] = []
+    total = 0.0
+    for gid in sorted(groups):
+        members = groups[gid]
+        worst = max(members, key=lambda s: s.ss)
+        contribution = max(0.0, worst.ss)
+        group_stalls.append((gid, contribution))
+        total += contribution
+        if contribution > 0:
+            dominant.append(worst)
+
+    return StallIntegration(
+        ss_overall=max(0.0, total),
+        group_stalls=tuple(group_stalls),
+        dominant=tuple(sorted(dominant, key=lambda s: -s.ss)),
+    )

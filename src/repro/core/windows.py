@@ -1,0 +1,191 @@
+"""Finite periodic window functions — the MUW machinery of Fig. 2(a).
+
+Step 1 models each DTL's allowed memory-updating window as "a finite
+periodic function, supporting union and intersection operation" with four
+parameters: period (``Mem_CC``), active span within one period (``X``),
+active start within one period (``S``) and number of periods (``Z``).
+
+Step 2 needs the *length of the union* of several such windows
+(``MUW_comb``). Periods in a nested-loop schedule are products of loop-size
+prefixes, so they are usually divisor-related and the hyperperiod stays
+small; we compute the union exactly by interval merging over one
+hyperperiod whenever the interval count is tractable and fall back to the
+safe upper bound ``min(sum of active, horizon)`` otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+#: Cap on merged intervals per union computation before falling back.
+MAX_UNION_INTERVALS = 2_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodicWindow:
+    """An active window of ``active`` cycles repeating every ``period``.
+
+    The window occupies ``[k*period + start, k*period + start + active)``
+    for ``k = 0 .. repeats-1``. ``active == period`` (with ``start == 0``)
+    describes an always-open window; ``active < period`` leaves a keep-out
+    zone of ``period - active`` cycles per period.
+
+    Spans are real-valued: ``X_REQ = Mem_DATA / ReqBW`` is generally not an
+    integer cycle count, and the analytical model keeps the fraction.
+    """
+
+    period: float
+    active: float
+    start: float
+    repeats: int
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= self.active <= self.period + 1e-12:
+            raise ValueError(
+                f"active span {self.active} must lie in [0, period={self.period}]"
+            )
+        if self.start < -1e-12 or self.start + self.active > self.period + 1e-9:
+            raise ValueError(
+                f"window start {self.start} + active {self.active} exceeds period {self.period}"
+            )
+        if self.repeats < 0:
+            raise ValueError("repeats must be >= 0")
+
+    @property
+    def total_active(self) -> float:
+        """Total open window across all repeats (``MUW_u = X * Z``)."""
+        return self.active * self.repeats
+
+    @property
+    def horizon(self) -> float:
+        """End of the last period."""
+        return self.period * self.repeats
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the window is open for the entire period."""
+        return math.isclose(self.active, self.period)
+
+    def intervals(self) -> Iterable[Tuple[float, float]]:
+        """Yield the absolute (begin, end) intervals, in order."""
+        for k in range(self.repeats):
+            base = k * self.period
+            yield (base + self.start, base + self.start + self.active)
+
+
+def _merged_length(intervals: List[Tuple[float, float]]) -> float:
+    """Total length of the union of (begin, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    total += cur_hi - cur_lo
+    return total
+
+
+def union_length(windows: Sequence[PeriodicWindow], horizon: float) -> float:
+    """Length of the union of ``windows`` clipped to ``[0, horizon)``.
+
+    This is ``MUW_comb`` for a set of shared-port DTLs. Fast paths, in
+    order:
+
+    1. a full window (``active == period``) spanning the horizon covers
+       everything;
+    2. a single window needs no merging;
+    3. in a nested-loop schedule every period divides the total cycle
+       count, so the union pattern repeats every ``lcm(periods)`` cycles:
+       merge one hyperperiod and scale. (Windows are treated as repeating
+       across the whole horizon; a stream whose ``repeats`` stop one period
+       short contributes at most one extra ``active`` span — bounded by one
+       period out of the horizon.)
+    4. plain interval merging, falling back to the upper bound
+       ``min(sum of active, horizon)`` beyond :data:`MAX_UNION_INTERVALS`
+       (an upper bound on MUW_comb biases Eq. (1) optimistically; it only
+       triggers for pathological schedules).
+    """
+    windows = [w for w in windows if w.repeats > 0 and w.active > 0]
+    if not windows or horizon <= 0:
+        return 0.0
+    for w in windows:
+        if w.is_full and w.horizon >= horizon - 1e-9:
+            return float(horizon)
+    if len(windows) == 1:
+        w = windows[0]
+        return min(w.total_active, float(horizon))
+
+    periods = [w.period for w in windows]
+    if all(math.isclose(p, round(p)) for p in periods):
+        hyper = 1
+        for p in periods:
+            hyper = math.lcm(hyper, int(round(p)))
+            if hyper > horizon:
+                break
+        n_intervals = sum(hyper // int(round(p)) for p in periods)
+        if hyper <= horizon and n_intervals <= MAX_UNION_INTERVALS:
+            per_hyper = _merged_length(
+                [
+                    (k * w.period + w.start, k * w.period + w.start + w.active)
+                    for w in windows
+                    for k in range(hyper // int(round(w.period)))
+                ]
+            )
+            full, rest = divmod(horizon, hyper)
+            total = per_hyper * full
+            if rest > 1e-9:
+                total += _clipped_union(windows, rest)
+            return min(total, float(horizon))
+
+    count = sum(min(w.repeats, math.ceil(horizon / w.period)) for w in windows)
+    if count > MAX_UNION_INTERVALS:
+        return min(sum(w.total_active for w in windows), float(horizon))
+    return _clipped_union(windows, horizon)
+
+
+def _clipped_union(windows: Sequence[PeriodicWindow], horizon: float) -> float:
+    """Direct interval merge of the windows clipped to ``[0, horizon)``."""
+    intervals: List[Tuple[float, float]] = []
+    for w in windows:
+        k_max = min(w.repeats, math.ceil(horizon / w.period))
+        for k in range(k_max):
+            lo = k * w.period + w.start
+            if lo >= horizon:
+                break
+            intervals.append((lo, min(lo + w.active, horizon)))
+    if not intervals:
+        return 0.0
+    return _merged_length(intervals)
+
+
+def intersection_length(a: PeriodicWindow, b: PeriodicWindow, horizon: float) -> float:
+    """Length of the pairwise intersection clipped to ``[0, horizon)``.
+
+    Exposed for analyses that ask how much two DTLs' windows overlap (the
+    paper mentions the window functions support intersection as well).
+    """
+    if horizon <= 0:
+        return 0.0
+    ints_a = [(lo, min(hi, horizon)) for lo, hi in a.intervals() if lo < horizon]
+    ints_b = [(lo, min(hi, horizon)) for lo, hi in b.intervals() if lo < horizon]
+    total = 0.0
+    i = j = 0
+    while i < len(ints_a) and j < len(ints_b):
+        lo = max(ints_a[i][0], ints_b[j][0])
+        hi = min(ints_a[i][1], ints_b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if ints_a[i][1] <= ints_b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total

@@ -1,0 +1,55 @@
+"""Design-space exploration: mapper, architecture search, Pareto analysis.
+
+The paper integrates its latency model with ZigZag to "generate various
+design points" (Section V). This package provides the equivalent tooling:
+
+* :class:`~repro.dse.mapper.TemporalMapper` — LOMA-style temporal-mapping
+  enumeration (prime-factor loop orders + capacity-driven level
+  allocation), exhaustive when small and sampled otherwise;
+* :mod:`~repro.dse.arch_search` — Case-study-3 architecture sweeps over the
+  memory pool, array sizes and GB bandwidths;
+* :mod:`~repro.dse.pareto` — Pareto-front extraction for the latency-area
+  trade-off plots.
+"""
+
+from repro.dse.factorize import (
+    count_permutations,
+    multiset_permutations,
+    ordered_factorizations,
+    prime_factors,
+)
+from repro.dse.mapper import MapperConfig, MappingSearchResult, TemporalMapper
+from repro.dse.arch_search import ArchPoint, ArchSearch, ArchSearchConfig
+from repro.dse.local_search import (
+    LocalSearchConfig,
+    LocalSearchMapper,
+    LocalSearchOutcome,
+)
+from repro.dse.pareto import pareto_front
+from repro.dse.spatial_search import (
+    SpatialSearch,
+    SpatialSearchConfig,
+    SpatialSearchResult,
+    enumerate_unrollings,
+)
+
+__all__ = [
+    "ArchPoint",
+    "ArchSearch",
+    "ArchSearchConfig",
+    "LocalSearchConfig",
+    "LocalSearchMapper",
+    "LocalSearchOutcome",
+    "MapperConfig",
+    "MappingSearchResult",
+    "SpatialSearch",
+    "SpatialSearchConfig",
+    "SpatialSearchResult",
+    "TemporalMapper",
+    "count_permutations",
+    "enumerate_unrollings",
+    "multiset_permutations",
+    "ordered_factorizations",
+    "pareto_front",
+    "prime_factors",
+]

@@ -1,0 +1,158 @@
+"""Architecture design-space exploration (Case study 3).
+
+Sweeps MAC-array sizes x memory-pool candidates x GB bandwidths, runs the
+mapper ("for each design point, mapping optimization for lowest latency is
+performed"), and records the latency-area coordinates of every design. The
+same sweep can run under the BW-unaware baseline to regenerate Fig. 8(a).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.baseline import BwUnawareModel
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.dse.pareto import pareto_front
+from repro.hardware.pool import MemoryCandidate, MemoryPool, searched_memory_names
+from repro.hardware.presets import Preset
+from repro.mapping.mapping import MappingError
+from repro.workload.layer import LayerSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchSearchConfig:
+    """What to sweep and how hard to search mappings per design."""
+
+    array_scales: Dict[str, Tuple[int, int, int]]
+    pool: MemoryPool
+    gb_bandwidths: Sequence[float] = (128.0,)
+    bw_aware: bool = True
+    with_energy: bool = False
+    mapper_config: MapperConfig = MapperConfig(max_enumerated=400, samples=200, keep_top=1)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchPoint:
+    """One evaluated hardware design."""
+
+    array_label: str
+    candidate: MemoryCandidate
+    gb_bandwidth: float
+    area_mm2: float
+    latency: float
+    utilization: float
+    accelerator_name: str
+    energy_pj: Optional[float] = None
+
+    def coords(self) -> Tuple[float, float]:
+        """(area, latency) for Pareto extraction."""
+        return (self.area_mm2, self.latency)
+
+    def coords3(self) -> Tuple[float, float, float]:
+        """(area, latency, energy) for the 3-objective front."""
+        if self.energy_pj is None:
+            raise ValueError("energy not evaluated; set with_energy=True")
+        return (self.area_mm2, self.latency, self.energy_pj)
+
+    @property
+    def edp(self) -> Optional[float]:
+        """Energy-delay product (pJ x cycles), when energy was evaluated."""
+        if self.energy_pj is None:
+            return None
+        return self.energy_pj * self.latency
+
+
+class ArchSearch:
+    """Run the Case-study-3 sweep for one layer."""
+
+    def __init__(self, config: ArchSearchConfig) -> None:
+        self.config = config
+
+    def design_points(self) -> Iterator[Tuple[str, float, MemoryCandidate, Preset]]:
+        """Every (array label, GB BW, candidate, preset) in the sweep."""
+        for label, (k, b, c) in self.config.array_scales.items():
+            for gb_bw in self.config.gb_bandwidths:
+                for cand, preset in self.config.pool.build(k, b, c, gb_read_bw=gb_bw):
+                    yield label, gb_bw, cand, preset
+
+    def evaluate(self, layer: LayerSpec) -> List[ArchPoint]:
+        """Evaluate the whole sweep on ``layer``; unmappable designs skipped."""
+        points: List[ArchPoint] = []
+        for label, gb_bw, cand, preset in self.design_points():
+            point = self.evaluate_one(layer, label, gb_bw, cand, preset)
+            if point is not None:
+                points.append(point)
+        return points
+
+    def evaluate_one(
+        self,
+        layer: LayerSpec,
+        label: str,
+        gb_bw: float,
+        cand: MemoryCandidate,
+        preset: Preset,
+    ) -> Optional[ArchPoint]:
+        """Best-mapping latency and area of one design point."""
+        accelerator = preset.accelerator
+        mapper = TemporalMapper(
+            accelerator, preset.spatial_unrolling, self.config.mapper_config
+        )
+        energy_pj: Optional[float] = None
+        try:
+            if self.config.bw_aware:
+                best = mapper.best_mapping(layer)
+                latency = best.report.total_cycles
+                utilization = best.report.utilization
+                if self.config.with_energy:
+                    from repro.energy.energy_model import EnergyModel
+
+                    energy_pj = EnergyModel(accelerator).evaluate(
+                        best.mapping
+                    ).total_pj
+            else:
+                # The Fig. 8(a) baseline: computation-phase latency only,
+                # no temporal stalls and no memory-size-dependent loading —
+                # which is why same-array designs collapse onto one latency.
+                baseline = BwUnawareModel(accelerator, include_loading=False)
+                latency = float("inf")
+                utilization = 0.0
+                for mapping in mapper.mappings(layer):
+                    report = baseline.evaluate(mapping)
+                    if report.total_cycles < latency:
+                        latency = report.total_cycles
+                        utilization = report.utilization
+                if latency == float("inf"):
+                    return None
+        except MappingError:
+            return None
+        area = accelerator.area_mm2(include=searched_memory_names())
+        return ArchPoint(
+            array_label=label,
+            candidate=cand,
+            gb_bandwidth=gb_bw,
+            area_mm2=area,
+            latency=latency,
+            utilization=utilization,
+            accelerator_name=accelerator.name,
+            energy_pj=energy_pj,
+        )
+
+    @staticmethod
+    def front(points: Sequence[ArchPoint]) -> List[ArchPoint]:
+        """Latency-area Pareto front (minimize both)."""
+        return pareto_front(list(points), key=lambda p: p.coords())
+
+    @staticmethod
+    def front3(points: Sequence[ArchPoint]) -> List[ArchPoint]:
+        """Latency-area-energy Pareto front (requires with_energy=True)."""
+        return pareto_front(list(points), key=lambda p: p.coords3())
+
+    @staticmethod
+    def best_per_array(points: Sequence[ArchPoint]) -> Dict[str, ArchPoint]:
+        """Lowest-latency design per MAC-array size (Fig. 8's highlights)."""
+        best: Dict[str, ArchPoint] = {}
+        for p in points:
+            if p.array_label not in best or p.latency < best[p.array_label].latency:
+                best[p.array_label] = p
+        return best

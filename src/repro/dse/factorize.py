@@ -1,0 +1,120 @@
+"""Integer factorization utilities for loop-order enumeration.
+
+The mapper decomposes every temporal loop bound into prime factors (the
+LOMA approach the ZigZag mapper uses) and enumerates distinct orderings of
+the resulting loop multiset. Loops of the same dimension with the same size
+are interchangeable, so the number of distinct orders is the multinomial
+``n! / prod(multiplicity!)`` — computed exactly by
+:func:`count_permutations` and enumerated lazily (or sampled) by
+:func:`multiset_permutations`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+
+def prime_factors(n: int) -> List[int]:
+    """Prime factorization of ``n >= 1`` in ascending order (1 -> [])."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    factors: List[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def ordered_factorizations(n: int, max_parts: int) -> Iterator[Tuple[int, ...]]:
+    """All ordered tuples of integers > 1 (length <= max_parts) with product n.
+
+    ``n == 1`` yields the empty tuple. Used when a caller wants composite
+    tiling factors rather than the full prime split.
+    """
+    if n < 1 or max_parts < 0:
+        raise ValueError("n must be >= 1 and max_parts >= 0")
+
+    def rec(remaining: int, parts: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+        if remaining == 1:
+            yield parts
+            return
+        if len(parts) == max_parts:
+            return
+        if len(parts) == max_parts - 1:
+            yield parts + (remaining,)
+            return
+        for d in range(2, remaining + 1):
+            if remaining % d == 0:
+                yield from rec(remaining // d, parts + (d,))
+
+    yield from rec(n, ())
+
+
+def count_permutations(items: Sequence[Hashable]) -> int:
+    """Number of distinct orderings of the multiset ``items``."""
+    counts: Dict[Hashable, int] = {}
+    for item in items:
+        counts[item] = counts.get(item, 0) + 1
+    total = math.factorial(len(items))
+    for c in counts.values():
+        total //= math.factorial(c)
+    return total
+
+
+def multiset_permutations(items: Sequence[Hashable]) -> Iterator[Tuple[Hashable, ...]]:
+    """Lazily yield the distinct orderings of the multiset ``items``.
+
+    Standard recursive scheme: at each position choose each *distinct*
+    remaining item once. Yields ``count_permutations(items)`` tuples.
+    """
+    counts: Dict[Hashable, int] = {}
+    for item in items:
+        counts[item] = counts.get(item, 0) + 1
+    keys = sorted(counts, key=repr)
+    n = len(items)
+    current: List[Hashable] = []
+
+    def rec() -> Iterator[Tuple[Hashable, ...]]:
+        if len(current) == n:
+            yield tuple(current)
+            return
+        for key in keys:
+            if counts[key] > 0:
+                counts[key] -= 1
+                current.append(key)
+                yield from rec()
+                current.pop()
+                counts[key] += 1
+
+    yield from rec()
+
+
+def sample_permutations(
+    items: Sequence[Hashable],
+    samples: int,
+    rng: Optional[random.Random] = None,
+) -> Iterator[Tuple[Hashable, ...]]:
+    """Yield up to ``samples`` random orderings (duplicates deduplicated).
+
+    Used when the order space is too large to enumerate; the mapper mixes
+    these with a deterministic prefix of the lexicographic enumeration so
+    that small spaces stay exhaustive.
+    """
+    rng = rng or random.Random(0)
+    seen = set()
+    pool = list(items)
+    attempts = 0
+    while len(seen) < samples and attempts < samples * 20:
+        attempts += 1
+        rng.shuffle(pool)
+        key = tuple(pool)
+        if key not in seen:
+            seen.add(key)
+            yield key

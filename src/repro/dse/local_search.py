@@ -1,0 +1,151 @@
+"""Local search over loop orders: polish what sampling finds.
+
+The sampled mapper covers the space broadly but coarsely; this module adds
+a hill climber that takes the best sampled orders and repeatedly applies
+adjacent transpositions and random pair swaps, keeping improvements. Loop
+orders are a natural neighborhood space for this: most of the latency
+structure (residencies, keep-out windows, psum round trips) changes
+smoothly under adjacent swaps, so short climbs recover most of what
+exhaustive enumeration would find at a tiny fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.dse.mapper import MapperConfig, MappingSearchResult, TemporalMapper
+from repro.mapping.mapping import Mapping, MappingError
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerSpec
+
+Order = Tuple[Tuple[LoopDim, int], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalSearchConfig:
+    """Climb budget."""
+
+    restarts: int = 4          # how many sampled seeds to polish
+    max_steps: int = 200       # accepted+rejected moves per climb
+    random_swaps: int = 2      # random non-adjacent swaps tried per round
+    seed: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalSearchOutcome:
+    """Result of one polishing run."""
+
+    best: MappingSearchResult
+    start_objective: float
+    evaluations: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative objective improvement over the starting point."""
+        if self.start_objective <= 0:
+            return 0.0
+        return 1.0 - self.best.objective / self.start_objective
+
+
+class LocalSearchMapper:
+    """Sampled search + hill climbing on the loop-order neighborhood."""
+
+    def __init__(
+        self,
+        mapper: TemporalMapper,
+        config: Optional[LocalSearchConfig] = None,
+    ) -> None:
+        self.mapper = mapper
+        self.config = config or LocalSearchConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_order(
+        self, layer: LayerSpec, order: Order
+    ) -> Optional[MappingSearchResult]:
+        temporal = self.mapper.allocate(layer, order)
+        if temporal is None:
+            return None
+        try:
+            mapping = Mapping(layer, self.mapper.spatial, temporal)
+            return self.mapper.evaluate(mapping)
+        except MappingError:
+            return None
+
+    @staticmethod
+    def _neighbors(order: Order, rng: random.Random, random_swaps: int) -> Iterator[Order]:
+        n = len(order)
+        for i in range(n - 1):
+            if order[i] != order[i + 1]:
+                swapped = list(order)
+                swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+                yield tuple(swapped)
+        for __ in range(random_swaps):
+            i, j = rng.randrange(n), rng.randrange(n)
+            if i != j and order[i] != order[j]:
+                swapped = list(order)
+                swapped[i], swapped[j] = swapped[j], swapped[i]
+                yield tuple(swapped)
+
+    def climb(
+        self, layer: LayerSpec, start: Order
+    ) -> Optional[LocalSearchOutcome]:
+        """Hill-climb from one order; None if the start cannot allocate."""
+        rng = random.Random(self.config.seed)
+        current = self._evaluate_order(layer, start)
+        if current is None:
+            return None
+        start_objective = current.objective
+        current_order = start
+        evaluations = 1
+        steps = 0
+        improved = True
+        while improved and steps < self.config.max_steps:
+            improved = False
+            for neighbor in self._neighbors(
+                current_order, rng, self.config.random_swaps
+            ):
+                steps += 1
+                if steps >= self.config.max_steps:
+                    break
+                candidate = self._evaluate_order(layer, neighbor)
+                evaluations += 1
+                if candidate is not None and candidate.objective < current.objective:
+                    current, current_order = candidate, neighbor
+                    improved = True
+                    break
+        return LocalSearchOutcome(
+            best=current, start_objective=start_objective, evaluations=evaluations
+        )
+
+    def search(self, layer: LayerSpec) -> LocalSearchOutcome:
+        """Sample seeds with the base mapper, polish the best few."""
+        if not self.mapper.spatial.fits(self.mapper.accelerator.mac_array.size):
+            raise MappingError(
+                f"spatial mapping {self.mapper.spatial} does not fit "
+                f"{self.mapper.accelerator.name}"
+            )
+        seeds: List[Tuple[float, Order]] = []
+        for order in self.mapper.orders(layer):
+            result = self._evaluate_order(layer, order)
+            if result is not None:
+                seeds.append((result.objective, order))
+        if not seeds:
+            raise MappingError(
+                f"no allocatable order for {layer.describe()} on "
+                f"{self.mapper.accelerator.name}"
+            )
+        seeds.sort(key=lambda s: s[0])
+        best_outcome: Optional[LocalSearchOutcome] = None
+        for objective, order in seeds[: self.config.restarts]:
+            outcome = self.climb(layer, order)
+            if outcome is None:
+                continue
+            if best_outcome is None or outcome.best.objective < best_outcome.best.objective:
+                best_outcome = dataclasses.replace(
+                    outcome, start_objective=seeds[0][0]
+                )
+        assert best_outcome is not None
+        return best_outcome

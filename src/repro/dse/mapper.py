@@ -1,0 +1,312 @@
+"""LOMA-style temporal-mapping search (the ZigZag-mapper stand-in).
+
+For a layer and a fixed spatial unrolling the mapper:
+
+1. splits every remaining temporal loop bound into prime factors, giving a
+   multiset of (dimension, factor) loops;
+2. enumerates distinct loop orders — exhaustively when the multinomial
+   count is small, otherwise a deterministic enumeration prefix plus
+   uniform random samples;
+3. allocates each order onto every operand's memory chain bottom-up and
+   greedily (push each loop to the lowest level whose mapper-visible
+   capacity still holds the grown tile — maximizing low-level reuse, which
+   is how ZigZag's allocator behaves);
+4. evaluates the requested objective (latency via the uniform model,
+   energy, or EDP) and returns the ranked results.
+
+Case study 1's Mapping A and B are two points of this space; Case study 3
+runs :meth:`TemporalMapper.best_mapping` for every architecture candidate
+("for each design point, mapping optimization for lowest latency is
+performed").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Dict, Iterator, List, Mapping as TMapping, Optional, Tuple, Union
+
+from repro.core.model import LatencyModel
+from repro.core.report import LatencyReport
+from repro.core.step1 import ModelOptions
+from repro.dse.factorize import (
+    count_permutations,
+    multiset_permutations,
+    prime_factors,
+    sample_permutations,
+)
+from repro.energy.energy_model import EnergyModel, EnergyReport
+from repro.hardware.accelerator import Accelerator
+from repro.mapping.footprint import spatial_replication, tile_elements
+from repro.mapping.loop import Loop
+from repro.mapping.mapping import Mapping, MappingError
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping
+from repro.workload.dims import ALL_DIMS, LoopDim
+from repro.workload.layer import LayerSpec
+from repro.workload.operand import Operand
+
+
+@dataclasses.dataclass(frozen=True)
+class MapperConfig:
+    """Search-budget and objective knobs of the mapper."""
+
+    objective: str = "latency"      # "latency" | "energy" | "edp"
+    max_enumerated: int = 20_000    # exhaustive enumeration cap
+    samples: int = 2_000            # sampled orders when above the cap
+    seed: int = 0
+    keep_top: int = 50              # results retained by search()
+    model_options: ModelOptions = ModelOptions()
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("latency", "energy", "edp"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class MappingSearchResult:
+    """One evaluated mapping with its reports and objective value."""
+
+    mapping: Mapping
+    report: LatencyReport
+    energy: Optional[EnergyReport]
+    objective: float
+
+    def describe(self) -> str:
+        """One-line summary for ranking printouts."""
+        energy = f", {self.energy.total_pj / 1e6:.2f} uJ" if self.energy else ""
+        return (
+            f"{self.report.total_cycles:.0f} cc (U={self.report.utilization:.1%}{energy}) "
+            f"| {self.mapping.temporal.describe(Operand.O)}"
+        )
+
+
+class TemporalMapper:
+    """Temporal-mapping generator and optimizer for one accelerator."""
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        spatial: Union[SpatialMapping, TMapping[LoopDim, int]],
+        config: Optional[MapperConfig] = None,
+    ) -> None:
+        self.accelerator = accelerator
+        self.spatial = (
+            spatial if isinstance(spatial, SpatialMapping) else SpatialMapping(spatial)
+        )
+        self.config = config or MapperConfig()
+        self._latency_model = LatencyModel(accelerator, self.config.model_options)
+        self._energy_model = EnergyModel(accelerator)
+
+    # ------------------------------------------------------------------ #
+    # Loop-order space
+    # ------------------------------------------------------------------ #
+
+    def loop_multiset(self, layer: LayerSpec) -> List[Tuple[LoopDim, int]]:
+        """The (dim, prime factor) loop atoms left for temporal mapping."""
+        atoms: List[Tuple[LoopDim, int]] = []
+        for dim in ALL_DIMS:
+            bound = self.spatial.temporal_bound(dim, layer)
+            atoms.extend((dim, f) for f in prime_factors(bound))
+        return atoms
+
+    def space_size(self, layer: LayerSpec) -> int:
+        """Number of distinct temporal loop orders for ``layer``."""
+        return count_permutations(self.loop_multiset(layer))
+
+    def orders(self, layer: LayerSpec) -> Iterator[Tuple[Tuple[LoopDim, int], ...]]:
+        """Loop orders: exhaustive when small, seeds+prefix+samples otherwise.
+
+        Above the enumeration cap the stream starts with *seed orders* —
+        block orders placing each dimension's factors contiguously in every
+        dimension permutation (the classic stationarity corners: all C
+        innermost is output-stationary, all B innermost weight-stationary,
+        ...) — so the well-known dataflows are always candidates, followed
+        by a deterministic enumeration prefix and uniform random samples.
+        """
+        atoms = self.loop_multiset(layer)
+        size = count_permutations(atoms)
+        if size <= self.config.max_enumerated:
+            yield from multiset_permutations(atoms)
+            return
+        budget = self.config.samples
+        seeds = list(self._seed_orders(layer, atoms))
+        yield from seeds
+        remaining = max(budget - len(seeds), 16)
+        prefix = remaining // 2
+        yield from itertools.islice(multiset_permutations(atoms), prefix)
+        rng = random.Random(self.config.seed)
+        yield from sample_permutations(atoms, remaining - prefix, rng)
+
+    def _seed_orders(
+        self, layer: LayerSpec, atoms: List[Tuple[LoopDim, int]]
+    ) -> Iterator[Tuple[Tuple[LoopDim, int], ...]]:
+        """Block orders: contiguous per-dim factor runs, all dim permutations.
+
+        For every permutation of the active dimensions and both in-block
+        factor directions (ascending / descending) one order is produced;
+        capped at 256 seeds for high-rank layers.
+        """
+        by_dim: Dict[LoopDim, List[int]] = {}
+        for dim, factor in atoms:
+            by_dim.setdefault(dim, []).append(factor)
+        dims = sorted(by_dim, key=str)
+        emitted = 0
+        for perm in itertools.permutations(dims):
+            for ascending in (True, False):
+                order: List[Tuple[LoopDim, int]] = []
+                for dim in perm:
+                    factors = sorted(by_dim[dim], reverse=not ascending)
+                    order.extend((dim, f) for f in factors)
+                yield tuple(order)
+                emitted += 1
+                if emitted >= 256:
+                    return
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate(
+        self, layer: LayerSpec, order: Tuple[Tuple[LoopDim, int], ...]
+    ) -> Optional[TemporalMapping]:
+        """Greedy bottom-up level allocation of one loop order.
+
+        Returns ``None`` when the order cannot fit (the full tile of some
+        operand exceeds its outermost level).
+        """
+        loops = tuple(Loop(dim, size) for dim, size in order)
+        cuts: Dict[Operand, Tuple[int, ...]] = {}
+        for operand in Operand:
+            cut = self._allocate_operand(layer, operand, loops)
+            if cut is None:
+                return None
+            cuts[operand] = cut
+        return TemporalMapping(loops, cuts)
+
+    def _allocate_operand(
+        self, layer: LayerSpec, operand: Operand, loops: Tuple[Loop, ...]
+    ) -> Optional[Tuple[int, ...]]:
+        chain = self.accelerator.hierarchy.levels(operand)
+        depth = len(chain)
+        cut: List[int] = []
+        level = 0
+        for index in range(1, len(loops) + 1):
+            prefix = loops[:index]
+            # The outermost level is the operand's data home (backed by
+            # off-chip memory) and accepts any footprint.
+            while level < depth - 1 and not self._fits(layer, operand, prefix, chain[level]):
+                cut.append(index - 1)
+                level += 1
+        while len(cut) < depth - 1:
+            cut.append(len(loops))
+        return tuple(cut)
+
+    def _fits(
+        self, layer: LayerSpec, operand: Operand, prefix: Tuple[Loop, ...], level
+    ) -> bool:
+        elements = tile_elements(layer, operand, prefix, self.spatial)
+        # Conservative: in-flight outputs are counted at accumulator width.
+        partial = operand is Operand.O
+        bits = elements * layer.precision.of(operand, partial=partial)
+        if level.instance.instances > 1:
+            bits *= spatial_replication(layer, operand, self.spatial)
+        return bits <= level.capacity_for(operand)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def mappings(self, layer: LayerSpec) -> Iterator[Mapping]:
+        """All allocatable mappings of ``layer`` (within the search budget)."""
+        if not self.spatial.fits(self.accelerator.mac_array.size):
+            return  # spatial unrolling alone exceeds the array: no mappings
+        seen = set()
+        for order in self.orders(layer):
+            temporal = self.allocate(layer, order)
+            if temporal is None:
+                continue
+            key = (temporal.loops, tuple(sorted(
+                (op.value, temporal.cuts[op]) for op in Operand
+            )))
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                yield Mapping(layer, self.spatial, temporal)
+            except MappingError:
+                continue
+
+    def evaluate(self, mapping: Mapping) -> MappingSearchResult:
+        """Score one mapping under the configured objective."""
+        report = self._latency_model.evaluate(mapping, validate=False)
+        energy: Optional[EnergyReport] = None
+        if self.config.objective in ("energy", "edp"):
+            energy = self._energy_model.evaluate(mapping)
+        if self.config.objective == "latency":
+            objective = report.total_cycles
+        elif self.config.objective == "energy":
+            assert energy is not None
+            objective = energy.total_pj
+        else:
+            assert energy is not None
+            objective = energy.total_pj * report.total_cycles
+        return MappingSearchResult(mapping, report, energy, objective)
+
+    def search(self, layer: LayerSpec) -> List[MappingSearchResult]:
+        """Evaluate the mapping space; return the top results, best first."""
+        results: List[MappingSearchResult] = []
+        for mapping in self.mappings(layer):
+            try:
+                results.append(self.evaluate(mapping))
+            except MappingError:
+                continue
+        results.sort(key=lambda r: r.objective)
+        return results[: self.config.keep_top]
+
+    def best_mapping_verified(
+        self, layer: LayerSpec, shortlist: int = 5
+    ) -> Tuple[MappingSearchResult, float]:
+        """Model-guided search with a simulator-verified shortlist.
+
+        The analytical model ranks the space; the top ``shortlist``
+        candidates are re-ranked by the cycle-level simulator, which
+        removes the optimizer-bias corner where the model's optimum sits
+        in a regime it slightly under-predicts (see EXPERIMENTS.md E10).
+        Returns the winning result and its *simulated* cycle count.
+        """
+        from repro.simulator.engine import CycleSimulator
+
+        candidates = self.search(layer)[:shortlist]
+        if not candidates:
+            raise MappingError(
+                f"no valid temporal mapping of {layer.describe()} on "
+                f"{self.accelerator.name} with spatial {self.spatial}"
+            )
+        best: Optional[Tuple[MappingSearchResult, float]] = None
+        for candidate in candidates:
+            simulated = CycleSimulator(
+                self.accelerator, candidate.mapping
+            ).run().total_cycles
+            if best is None or simulated < best[1]:
+                best = (candidate, simulated)
+        assert best is not None
+        return best
+
+    def best_mapping(self, layer: LayerSpec) -> MappingSearchResult:
+        """The best mapping found (raises if none fits)."""
+        best: Optional[MappingSearchResult] = None
+        for mapping in self.mappings(layer):
+            try:
+                result = self.evaluate(mapping)
+            except MappingError:
+                continue
+            if best is None or result.objective < best.objective:
+                best = result
+        if best is None:
+            raise MappingError(
+                f"no valid temporal mapping of {layer.describe()} on "
+                f"{self.accelerator.name} with spatial {self.spatial}"
+            )
+        return best

@@ -1,0 +1,50 @@
+"""Pareto-front extraction for multi-objective design spaces."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    points: Sequence[T],
+    key: Callable[[T], Tuple[float, ...]],
+) -> List[T]:
+    """Minimizing Pareto front of ``points`` under the ``key`` objectives.
+
+    A point is kept when no other point is <= in every objective and < in
+    at least one. Complexity O(n log n) for two objectives (sort + sweep),
+    O(n^2) fallback for more.
+    """
+    if not points:
+        return []
+    values = [(key(p), p) for p in points]
+    width = len(values[0][0])
+    if any(len(v) != width for v, __ in values):
+        raise ValueError("all points must have the same number of objectives")
+
+    if width == 2:
+        ordered = sorted(values, key=lambda vp: (vp[0][0], vp[0][1]))
+        front: List[T] = []
+        best_second = float("inf")
+        for (__, second), point in ordered:
+            if second < best_second:
+                front.append(point)
+                best_second = second
+        return front
+
+    front = []
+    for v, p in values:
+        dominated = False
+        for w, __ in values:
+            if w is v:
+                continue
+            if all(wi <= vi for wi, vi in zip(w, v)) and any(
+                wi < vi for wi, vi in zip(w, v)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(p)
+    return front

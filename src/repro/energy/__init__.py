@@ -1,0 +1,15 @@
+"""Analytical energy model (the well-explored counterpart, Section I).
+
+"The common basis is an analytical model which counts the operations of
+each hardware component (e.g., memory read and write at each level,
+multiply-accumulate (MAC), data transfer in NoCs, etc.), and multiply these
+with the corresponding unit energy to obtain the total system energy."
+
+Case study 1 needs this model: Mapping A trades ~5 % energy for a large
+temporal-stall penalty, which only a latency model exposes.
+"""
+
+from repro.energy.access_counts import AccessCounts, count_accesses
+from repro.energy.energy_model import EnergyModel, EnergyReport
+
+__all__ = ["AccessCounts", "EnergyModel", "EnergyReport", "count_accesses"]

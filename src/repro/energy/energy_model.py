@@ -1,0 +1,95 @@
+"""Energy = sum over components of (operation count x unit energy)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.energy.access_counts import AccessCounts, count_accesses
+from repro.hardware.accelerator import Accelerator
+from repro.mapping.mapping import Mapping
+from repro.workload.operand import Operand
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyReport:
+    """Total dynamic energy and its per-memory / per-operand anatomy."""
+
+    accelerator_name: str
+    layer_name: str
+    counts: AccessCounts
+    memory_pj: Dict[str, float]
+    mac_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total dynamic energy in picojoules."""
+        return self.mac_pj + sum(self.memory_pj.values())
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Energy of {self.layer_name} on {self.accelerator_name}:",
+            f"  MAC   {self.mac_pj / 1e6:10.3f} uJ ({self.counts.mac_ops} ops)",
+        ]
+        for memory, pj in sorted(self.memory_pj.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {memory:6s}{pj / 1e6:10.3f} uJ")
+        lines.append(f"  TOTAL {self.total_pj / 1e6:10.3f} uJ")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view for CSV/JSON export."""
+        data = {f"mem_{name}_pj": pj for name, pj in self.memory_pj.items()}
+        data["mac_pj"] = self.mac_pj
+        data["total_pj"] = self.total_pj
+        return data
+
+
+class EnergyModel:
+    """ZigZag-style analytical dynamic-energy model.
+
+    Unit energies come from the hardware description: per-bit read/write
+    energies on every :class:`~repro.hardware.memory.MemoryInstance` and a
+    per-MAC energy on the :class:`~repro.hardware.mac_array.MacArray`.
+    """
+
+    def __init__(self, accelerator: Accelerator) -> None:
+        self.accelerator = accelerator
+
+    def evaluate(self, mapping: Mapping) -> EnergyReport:
+        """Energy of executing ``mapping`` once."""
+        counts = count_accesses(self.accelerator, mapping)
+        memory_pj: Dict[str, float] = {}
+        for level in self.accelerator.hierarchy.unique_levels():
+            inst = level.instance
+            pj = (
+                counts.memory_reads(inst.name) * inst.read_energy_pj_per_bit
+                + counts.memory_writes(inst.name) * inst.write_energy_pj_per_bit
+                + counts.link_bits.get(inst.name, 0.0) * inst.link_energy_pj_per_bit
+            )
+            memory_pj[inst.name] = pj
+        mac_pj = counts.mac_ops * self.accelerator.mac_array.mac_energy_pj
+        return EnergyReport(
+            accelerator_name=self.accelerator.name,
+            layer_name=mapping.layer.name or str(mapping.layer.layer_type),
+            counts=counts,
+            memory_pj=memory_pj,
+            mac_pj=mac_pj,
+        )
+
+    def operand_breakdown(self, mapping: Mapping) -> Dict[Tuple[str, Operand], float]:
+        """Energy per (memory, operand) pair, in pJ."""
+        counts = count_accesses(self.accelerator, mapping)
+        result: Dict[Tuple[str, Operand], float] = {}
+        for level in self.accelerator.hierarchy.unique_levels():
+            inst = level.instance
+            for operand in Operand:
+                pj = (
+                    counts.reads_bits.get((inst.name, operand), 0.0)
+                    * inst.read_energy_pj_per_bit
+                    + counts.writes_bits.get((inst.name, operand), 0.0)
+                    * inst.write_energy_pj_per_bit
+                )
+                if pj:
+                    result[(inst.name, operand)] = pj
+        return result

@@ -1,0 +1,67 @@
+"""Hardware architecture representation ("H" of the AHM space).
+
+A DNN accelerator is a MAC array plus a multi-level memory system connected
+by an on-chip network (paper Section II-A-2). This package models:
+
+* :class:`~repro.hardware.memory.MemoryInstance` — one physical memory
+  (capacity, read/write bandwidth, ports, double buffering, unit energies);
+* :class:`~repro.hardware.port.Port` — a physical read/write port and the
+  four data-transfer endpoint kinds that can be allocated onto it;
+* :class:`~repro.hardware.mac_array.MacArray` — the PE/MAC array;
+* :class:`~repro.hardware.hierarchy.MemoryLevel` /
+  :class:`~repro.hardware.hierarchy.MemoryHierarchy` — per-operand ordered
+  memory levels, with physical sharing between operands;
+* :class:`~repro.hardware.accelerator.Accelerator` — the full machine plus
+  the stall-overlap (coherency) configuration used by Step 3;
+* :mod:`~repro.hardware.presets` — the paper's validation chip and the
+  scaled-down case-study configuration;
+* :mod:`~repro.hardware.area` / :mod:`~repro.hardware.pool` — the area
+  model and memory-candidate pool that drive Case study 3's architecture
+  search.
+"""
+
+from repro.hardware.memory import MemoryInstance
+from repro.hardware.port import EndpointKind, Port, PortDirection
+from repro.hardware.mac_array import MacArray
+from repro.hardware.hierarchy import MemoryHierarchy, MemoryLevel
+from repro.hardware.accelerator import Accelerator, StallOverlapConfig
+from repro.hardware.area import register_area_mm2, sram_area_mm2
+from repro.hardware.pool import MemoryCandidate, MemoryPool
+from repro.hardware.serde import (
+    SerdeError,
+    accelerator_from_dict,
+    accelerator_to_dict,
+    load_preset,
+    preset_from_dict,
+    preset_from_json,
+    preset_to_dict,
+    preset_to_json,
+    save_preset,
+)
+from repro.hardware import presets
+
+__all__ = [
+    "Accelerator",
+    "EndpointKind",
+    "MacArray",
+    "MemoryCandidate",
+    "MemoryHierarchy",
+    "MemoryInstance",
+    "MemoryLevel",
+    "MemoryPool",
+    "Port",
+    "PortDirection",
+    "SerdeError",
+    "StallOverlapConfig",
+    "accelerator_from_dict",
+    "accelerator_to_dict",
+    "load_preset",
+    "preset_from_dict",
+    "preset_from_json",
+    "preset_to_dict",
+    "preset_to_json",
+    "presets",
+    "register_area_mm2",
+    "save_preset",
+    "sram_area_mm2",
+]

@@ -1,0 +1,98 @@
+"""Analytical area model for registers, SRAMs and MAC arrays.
+
+Case study 3 plots a latency-area design space, so every design point needs
+an area estimate. We use a simple CACTI-flavoured analytical fit for a 7 nm
+class technology (the validation chip's node [18]):
+
+* a register bit costs a flip-flop plus mux overhead;
+* an SRAM macro costs ``bits x bitcell`` plus a periphery term that grows
+  with the square root of the capacity (sense amps, decoders) and a fixed
+  per-macro overhead — so small SRAMs are dominated by periphery, matching
+  the familiar register-file-vs-SRAM crossover;
+* wider ports add a linear bandwidth term (more IO, wider sense stacks).
+
+Absolute numbers are *not* calibrated against the (unpublished) chip; only
+relative ordering matters for reproducing the Fig. 8 trade-off shapes, and
+the constants below reproduce sane ratios (1 KB RF ~ several kB SRAM etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.accelerator import Accelerator
+    from repro.hardware.memory import MemoryInstance
+
+#: 7 nm-class high-density 6T bitcell, mm^2 per bit (0.027 um^2 [18] plus
+#: array overhead).
+_SRAM_BITCELL_MM2 = 0.040e-6
+#: Periphery scaling term, mm^2 per sqrt(bit).
+_SRAM_PERIPHERY_MM2 = 0.60e-6
+#: Fixed overhead per SRAM macro, mm^2.
+_SRAM_MACRO_MM2 = 0.0006
+#: Port bandwidth wiring/IO cost, mm^2 per (bit/cycle) of port width.
+_PORT_MM2_PER_BIT = 0.08e-6
+#: Flip-flop based register bit, mm^2 per bit.
+_REG_BIT_MM2 = 0.45e-6
+#: One INT8 MAC incl. its pipeline registers, mm^2.
+_MAC_MM2 = 6.0e-5
+
+#: Below this capacity a memory is costed as a register file, above as SRAM.
+REGISTER_THRESHOLD_BITS = 4096
+
+
+def register_area_mm2(bits: int, port_bandwidth_bits: float = 0.0) -> float:
+    """Area of a flip-flop register file of ``bits`` bits."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    return bits * _REG_BIT_MM2 + port_bandwidth_bits * _PORT_MM2_PER_BIT
+
+
+def sram_area_mm2(bits: int, port_bandwidth_bits: float = 0.0) -> float:
+    """Area of an SRAM macro of ``bits`` bits (CACTI-flavoured fit)."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    return (
+        bits * _SRAM_BITCELL_MM2
+        + math.sqrt(bits) * _SRAM_PERIPHERY_MM2
+        + _SRAM_MACRO_MM2
+        + port_bandwidth_bits * _PORT_MM2_PER_BIT
+    )
+
+
+def memory_area_mm2(instance: "MemoryInstance") -> float:
+    """Area of one memory instance set (all lock-step copies included).
+
+    Uses the instance's explicit ``area_mm2`` when provided; otherwise picks
+    the register or SRAM cost model by capacity. Double-buffered memories
+    pay for both halves (their physical ``size_bits`` already includes
+    them).
+    """
+    if instance.area_mm2 is not None:
+        return instance.area_mm2 * instance.instances
+    port_bw = sum(p.bandwidth for p in instance.ports)
+    if instance.size_bits <= REGISTER_THRESHOLD_BITS:
+        one = register_area_mm2(instance.size_bits, port_bw)
+    else:
+        one = sram_area_mm2(instance.size_bits, port_bw)
+    return one * instance.instances
+
+
+def accelerator_area_mm2(
+    accelerator: "Accelerator", include: Optional[Iterable[str]] = None
+) -> float:
+    """Total area: MAC array plus (selected) memories.
+
+    ``include=None`` accounts for every memory. Case study 3 passes the
+    register/local-buffer names only, since "the area of GB is not included
+    in the comparison".
+    """
+    selected = None if include is None else set(include)
+    total = accelerator.mac_array.size * _MAC_MM2
+    for level in accelerator.hierarchy.unique_levels():
+        if selected is not None and level.name not in selected:
+            continue
+        total += memory_area_mm2(level.instance)
+    return total

@@ -1,0 +1,47 @@
+"""The MAC / PE array."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class MacArray:
+    """A 2-D array of processing elements with one or more MACs each.
+
+    The validation chip (Section IV) is a 16x32 PE array with 2 MACs per
+    PE (1024 MACs); the case-study chip is 8x16 PE x 2 MACs (256 MACs,
+    referred to as "16x16 MAC" in the paper).
+
+    Parameters
+    ----------
+    rows, cols:
+        PE array dimensions.
+    macs_per_pe:
+        MAC units per PE.
+    mac_energy_pj:
+        Energy of one MAC operation (for the energy model).
+    """
+
+    rows: int
+    cols: int
+    macs_per_pe: int = 1
+    mac_energy_pj: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1 or self.macs_per_pe < 1:
+            raise ValueError("MacArray dimensions must be >= 1")
+
+    @property
+    def num_pes(self) -> int:
+        """Total PE count."""
+        return self.rows * self.cols
+
+    @property
+    def size(self) -> int:
+        """Total MAC units — the peak MACs per clock cycle."""
+        return self.num_pes * self.macs_per_pe
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``16x32 PE x2 (1024 MACs)``."""
+        return f"{self.rows}x{self.cols} PE x{self.macs_per_pe} ({self.size} MACs)"

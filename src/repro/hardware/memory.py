@@ -1,0 +1,116 @@
+"""A physical memory instance: capacity, bandwidth, ports, buffering."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.hardware.port import EndpointKind, Port, PortDirection
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryInstance:
+    """One physical memory module (register file, local buffer, SRAM, ...).
+
+    Parameters
+    ----------
+    name:
+        Unique memory name within an accelerator (e.g. ``"W-LB"``).
+    size_bits:
+        Physical capacity in bits. For double-buffered memories this is the
+        *physical* capacity A; the mapper-visible capacity is A/2 (Table I).
+    ports:
+        The physical ports. Per Table I terminology, a "non-DB dual-port"
+        memory has separate read and write ports; a single read/write port
+        is also supported and shows up as extra port contention in Step 2.
+    double_buffered:
+        Whether the memory is double-buffered (ping-pong). DB memories never
+        have a keep-out zone: X_REQ equals the full turnaround period.
+    instances:
+        Number of identical physical copies operating in lock-step as one
+        logical level (e.g. one 8-bit weight register per MAC: 1024
+        instances). Capacity and port bandwidth given here are PER INSTANCE;
+        aggregate values are exposed via :attr:`total_size_bits` and
+        :meth:`aggregate_bandwidth`.
+    read_energy_pj_per_bit / write_energy_pj_per_bit:
+        Unit access energies for the energy model.
+    link_energy_pj_per_bit:
+        Interconnect (NoC / bus wire) energy per bit moved across this
+        memory's *downward* link — the cost of getting data from this
+        level to the level below it (and back, for outputs). Charged by
+        the energy model on top of the array access energies, following
+        the "data transfer in NoCs" term of the analytical energy models
+        the paper builds on (Section I).
+    area_mm2:
+        Area of one instance. ``None`` → derived by the area model.
+    min_burst_bits:
+        Smallest addressable transfer (word width); transfers round up.
+    """
+
+    name: str
+    size_bits: int
+    ports: Tuple[Port, ...]
+    double_buffered: bool = False
+    instances: int = 1
+    read_energy_pj_per_bit: float = 0.0
+    write_energy_pj_per_bit: float = 0.0
+    link_energy_pj_per_bit: float = 0.0
+    area_mm2: Optional[float] = None
+    min_burst_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError(f"memory {self.name}: size_bits must be positive")
+        if self.instances < 1:
+            raise ValueError(f"memory {self.name}: instances must be >= 1")
+        if not self.ports:
+            raise ValueError(f"memory {self.name}: needs at least one port")
+        names = [p.name for p in self.ports]
+        if len(set(names)) != len(names):
+            raise ValueError(f"memory {self.name}: duplicate port names {names}")
+        if self.min_burst_bits < 1:
+            raise ValueError(f"memory {self.name}: min_burst_bits must be >= 1")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_size_bits(self) -> int:
+        """Aggregate capacity across all lock-step instances."""
+        return self.size_bits * self.instances
+
+    @property
+    def mapper_visible_bits(self) -> int:
+        """Capacity the mapper may fill (half of physical for DB, Table I)."""
+        total = self.total_size_bits
+        return total // 2 if self.double_buffered else total
+
+    def port(self, name: str) -> Port:
+        """Look up a port by name."""
+        for p in self.ports:
+            if p.name == name:
+                return p
+        raise KeyError(f"memory {self.name} has no port {name!r}")
+
+    def aggregate_bandwidth(self, port_name: str) -> float:
+        """Port bandwidth summed over the lock-step instances (bits/cycle)."""
+        return self.port(port_name).bandwidth * self.instances
+
+    def default_port_for(self, endpoint: EndpointKind) -> Port:
+        """First port able to carry ``endpoint`` (used by preset builders)."""
+        for p in self.ports:
+            if p.supports(endpoint):
+                return p
+        raise ValueError(f"memory {self.name}: no port supports {endpoint}")
+
+
+def dual_port(read_bw: float, write_bw: float) -> Tuple[Port, ...]:
+    """Convenience: one read plus one write port."""
+    return (
+        Port("rd", PortDirection.READ, read_bw),
+        Port("wr", PortDirection.WRITE, write_bw),
+    )
+
+
+def single_rw_port(bw: float) -> Tuple[Port, ...]:
+    """Convenience: a single shared read/write port."""
+    return (Port("rw", PortDirection.READ_WRITE, bw),)

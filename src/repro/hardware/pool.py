@@ -1,0 +1,116 @@
+"""Memory candidate pool for architecture design-space exploration.
+
+Case study 3 "constructs a memory pool containing tens of register/memory
+candidates with different capacities to replace the W-/I-/O-Reg, W-/I-LB in
+the design space search", with a 1 MB GB whose bandwidth varies from 128 to
+1024 bit/cycle, across three MAC array sizes. This module builds the cross
+product of such candidates as :class:`~repro.hardware.presets.Preset`
+design points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.hardware.presets import KB, Preset, build_accelerator
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryCandidate:
+    """One candidate sizing of the five searchable memories.
+
+    Register sizes are bits per instance (per MAC for W/I, per accumulator
+    lane for O); local-buffer sizes are total bits.
+    """
+
+    w_reg_bits: int
+    i_reg_bits: int
+    o_reg_bits: int
+    w_lb_bits: int
+    i_lb_bits: int
+
+    def label(self) -> str:
+        """Short identifier, e.g. ``wr8_ir8_or24_wlb16K_ilb8K``."""
+        return (
+            f"wr{self.w_reg_bits}_ir{self.i_reg_bits}_or{self.o_reg_bits}"
+            f"_wlb{self.w_lb_bits // KB}K_ilb{self.i_lb_bits // KB}K"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryPool:
+    """A cross-product pool of memory candidates.
+
+    The defaults give 4 x 4 x 3 x 5 x 5 = 1200 candidates — the same order
+    of magnitude as the paper's 4176-design space once multiplied by the
+    three MAC array sizes (use :func:`small` for quick runs).
+    """
+
+    w_reg_options: Sequence[int] = (8, 16, 32, 64)
+    i_reg_options: Sequence[int] = (8, 16, 32, 64)
+    o_reg_options: Sequence[int] = (24, 48, 96)
+    w_lb_options: Sequence[int] = tuple(s * KB for s in (4, 8, 16, 32, 64))
+    i_lb_options: Sequence[int] = tuple(s * KB for s in (2, 4, 8, 16, 32))
+
+    def __len__(self) -> int:
+        return (
+            len(self.w_reg_options)
+            * len(self.i_reg_options)
+            * len(self.o_reg_options)
+            * len(self.w_lb_options)
+            * len(self.i_lb_options)
+        )
+
+    def candidates(self) -> Iterator[MemoryCandidate]:
+        """Iterate the full cross product."""
+        for w_reg, i_reg, o_reg, w_lb, i_lb in itertools.product(
+            self.w_reg_options,
+            self.i_reg_options,
+            self.o_reg_options,
+            self.w_lb_options,
+            self.i_lb_options,
+        ):
+            yield MemoryCandidate(w_reg, i_reg, o_reg, w_lb, i_lb)
+
+    def build(
+        self,
+        macs_k: int,
+        macs_b: int,
+        macs_c: int,
+        gb_read_bw: float,
+        gb_write_bw: Optional[float] = None,
+    ) -> Iterator[Tuple[MemoryCandidate, Preset]]:
+        """Instantiate every candidate on a given MAC array / GB bandwidth."""
+        for cand in self.candidates():
+            preset = build_accelerator(
+                name=f"{macs_k}x{macs_b * macs_c}-{cand.label()}-gb{gb_read_bw:g}",
+                macs_k=macs_k,
+                macs_b=macs_b,
+                macs_c=macs_c,
+                w_reg_bits=cand.w_reg_bits,
+                i_reg_bits=cand.i_reg_bits,
+                o_reg_bits=cand.o_reg_bits,
+                w_lb_bits=cand.w_lb_bits,
+                i_lb_bits=cand.i_lb_bits,
+                gb_read_bw=gb_read_bw,
+                gb_write_bw=gb_write_bw,
+            )
+            yield cand, preset
+
+    @staticmethod
+    def small() -> "MemoryPool":
+        """A reduced pool (2x2x2x2x2 = 32 candidates) for tests/CI."""
+        return MemoryPool(
+            w_reg_options=(8, 32),
+            i_reg_options=(8, 32),
+            o_reg_options=(24, 96),
+            w_lb_options=(8 * KB, 32 * KB),
+            i_lb_options=(4 * KB, 16 * KB),
+        )
+
+
+def searched_memory_names() -> List[str]:
+    """The memory names whose area Case study 3 accounts for (GB excluded)."""
+    return ["W-Reg", "I-Reg", "O-Reg", "W-LB", "I-LB"]

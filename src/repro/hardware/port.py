@@ -1,0 +1,89 @@
+"""Physical memory ports and data-transfer endpoint kinds.
+
+Step 1 of the model decouples the read and write operations on every
+interface between two unit-memory levels into separate data-transfer links
+(DTLs). Each DTL terminates on a *physical port* of each memory it touches;
+Step 2 then combines the DTLs that land on the same physical port.
+
+Endpoint kinds follow the four possible directions data can cross a memory
+boundary (the ZigZag fh/tl/fl/th convention):
+
+========  ==========================================================
+``FH``    write into this memory From a Higher level (W/I refill,
+          output partial-sum read-back landing here)
+``TL``    read out of this memory To a Lower level (feeding compute,
+          or sourcing a partial-sum read-back)
+``FL``    write into this memory From a Lower level (output flush
+          arriving here)
+``TH``    read out of this memory To a Higher level (output flush
+          leaving here)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class PortDirection(str, enum.Enum):
+    """What a physical port can do."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+    def can_read(self) -> bool:
+        return self in (PortDirection.READ, PortDirection.READ_WRITE)
+
+    def can_write(self) -> bool:
+        return self in (PortDirection.WRITE, PortDirection.READ_WRITE)
+
+
+class EndpointKind(str, enum.Enum):
+    """Direction of a DTL endpoint relative to the memory it terminates on."""
+
+    FH = "fh"  # write, from higher level
+    TL = "tl"  # read, to lower level
+    FL = "fl"  # write, from lower level
+    TH = "th"  # read, to higher level
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this endpoint performs a *write* on its memory."""
+        return self in (EndpointKind.FH, EndpointKind.FL)
+
+    @property
+    def is_read(self) -> bool:
+        """Whether this endpoint performs a *read* on its memory."""
+        return not self.is_write
+
+
+@dataclasses.dataclass(frozen=True)
+class Port:
+    """A physical memory port.
+
+    Parameters
+    ----------
+    name:
+        Port identifier, unique within its memory instance (e.g. ``"rd"``).
+    direction:
+        Read, write, or shared read/write.
+    bandwidth:
+        Sustained port bandwidth in **bits per cycle** (the paper's RealBW
+        for DTLs using this port).
+    """
+
+    name: str
+    direction: PortDirection
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"port {self.name}: bandwidth must be positive")
+
+    def supports(self, endpoint: EndpointKind) -> bool:
+        """Whether this port can carry a DTL endpoint of ``endpoint`` kind."""
+        if endpoint.is_write:
+            return self.direction.can_write()
+        return self.direction.can_read()

@@ -1,0 +1,42 @@
+"""Mapping representation ("M" of the AHM space).
+
+A mapping fixes how a layer runs on an accelerator:
+
+* :class:`~repro.mapping.spatial.SpatialMapping` — which loops unroll
+  across the MAC array and by how much (e.g. ``K 16 | B 8 | C 2``);
+* :class:`~repro.mapping.temporal.TemporalMapping` — the ordered temporal
+  loops (innermost first) and, per operand, where the memory-level
+  boundaries cut that order;
+* :class:`~repro.mapping.mapping.Mapping` — layer + spatial + temporal,
+  with the derived quantities of Fig. 1(b) (``CC_ideal``, ``CC_spatial``,
+  spatial stall) and validity checks;
+* :mod:`~repro.mapping.footprint` — operand data footprints (``Mem_DATA``)
+  and residency products used by both the latency core and capacity checks.
+"""
+
+from repro.mapping.loop import Loop, loops_product
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping
+from repro.mapping.mapping import Mapping, check_capacity
+from repro.mapping.footprint import operand_footprint_bits, operand_footprint_elements
+from repro.mapping.stationarity import (
+    DataflowClass,
+    classify_dataflow,
+    operand_residency,
+    reuse_factors,
+)
+
+__all__ = [
+    "DataflowClass",
+    "Loop",
+    "Mapping",
+    "SpatialMapping",
+    "TemporalMapping",
+    "check_capacity",
+    "classify_dataflow",
+    "loops_product",
+    "operand_footprint_bits",
+    "operand_footprint_elements",
+    "operand_residency",
+    "reuse_factors",
+]

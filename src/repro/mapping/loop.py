@@ -1,0 +1,40 @@
+"""A single (dimension, size) loop — the atom of a mapping."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable
+
+from repro.workload.dims import LoopDim
+
+
+@dataclasses.dataclass(frozen=True)
+class Loop:
+    """One for-loop of a mapping: iterate ``dim`` ``size`` times.
+
+    Loop bounds of 1 are legal but meaningless; mapping constructors drop
+    them.
+    """
+
+    dim: LoopDim
+    size: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dim, LoopDim):
+            object.__setattr__(self, "dim", LoopDim(self.dim))
+        if not isinstance(self.size, int) or self.size < 1:
+            raise ValueError(f"loop size must be a positive int, got {self.size!r}")
+
+    def __str__(self) -> str:
+        return f"{self.dim}{self.size}"
+
+
+def loops_product(loops: Iterable[Loop]) -> int:
+    """Product of the loop sizes (1 for an empty iterable)."""
+    return math.prod(loop.size for loop in loops)
+
+
+def dim_product(loops: Iterable[Loop], dim: LoopDim) -> int:
+    """Product of sizes of the loops iterating ``dim``."""
+    return math.prod(loop.size for loop in loops if loop.dim is dim)

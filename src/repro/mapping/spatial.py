@@ -1,0 +1,85 @@
+"""Spatial mapping: loop unrolling across the MAC array."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Mapping
+
+from repro.workload.dims import ALL_DIMS, LoopDim
+from repro.workload.layer import LayerSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class SpatialMapping:
+    """Loop unroll factors across the MAC array, e.g. ``K 16 | B 8 | C 2``.
+
+    Spatial mapping defines how DNN loops parallelize across the MACs
+    (Section II-A-3). The product of the unroll factors must not exceed the
+    MAC array size; a layer dimension smaller than its unroll factor leaves
+    part of the array idle (spatial under-utilization, scenario 2/4 of
+    Fig. 1b).
+    """
+
+    unrolling: Mapping[LoopDim, int]
+
+    def __post_init__(self) -> None:
+        clean: Dict[LoopDim, int] = {}
+        for dim, factor in dict(self.unrolling).items():
+            if not isinstance(dim, LoopDim):
+                dim = LoopDim(dim)
+            if not isinstance(factor, int) or factor < 1:
+                raise ValueError(f"unroll factor for {dim} must be a positive int")
+            if factor > 1:
+                clean[dim] = factor
+        object.__setattr__(self, "unrolling", clean)
+
+    # ------------------------------------------------------------------ #
+
+    def factor(self, dim: LoopDim) -> int:
+        """Unroll factor of ``dim`` (1 when not spatially mapped)."""
+        return self.unrolling.get(dim, 1)
+
+    @property
+    def total_unrolling(self) -> int:
+        """Product of all unroll factors — MACs this mapping wants."""
+        return math.prod(self.unrolling.values()) if self.unrolling else 1
+
+    def fits(self, array_size: int) -> bool:
+        """Whether the mapping fits on an array of ``array_size`` MACs."""
+        return self.total_unrolling <= array_size
+
+    def effective_factor(self, dim: LoopDim, layer: LayerSpec) -> int:
+        """Unrolling actually exercised by ``layer`` (min of factor, bound)."""
+        return min(self.factor(dim), layer.size(dim))
+
+    def spatial_utilization(self, layer: LayerSpec, array_size: int) -> float:
+        """Fraction of the array doing useful work on ``layer``.
+
+        This is ``U_spatial = CC_ideal / CC_spatial`` of Fig. 1(b): the
+        array is under-used both by unroll factors that do not divide the
+        layer dimension (ceil effects) and by any MACs with no loop mapped.
+        """
+        ideal = layer.total_macs / array_size
+        return ideal / self.temporal_iterations(layer)
+
+    def temporal_iterations(self, layer: LayerSpec) -> int:
+        """``CC_spatial``: cycles to sweep the layer once, ceil effects in.
+
+        The Fig. 1(b) scenario-2 formula: the product over every loop
+        dimension of ``ceil(dim size / unroll size)``.
+        """
+        total = 1
+        for dim in ALL_DIMS:
+            total *= math.ceil(layer.size(dim) / self.factor(dim))
+        return total
+
+    def temporal_bound(self, dim: LoopDim, layer: LayerSpec) -> int:
+        """Iterations of ``dim`` left for the temporal mapping."""
+        return math.ceil(layer.size(dim) / self.factor(dim))
+
+    def __str__(self) -> str:
+        if not self.unrolling:
+            return "(no spatial unrolling)"
+        parts = sorted(self.unrolling.items(), key=lambda kv: -kv[1])
+        return " | ".join(f"{dim} {factor}" for dim, factor in parts)

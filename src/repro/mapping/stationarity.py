@@ -1,0 +1,112 @@
+"""Dataflow classification: which operand a mapping keeps stationary.
+
+The paper describes mappings in dataflow vocabulary ("Mapping B adopts a
+full output stationary dataflow at O-Reg level"). This module recovers
+that vocabulary from a mapping: for each operand, how many cycles its
+innermost-level tile dwells (residency), and the resulting classification —
+weight-, input-, output-stationary, or mixed — plus the per-level reuse
+factors that explain it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.mapping.loop import loops_product
+from repro.mapping.mapping import Mapping
+from repro.workload.operand import Operand
+
+
+@dataclasses.dataclass(frozen=True)
+class OperandResidency:
+    """How long one operand's innermost tile stays put."""
+
+    operand: Operand
+    dwell_cycles: int
+    total_cycles: int
+    fully_stationary: bool
+
+    @property
+    def dwell_fraction(self) -> float:
+        """Residency as a fraction of the layer's temporal schedule."""
+        return self.dwell_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DataflowClass:
+    """The stationarity classification of a full mapping."""
+
+    residencies: Dict[Operand, OperandResidency]
+    label: str
+
+    def describe(self) -> str:
+        """e.g. ``output-stationary (W dwell 8, I dwell 1, O dwell 600)``."""
+        parts = ", ".join(
+            f"{op} dwell {r.dwell_cycles}" for op, r in sorted(
+                self.residencies.items(), key=lambda kv: str(kv[0])
+            )
+        )
+        return f"{self.label} ({parts})"
+
+
+def operand_residency(mapping: Mapping, operand: Operand) -> OperandResidency:
+    """Innermost-tile residency of ``operand`` (extension-aware)."""
+    temporal = mapping.temporal
+    layer = mapping.layer
+    base = temporal.cycles_at_or_below(operand, 0)
+    ext = loops_product(temporal.ir_run_above(operand, 0, layer))
+    dwell = base * ext
+    total = temporal.total_cycles
+    # Fully stationary: the level-0 tile covers the whole schedule (it is
+    # loaded once — residency equals the layer duration).
+    return OperandResidency(
+        operand=operand,
+        dwell_cycles=dwell,
+        total_cycles=total,
+        fully_stationary=dwell >= total,
+    )
+
+
+def classify_dataflow(mapping: Mapping, dominance: float = 4.0) -> DataflowClass:
+    """Classify ``mapping`` by comparing operand residencies.
+
+    An operand is the *stationary* one when its innermost tile dwells at
+    least ``dominance`` times longer than every other operand's. If no
+    operand dominates, the mapping is ``"mixed"``; if everything is fully
+    stationary (tiny layer), it is ``"fully-resident"``.
+    """
+    residencies = {op: operand_residency(mapping, op) for op in Operand}
+    if all(r.fully_stationary for r in residencies.values()):
+        return DataflowClass(residencies, "fully-resident")
+
+    names = {
+        Operand.W: "weight-stationary",
+        Operand.I: "input-stationary",
+        Operand.O: "output-stationary",
+    }
+    for op, r in residencies.items():
+        others = [x.dwell_cycles for o, x in residencies.items() if o is not op]
+        if all(r.dwell_cycles >= dominance * other for other in others):
+            return DataflowClass(residencies, names[op])
+    return DataflowClass(residencies, "mixed")
+
+
+def reuse_factors(mapping: Mapping, operand: Operand) -> Tuple[int, ...]:
+    """Per-level temporal reuse: how often each level's tile is re-read.
+
+    Level ``l``'s factor is the residency-extended turnaround divided by
+    the level-below's — the data-reuse distribution across memory levels
+    that Case study 1's Fig. 6(e) tabulates.
+    """
+    temporal = mapping.temporal
+    layer = mapping.layer
+    factors = []
+    prev = 1
+    for level in range(temporal.num_levels(operand)):
+        base = temporal.cycles_at_or_below(operand, level)
+        ext = loops_product(temporal.ir_run_above(operand, level, layer))
+        current = base * ext
+        factors.append(max(1, current // max(prev, 1)))
+        prev = current
+    return tuple(factors)

@@ -1,0 +1,36 @@
+"""Event-driven cycle-level reference simulator (validation substrate).
+
+The paper validates its analytical model against RTL simulation of a
+taped-out accelerator (Fig. 5c). That chip is not available, so this
+package provides the substitute ground truth: a stateful, event-driven
+simulator of the same abstract machine. Nothing here shares code with the
+closed-form stall equations — stalls *emerge* from simulated port
+contention, keep-out windows, refill pipelines and drain deadlines — which
+is what makes the model-vs-simulator comparison meaningful.
+
+* :mod:`~repro.simulator.streams` — lowers a mapping onto periodic
+  transfer-job streams (refills, flushes, partial-sum read-backs) with
+  precise first/last-visit decoding for the output reduction pattern;
+* :mod:`~repro.simulator.engine` — the discrete-event executor: a compute
+  clock gated by job thresholds, processor-sharing port arbitration, and
+  dependency-chained multi-hop refills;
+* :class:`~repro.simulator.result.SimulationResult` — measured cycles,
+  stall anatomy and per-port busy statistics.
+"""
+
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import SimulationResult, accuracy
+from repro.simulator.streams import JobStream, TransferJob, build_streams
+from repro.simulator.trace import JobEvent, StallInterval, TraceRecorder
+
+__all__ = [
+    "CycleSimulator",
+    "JobEvent",
+    "JobStream",
+    "SimulationResult",
+    "StallInterval",
+    "TraceRecorder",
+    "TransferJob",
+    "accuracy",
+    "build_streams",
+]

@@ -1,0 +1,249 @@
+"""The discrete-event execution engine.
+
+The machine state is a *compute clock* ``c`` (ideal temporal-schedule
+cycles completed, 0 .. CC_spatial) advancing at rate 1 whenever no
+unfinished transfer job blocks it, plus a set of in-flight transfer jobs
+draining bits through shared ports.
+
+Arbitration: ports are processor-shared — an active port splits its
+bandwidth equally among the jobs currently using it, and a job's transfer
+rate is the minimum of its shares across the (up to two) ports it touches.
+This approximates the word-interleaved round-robin of a real bus arbiter.
+
+Within a stream jobs are serialized (a link moves one tile at a time);
+across levels, refill jobs wait for the covering upper-level tile
+(cut-through is not modeled — a tile must land before it is forwarded,
+which is how the validation chip's DMA chain behaves).
+
+The engine advances in variable-length segments bounded by the next event:
+a job finishing, the compute clock hitting a blocking threshold or a job's
+start gate, or computation completing. All stall behaviour *emerges* from
+these mechanics; no closed-form stall expression appears anywhere here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.accelerator import Accelerator
+from repro.mapping.mapping import Mapping
+from repro.simulator.result import SimulationResult
+from repro.simulator.streams import JobStream, PortKey, TransferJob, build_streams
+from repro.simulator.trace import TraceRecorder
+
+_EPS = 1e-9
+
+
+@dataclasses.dataclass
+class _StreamState:
+    """Mutable cursor over one stream's serialized jobs.
+
+    ``remaining`` tracks the in-flight job's bits *per port*: source and
+    destination may move different physical sizes (word-padding) and each
+    progresses at its own port share; the job completes when every port is
+    drained (store-and-forward through the link buffer).
+    """
+
+    stream: JobStream
+    next_index: int = 0          # first job not yet completed
+    active: Optional[TransferJob] = None
+    remaining: Optional[Dict[PortKey, float]] = None
+
+    @property
+    def frontier(self) -> Optional[TransferJob]:
+        """Oldest incomplete job (active or not yet started)."""
+        if self.active is not None:
+            return self.active
+        if self.next_index < len(self.stream.jobs):
+            return self.stream.jobs[self.next_index]
+        return None
+
+    @property
+    def done(self) -> bool:
+        return self.active is None and self.next_index >= len(self.stream.jobs)
+
+    def start(self, job: TransferJob) -> None:
+        """Put ``job`` in flight."""
+        self.active = job
+        self.remaining = {
+            key: job.port_bits(key) for key in self.stream.ports
+        }
+
+    def finish(self) -> None:
+        """Clear the in-flight job and advance the cursor."""
+        self.active = None
+        self.remaining = None
+        self.next_index += 1
+
+
+class CycleSimulator:
+    """Cycle-level reference simulator for one mapping on one accelerator.
+
+    Parameters
+    ----------
+    accelerator / mapping:
+        The design point to execute.
+    max_events:
+        Safety valve against runaway simulations; raises ``RuntimeError``
+        when exceeded.
+    """
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        mapping: Mapping,
+        max_events: int = 5_000_000,
+        trace: Optional["TraceRecorder"] = None,
+    ) -> None:
+        self.accelerator = accelerator
+        self.mapping = mapping
+        self.max_events = max_events
+        self.trace = trace
+        self._port_bw: Dict[PortKey, float] = {}
+        for level in accelerator.hierarchy.unique_levels():
+            for port in level.instance.ports:
+                self._port_bw[(level.name, port.name)] = (
+                    port.bandwidth * level.instance.instances
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        """Execute the layer and return the measured timing."""
+        total_cc = self.mapping.temporal.total_cycles
+        states = [_StreamState(s) for s in build_streams(self.accelerator, self.mapping)]
+        completed_upto: Dict[str, int] = {st.stream.name: -1 for st in states}
+
+        t = 0.0                   # wall-clock cycles
+        c = 0.0                   # compute-local progress
+        stall = 0.0
+        preload_end: Optional[float] = None
+        compute_end: Optional[float] = None
+        port_busy: Dict[PortKey, float] = {}
+        jobs_done = 0
+        events = 0
+
+        while True:
+            events += 1
+            if events > self.max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_events} events "
+                    f"({jobs_done} jobs done, t={t:.0f}, c={c:.0f})"
+                )
+
+            # 1. Start every startable frontier job.
+            for st in states:
+                if st.active is not None or st.done:
+                    continue
+                job = st.stream.jobs[st.next_index]
+                if job.gate_c > c + _EPS:
+                    continue
+                if job.dep is not None and completed_upto[job.dep[0]] < job.dep[1]:
+                    continue
+                st.start(job)
+                if self.trace is not None:
+                    self.trace.job_started(st.stream.name, job.seq, t)
+
+            # 2. Compute-clock limit: the lowest blocking threshold.
+            limit = float("inf")
+            for st in states:
+                job = st.frontier
+                if job is not None:
+                    limit = min(limit, job.threshold_c)
+
+            computing = c < total_cc - _EPS and c < limit - _EPS
+            if self.trace is not None:
+                self.trace.compute_state(computing or c >= total_cc - _EPS, t, c)
+
+            # 3. Port shares: each port splits its bandwidth among the jobs
+            # that still have bits pending on it; a job progresses on every
+            # such port independently (store-and-forward buffering).
+            port_users: Dict[PortKey, int] = {}
+            for st in states:
+                if st.active is not None and st.remaining is not None:
+                    for key, rem in st.remaining.items():
+                        if rem > _EPS:
+                            port_users[key] = port_users.get(key, 0) + 1
+            rates: List[Tuple[_StreamState, PortKey, float]] = []
+            for st in states:
+                if st.active is None or st.remaining is None:
+                    continue
+                for key, rem in st.remaining.items():
+                    if rem > _EPS:
+                        rates.append(
+                            (st, key, self._port_bw[key] / port_users[key])
+                        )
+
+            # 4. Next event horizon.
+            dt = float("inf")
+            if computing:
+                dt = min(dt, total_cc - c)
+                if limit < float("inf"):
+                    dt = min(dt, limit - c)
+                for st in states:
+                    if st.active is None and not st.done:
+                        gate = st.stream.jobs[st.next_index].gate_c
+                        if gate > c + _EPS:
+                            dt = min(dt, gate - c)
+            for st, key, rate in rates:
+                if rate > 0:
+                    dt = min(dt, st.remaining[key] / rate)
+
+            if dt == float("inf"):
+                if c >= total_cc - _EPS and all(st.done for st in states):
+                    break
+                blocked = [st.stream.name for st in states if not st.done]
+                raise RuntimeError(
+                    f"simulation deadlock at t={t:.0f}, c={c:.0f}; "
+                    f"pending streams: {blocked}"
+                )
+            dt = max(dt, 0.0)
+
+            # 5. Advance.
+            t += dt
+            if computing:
+                c = min(c + dt, float(total_cc))
+            elif c < total_cc - _EPS:
+                stall += dt
+            for st, key, rate in rates:
+                st.remaining[key] = max(0.0, st.remaining[key] - rate * dt)
+                port_busy[key] = port_busy.get(key, 0.0) + rate * dt
+
+            if preload_end is None and c > _EPS:
+                # Compute started during this segment: preload ended at its start.
+                preload_end = t - dt
+            if compute_end is None and c >= total_cc - _EPS:
+                compute_end = t
+
+            # 6. Completions (all ports drained).
+            for st in {id(st): st for st, __, __r in rates}.values():
+                if st.active is None or st.remaining is None:
+                    continue
+                if all(rem <= _EPS for rem in st.remaining.values()):
+                    job = st.active
+                    completed_upto[st.stream.name] = job.seq
+                    st.finish()
+                    jobs_done += 1
+                    if self.trace is not None:
+                        self.trace.job_finished(st.stream.name, job.seq, t, job.bits)
+
+            if c >= total_cc - _EPS and all(st.done for st in states):
+                break
+
+        if compute_end is None:
+            compute_end = t
+        if preload_end is None:
+            preload_end = 0.0
+        if self.trace is not None:
+            self.trace.finish(t)
+        return SimulationResult(
+            total_cycles=t,
+            compute_cycles=total_cc,
+            preload_cycles=preload_end,
+            stall_cycles=max(0.0, stall - preload_end),
+            drain_tail_cycles=t - compute_end,
+            port_busy=port_busy,
+            jobs_completed=jobs_done,
+            events=events,
+        )

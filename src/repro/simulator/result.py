@@ -1,0 +1,56 @@
+"""Simulation results: measured cycles and where they went."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one cycle-level simulation run.
+
+    ``total_cycles`` is the wall-clock cycle count from layer start to the
+    last byte drained — directly comparable with
+    :attr:`repro.core.report.LatencyReport.total_cycles`.
+    """
+
+    total_cycles: float
+    compute_cycles: int
+    preload_cycles: float
+    stall_cycles: float
+    drain_tail_cycles: float
+    port_busy: Dict[Tuple[str, str], float]
+    jobs_completed: int
+    events: int
+
+    @property
+    def utilization_proxy(self) -> float:
+        """Fraction of wall-clock time the MAC array was computing."""
+        return self.compute_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def port_utilization(self, port: Tuple[str, str], bandwidth: float) -> float:
+        """Busy fraction of one port given its bandwidth (bits/cycle)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.port_busy.get(port, 0.0) / (bandwidth * self.total_cycles)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            "Simulation:",
+            f"  total        = {self.total_cycles:12.1f} cc",
+            f"  compute      = {self.compute_cycles:12d} cc",
+            f"  preload      = {self.preload_cycles:12.1f} cc",
+            f"  stall        = {self.stall_cycles:12.1f} cc",
+            f"  drain tail   = {self.drain_tail_cycles:12.1f} cc",
+            f"  jobs/events  = {self.jobs_completed} / {self.events}",
+        ]
+        return "\n".join(lines)
+
+
+def accuracy(model_cycles: float, simulated_cycles: float) -> float:
+    """The paper's accuracy metric: ``1 - |model - truth| / truth``."""
+    if simulated_cycles <= 0:
+        raise ValueError("simulated cycle count must be positive")
+    return 1.0 - abs(model_cycles - simulated_cycles) / simulated_cycles

@@ -1,0 +1,137 @@
+"""Execution traces: what the simulator did, cycle by cycle.
+
+A :class:`TraceRecorder` passed to the engine collects every transfer
+job's wall-clock start/end, the compute clock's stall intervals, and can
+render a condensed text timeline or export rows for offline analysis —
+the debugging view used to diagnose model/simulator disagreements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class JobEvent:
+    """One completed transfer job."""
+
+    stream: str
+    seq: int
+    start: float
+    end: float
+    bits: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock cycles the transfer was in flight."""
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class StallInterval:
+    """A wall-clock interval during which the compute clock was frozen."""
+
+    start: float
+    end: float
+    compute_position: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the stall in cycles."""
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects job and stall events from one simulation run."""
+
+    def __init__(self) -> None:
+        self.jobs: List[JobEvent] = []
+        self.stalls: List[StallInterval] = []
+        self._open_jobs: Dict[Tuple[str, int], float] = {}
+        self._stall_began: Optional[float] = None
+        self._stall_at_c: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by the engine
+    # ------------------------------------------------------------------ #
+
+    def job_started(self, stream: str, seq: int, t: float) -> None:
+        """Record a transfer entering flight."""
+        self._open_jobs[(stream, seq)] = t
+
+    def job_finished(self, stream: str, seq: int, t: float, bits: float) -> None:
+        """Record a transfer completing."""
+        start = self._open_jobs.pop((stream, seq), t)
+        self.jobs.append(JobEvent(stream, seq, start, t, bits))
+
+    def compute_state(self, computing: bool, t: float, c: float) -> None:
+        """Record compute-clock stall transitions."""
+        if not computing and self._stall_began is None:
+            self._stall_began = t
+            self._stall_at_c = c
+        elif computing and self._stall_began is not None:
+            if t > self._stall_began:
+                self.stalls.append(
+                    StallInterval(self._stall_began, t, self._stall_at_c)
+                )
+            self._stall_began = None
+
+    def finish(self, t: float) -> None:
+        """Close any open stall interval at simulation end."""
+        if self._stall_began is not None and t > self._stall_began:
+            self.stalls.append(StallInterval(self._stall_began, t, self._stall_at_c))
+            self._stall_began = None
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+
+    def stall_by_position(self, bins: int = 10, horizon: Optional[float] = None) -> List[float]:
+        """Total stall cycles binned by compute position (where it stalls)."""
+        if not self.stalls:
+            return [0.0] * bins
+        horizon = horizon or max(s.compute_position for s in self.stalls) or 1.0
+        out = [0.0] * bins
+        for stall in self.stalls:
+            index = min(bins - 1, int(bins * stall.compute_position / horizon))
+            out[index] += stall.duration
+        return out
+
+    def busiest_streams(self, top: int = 5) -> List[Tuple[str, float]]:
+        """Streams ranked by total in-flight time."""
+        totals: Dict[str, float] = {}
+        for job in self.jobs:
+            totals[job.stream] = totals.get(job.stream, 0.0) + job.duration
+        return sorted(totals.items(), key=lambda kv: -kv[1])[:top]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Job events as flat rows (CSV-exportable)."""
+        return [
+            {
+                "stream": job.stream,  # type: ignore[dict-item]
+                "seq": job.seq,
+                "start": job.start,
+                "end": job.end,
+                "bits": job.bits,
+            }
+            for job in sorted(self.jobs, key=lambda j: j.start)
+        ]
+
+    def render(self, width: int = 72, horizon: Optional[float] = None) -> str:
+        """Condensed text timeline: stall density over wall-clock time."""
+        if horizon is None:
+            ends = [j.end for j in self.jobs] + [s.end for s in self.stalls]
+            horizon = max(ends) if ends else 1.0
+        scale = horizon / width
+        row = ["." for __ in range(width)]
+        for stall in self.stalls:
+            lo = min(width - 1, int(stall.start / scale))
+            hi = min(width - 1, int(stall.end / scale))
+            for i in range(lo, hi + 1):
+                row[i] = "S"
+        total_stall = sum(s.duration for s in self.stalls)
+        return (
+            f"wall-clock stall map ({total_stall:.0f} stalled of {horizon:.0f} cc):\n"
+            + "".join(row)
+        )

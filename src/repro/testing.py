@@ -1,0 +1,96 @@
+"""Testing utilities: tiny machines and hand-built mappings.
+
+These helpers are used throughout the test and benchmark suites and are
+exported for downstream users who want hand-computable fixtures:
+
+* :func:`toy_accelerator` — a minimal two-level machine (one register per
+  operand plus a shared global buffer) whose every DTL attribute can be
+  verified by hand;
+* :func:`make_mapping` — build a :class:`~repro.mapping.mapping.Mapping`
+  from explicit per-operand, per-level loop lists;
+* :func:`loops` — terse loop-list construction from ("K", 4)-style pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping as TMapping, Optional, Sequence
+
+from repro.hardware.accelerator import Accelerator, StallOverlapConfig
+from repro.hardware.hierarchy import MemoryHierarchy, auto_allocate
+from repro.hardware.mac_array import MacArray
+from repro.hardware.memory import MemoryInstance, dual_port
+from repro.mapping.loop import Loop
+from repro.mapping.mapping import Mapping
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerSpec
+from repro.workload.operand import Operand
+
+
+def toy_accelerator(
+    array: int = 1,
+    reg_bits: int = 8,
+    o_reg_bits: int = 24,
+    reg_bw: float = 8.0,
+    gb_read_bw: float = 64.0,
+    gb_write_bw: float = 64.0,
+    reg_double_buffered: bool = False,
+    reg_instances: int = 1,
+    o_instances: int = 1,
+    stall_overlap: Optional[StallOverlapConfig] = None,
+) -> Accelerator:
+    """A minimal 2-level machine (per-operand register + shared GB).
+
+    Small enough that every DTL attribute is hand-computable in tests.
+    """
+    w_reg = MemoryInstance(
+        "W-Reg", reg_bits, dual_port(reg_bw, reg_bw),
+        double_buffered=reg_double_buffered, instances=reg_instances,
+        read_energy_pj_per_bit=0.01, write_energy_pj_per_bit=0.01,
+    )
+    i_reg = MemoryInstance(
+        "I-Reg", reg_bits, dual_port(reg_bw, reg_bw),
+        double_buffered=reg_double_buffered, instances=reg_instances,
+        read_energy_pj_per_bit=0.01, write_energy_pj_per_bit=0.01,
+    )
+    o_reg = MemoryInstance(
+        "O-Reg", o_reg_bits,
+        dual_port(max(reg_bw, float(o_reg_bits)), max(reg_bw, float(o_reg_bits))),
+        double_buffered=False, instances=o_instances,
+        read_energy_pj_per_bit=0.01, write_energy_pj_per_bit=0.01,
+    )
+    gb = MemoryInstance(
+        "GB", 64 * 1024 * 8, dual_port(gb_read_bw, gb_write_bw),
+        read_energy_pj_per_bit=0.05, write_energy_pj_per_bit=0.05,
+    )
+    # ONE shared GB level object across the three chains (shared memory).
+    gb_level = auto_allocate(gb, set(Operand))
+    hierarchy = MemoryHierarchy(
+        {
+            Operand.W: (auto_allocate(w_reg, {Operand.W}), gb_level),
+            Operand.I: (auto_allocate(i_reg, {Operand.I}), gb_level),
+            Operand.O: (auto_allocate(o_reg, {Operand.O}), gb_level),
+        }
+    )
+    return Accelerator(
+        name="toy",
+        mac_array=MacArray(rows=1, cols=array, macs_per_pe=1, mac_energy_pj=0.1),
+        hierarchy=hierarchy,
+        stall_overlap=stall_overlap or StallOverlapConfig.all_concurrent(),
+    )
+
+
+def make_mapping(
+    layer: LayerSpec,
+    spatial: TMapping[LoopDim, int],
+    levels: TMapping[Operand, Sequence[Sequence[Loop]]],
+) -> Mapping:
+    """Mapping from per-operand, per-level loop lists (inner level first)."""
+    temporal = TemporalMapping.from_level_lists(levels)
+    return Mapping(layer, SpatialMapping(spatial), temporal)
+
+
+def loops(*pairs) -> List[Loop]:
+    """Loops from ("K", 4)-style pairs."""
+    return [Loop(LoopDim(d), s) for d, s in pairs]

@@ -1,0 +1,123 @@
+"""Im2Col lowering: convolution unrolled into matrix-matrix multiplication.
+
+The validation accelerator (Section IV) performs Im2Col on a RISC-V core
+before the layer reaches the PE array, and "Im2Col layer transfer is applied
+to all the case studies" (Section V). The lowering maps a Conv2D with loop
+bounds (B, K, C, OX, OY, FX, FY) onto a Dense (GEMM) layer with
+
+* ``B' = B * OX * OY``  (every output pixel becomes a GEMM row),
+* ``K' = K``            (output channels are GEMM columns),
+* ``C' = C * FX * FY``  (the unrolled patch is the reduction dim).
+
+The MAC count is preserved exactly. The *input* data volume grows by the
+patch-overlap factor — the well-known Im2Col blow-up — which the lowered
+layer's Dense footprint reflects, matching what the real chip streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerSpec, LayerType
+from repro.workload.operand import Operand
+
+
+def im2col(layer: LayerSpec) -> LayerSpec:
+    """Lower ``layer`` to an equivalent Dense (GEMM) layer.
+
+    Dense layers pass through unchanged. Depthwise layers cannot be lowered
+    to a single GEMM (each output channel sees one input channel); they are
+    lowered per-channel into a batched GEMM with ``C' = FX * FY`` and the
+    channel loop folded into K.
+
+    Returns
+    -------
+    LayerSpec
+        A :class:`~repro.workload.layer.LayerType.DENSE` layer with the same
+        total MAC count.
+    """
+    if layer.layer_type is LayerType.DENSE:
+        return layer
+
+    d = layer.dims
+    name = f"{layer.name or layer.layer_type.value}@im2col"
+    if layer.layer_type is LayerType.DEPTHWISE:
+        lowered = LayerSpec(
+            LayerType.DENSE,
+            {
+                LoopDim.B: d[LoopDim.B] * d[LoopDim.OX] * d[LoopDim.OY],
+                LoopDim.K: d[LoopDim.K],
+                LoopDim.C: d[LoopDim.FX] * d[LoopDim.FY],
+            },
+            precision=layer.precision,
+            name=name,
+        )
+    else:
+        lowered = LayerSpec(
+            LayerType.DENSE,
+            {
+                LoopDim.B: d[LoopDim.B] * d[LoopDim.OX] * d[LoopDim.OY],
+                LoopDim.K: d[LoopDim.K],
+                LoopDim.C: d[LoopDim.C] * d[LoopDim.FX] * d[LoopDim.FY],
+            },
+            precision=layer.precision,
+            name=name,
+        )
+    assert lowered.total_macs == layer.total_macs
+    return lowered
+
+
+def im2col_tiled(layer: LayerSpec, max_working_set_bits: int) -> List[LayerSpec]:
+    """Im2Col with GEMM-row tiling for bounded on-chip working sets.
+
+    The validation chip's RISC-V core materializes Im2Col patches into the
+    1 MB global buffer; for layers whose full GEMM does not fit (early
+    high-resolution convolutions), the real system processes the GEMM in
+    row (B') chunks, re-staging weights for each chunk. This helper splits
+    the lowered GEMM into the fewest equal-ish B'-tiles whose working set
+    (weights + one input chunk + one output chunk) fits
+    ``max_working_set_bits``. MAC count is preserved across the tiles.
+    """
+    if max_working_set_bits <= 0:
+        raise ValueError("max_working_set_bits must be positive")
+    lowered = im2col(layer)
+    total = lowered.total_data_bits
+    if total <= max_working_set_bits:
+        return [lowered]
+
+    b_full = lowered.size(LoopDim.B)
+    weights_bits = lowered.operand_bits(Operand.W)
+    per_row_bits = (
+        lowered.size(LoopDim.C) * lowered.precision.i
+        + lowered.size(LoopDim.K) * lowered.precision.o_final
+    )
+    budget = max_working_set_bits - weights_bits
+    if budget <= 0 or budget < per_row_bits:
+        raise ValueError(
+            f"weights alone ({weights_bits} b) plus one GEMM row "
+            f"({per_row_bits} b) exceed the working-set budget "
+            f"({max_working_set_bits} b)"
+        )
+    rows_per_tile = max(1, budget // per_row_bits)
+    num_tiles = math.ceil(b_full / rows_per_tile)
+    base = b_full // num_tiles
+    remainder = b_full - base * num_tiles
+    tiles: List[LayerSpec] = []
+    for index in range(num_tiles):
+        rows = base + (1 if index < remainder else 0)
+        tiles.append(
+            LayerSpec(
+                LayerType.DENSE,
+                {
+                    LoopDim.B: rows,
+                    LoopDim.K: lowered.size(LoopDim.K),
+                    LoopDim.C: lowered.size(LoopDim.C),
+                },
+                precision=lowered.precision,
+                name=f"{lowered.name or 'gemm'}[{index}/{num_tiles}]",
+            )
+        )
+    assert sum(t.total_macs for t in tiles) == layer.total_macs
+    return tiles

@@ -1,0 +1,208 @@
+"""Realistic layer tables used by the validation and case studies.
+
+The paper validates against NN layers "of a hand-tracking workload [19]".
+Reference [19] is Victor Dibia's *handtrack* model, an SSD detector with a
+MobileNetV1 feature extractor. The exact per-layer table of the authors'
+deployment is not published, so :func:`hand_tracking_layers` provides the
+standard SSD-MobileNetV1 layer shapes at the 320x240-ish input resolution a
+hand tracker runs at, which reproduces the layer-size *distribution* the
+validation sweeps over (alternating pointwise / depthwise / conv layers from
+a few K MACs to tens of M MACs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerSpec, LayerType, Precision
+
+_B = LoopDim.B
+_K = LoopDim.K
+_C = LoopDim.C
+_OX = LoopDim.OX
+_OY = LoopDim.OY
+_FX = LoopDim.FX
+_FY = LoopDim.FY
+
+
+def _conv(name: str, k: int, c: int, ox: int, oy: int, f: int, stride: int = 1) -> LayerSpec:
+    return LayerSpec(
+        LayerType.CONV2D,
+        {_B: 1, _K: k, _C: c, _OX: ox, _OY: oy, _FX: f, _FY: f},
+        stride_x=stride,
+        stride_y=stride,
+        name=name,
+    )
+
+
+def _dw(name: str, k: int, ox: int, oy: int, stride: int = 1) -> LayerSpec:
+    return LayerSpec(
+        LayerType.DEPTHWISE,
+        {_B: 1, _K: k, _C: 1, _OX: ox, _OY: oy, _FX: 3, _FY: 3},
+        stride_x=stride,
+        stride_y=stride,
+        name=name,
+    )
+
+
+def _pw(name: str, k: int, c: int, ox: int, oy: int) -> LayerSpec:
+    return LayerSpec(
+        LayerType.POINTWISE,
+        {_B: 1, _K: k, _C: c, _OX: ox, _OY: oy, _FX: 1, _FY: 1},
+        name=name,
+    )
+
+
+def hand_tracking_layers(limit: Optional[int] = None) -> List[LayerSpec]:
+    """SSD-MobileNetV1 layer table (hand-tracking workload stand-in).
+
+    Returns the feature-extractor backbone at 224x224 input resolution:
+    the initial strided 3x3 convolution followed by the thirteen
+    depthwise-separable blocks of MobileNetV1 (depthwise 3x3 + pointwise
+    1x1 each). ``limit`` truncates the list (useful for quick tests).
+    """
+    layers: List[LayerSpec] = [_conv("conv0", 32, 3, 112, 112, 3, stride=2)]
+    # (channels_out, spatial, stride_of_dw) per separable block.
+    blocks = [
+        (64, 112, 1),
+        (128, 56, 2),
+        (128, 56, 1),
+        (256, 28, 2),
+        (256, 28, 1),
+        (512, 14, 2),
+    ] + [(512, 14, 1)] * 5 + [
+        (1024, 7, 2),
+        (1024, 7, 1),
+    ]
+    c_in = 32
+    for index, (k, spatial, stride) in enumerate(blocks, start=1):
+        dw_out = spatial if stride == 1 else spatial
+        layers.append(_dw(f"dw{index}", c_in, dw_out, dw_out, stride=stride))
+        layers.append(_pw(f"pw{index}", k, c_in, spatial, spatial))
+        c_in = k
+    if limit is not None:
+        layers = layers[:limit]
+    return layers
+
+
+def mlp_layers(batch: int = 8) -> List[LayerSpec]:
+    """A small MLP head (Dense layers), e.g. a keypoint regressor."""
+    shapes = [(1024, 512), (512, 512), (512, 63)]
+    return [
+        LayerSpec(
+            LayerType.DENSE,
+            {_B: batch, _K: k, _C: c},
+            name=f"fc{i}",
+        )
+        for i, (c, k) in enumerate(shapes)
+    ]
+
+
+def validation_layers() -> List[LayerSpec]:
+    """The layer set used for the Fig. 5(c) validation experiment.
+
+    A mix of small and large conv / depthwise / pointwise / dense layers
+    spanning three orders of magnitude in MAC count, mirroring the spread of
+    the paper's hand-tracking validation sweep. Conv layers are expected to
+    be Im2Col-lowered before reaching the accelerator, exactly like the
+    RISC-V core does in the real system.
+    """
+    picks = hand_tracking_layers()
+    # conv0 plus a representative subset across depths (small to large).
+    chosen = [picks[0], picks[1], picks[2], picks[5], picks[6], picks[11], picks[12], picks[21], picks[25]]
+    chosen += mlp_layers(batch=4)
+    return chosen
+
+
+def int8_precision() -> Precision:
+    """Precision of the validation chip: INT8 W/I, 24-bit outputs."""
+    return Precision(w=8, i=8, o_final=24, o_partial=24)
+
+
+def resnet18_layers(batch: int = 1) -> List[LayerSpec]:
+    """ResNet-18 backbone convolutions at 224x224 (a second realistic mix).
+
+    Includes the strided 7x7 stem, the four residual stages (two 3x3 conv
+    pairs each) and the 1x1 projection shortcuts — a heavier-compute,
+    larger-kernel contrast to the depthwise-separable hand-tracking net.
+    """
+    layers: List[LayerSpec] = [
+        LayerSpec(
+            LayerType.CONV2D,
+            {_B: batch, _K: 64, _C: 3, _OX: 112, _OY: 112, _FX: 7, _FY: 7},
+            stride_x=2, stride_y=2, name="stem7x7",
+        )
+    ]
+    stages = [
+        (64, 56, 1),
+        (128, 28, 2),
+        (256, 14, 2),
+        (512, 7, 2),
+    ]
+    c_in = 64
+    for index, (k, spatial, stride) in enumerate(stages, start=1):
+        layers.append(
+            LayerSpec(
+                LayerType.CONV2D,
+                {_B: batch, _K: k, _C: c_in, _OX: spatial, _OY: spatial,
+                 _FX: 3, _FY: 3},
+                stride_x=stride, stride_y=stride,
+                name=f"res{index}a_conv1",
+            )
+        )
+        layers.append(
+            LayerSpec(
+                LayerType.CONV2D,
+                {_B: batch, _K: k, _C: k, _OX: spatial, _OY: spatial,
+                 _FX: 3, _FY: 3},
+                name=f"res{index}a_conv2",
+            )
+        )
+        if stride != 1 or c_in != k:
+            layers.append(
+                LayerSpec(
+                    LayerType.POINTWISE,
+                    {_B: batch, _K: k, _C: c_in, _OX: spatial, _OY: spatial},
+                    name=f"res{index}_proj",
+                )
+            )
+        c_in = k
+    return layers
+
+
+def transformer_gemm_layers(
+    seq_len: int = 128,
+    d_model: int = 256,
+    d_ff: Optional[int] = None,
+    heads: int = 4,
+) -> List[LayerSpec]:
+    """One transformer encoder block as Dense (GEMM) layers.
+
+    Attention projections (Q/K/V/O), the attention score and context
+    matmuls (per head, folded into the batch dim), and the two FFN GEMMs —
+    the GEMM-only workload an accelerator sees after graph lowering.
+    """
+    d_ff = d_ff or 4 * d_model
+    d_head = d_model // heads
+    layers = [
+        LayerSpec(LayerType.DENSE, {_B: seq_len, _K: d_model, _C: d_model},
+                  name="attn_q"),
+        LayerSpec(LayerType.DENSE, {_B: seq_len, _K: d_model, _C: d_model},
+                  name="attn_k"),
+        LayerSpec(LayerType.DENSE, {_B: seq_len, _K: d_model, _C: d_model},
+                  name="attn_v"),
+        # scores: (heads x seq) x seq x d_head, folded per head into B.
+        LayerSpec(LayerType.DENSE, {_B: heads * seq_len, _K: seq_len, _C: d_head},
+                  name="attn_scores"),
+        # context: (heads x seq) x d_head x seq.
+        LayerSpec(LayerType.DENSE, {_B: heads * seq_len, _K: d_head, _C: seq_len},
+                  name="attn_context"),
+        LayerSpec(LayerType.DENSE, {_B: seq_len, _K: d_model, _C: d_model},
+                  name="attn_out"),
+        LayerSpec(LayerType.DENSE, {_B: seq_len, _K: d_ff, _C: d_model},
+                  name="ffn_up"),
+        LayerSpec(LayerType.DENSE, {_B: seq_len, _K: d_model, _C: d_ff},
+                  name="ffn_down"),
+    ]
+    return layers

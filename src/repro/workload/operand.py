@@ -1,0 +1,34 @@
+"""The three major DNN layer operands: Weight, Input, Output."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Operand(str, enum.Enum):
+    """A DNN layer operand.
+
+    The paper models exactly three operands per layer (Section II-B):
+    weights (W), inputs (I) and outputs (O). Outputs are special in two
+    ways that the latency model must capture:
+
+    * they flow *up* the memory hierarchy (from the MAC array towards the
+      global buffer) instead of down;
+    * a tile leaving a level before its accumulation (over C/FX/FY) is
+      finished is a *partial sum*: it is stored at higher precision and must
+      later be read back for further accumulation.
+    """
+
+    W = "W"
+    I = "I"  # noqa: E741 - paper nomenclature
+    O = "O"  # noqa: E741 - paper nomenclature
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operand.{self.value}"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Operands in canonical (W, I, O) order.
+ALL_OPERANDS = (Operand.W, Operand.I, Operand.O)

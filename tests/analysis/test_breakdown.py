@@ -1,0 +1,38 @@
+"""Breakdown tables and report comparison."""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_table, compare_reports, format_table
+from tests.core.test_report import _report
+
+
+def test_breakdown_table_rows():
+    rows = breakdown_table([_report(layer_name="a"), _report(layer_name="b")])
+    assert len(rows) == 2
+    assert rows[0]["layer"] == "a"
+    assert rows[0]["total"] == pytest.approx(165)
+    assert "utilization" in rows[0]
+
+
+def test_format_table_renders():
+    rows = breakdown_table([_report(layer_name="layerX")])
+    text = format_table(rows)
+    assert "layerX" in text and "temporal_stall" in text
+    assert format_table([]) == "(empty)"
+
+
+def test_compare_reports_case1_style():
+    a = _report(ss_overall=60.0)   # slower mapping
+    b = _report(ss_overall=10.0)   # faster mapping
+    cmp = compare_reports(a, b)
+    assert cmp["latency_ratio"] < 1
+    assert cmp["latency_saving"] > 0
+    assert cmp["utilization_gain"] > 0
+    assert cmp["ideal_identical"] == 1.0
+    assert cmp["temporal_stall_ratio"] == pytest.approx(10 / 60)
+
+
+def test_compare_reports_zero_stall_divisor():
+    a = _report(ss_overall=0.0)
+    b = _report(ss_overall=5.0)
+    assert compare_reports(a, b)["temporal_stall_ratio"] == float("inf")

@@ -1,0 +1,41 @@
+"""CSV / JSON export."""
+
+import json
+
+from repro.analysis.export import to_csv, to_json
+
+
+def test_csv_roundtrip(tmp_path):
+    rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}]
+    path = tmp_path / "out.csv"
+    text = to_csv(rows, str(path))
+    assert path.read_text() == text
+    lines = text.strip().splitlines()
+    assert lines[0] == "a,b,c"
+    assert lines[1].startswith("1,2.5")
+
+
+def test_csv_empty():
+    assert to_csv([]) == ""
+
+
+def test_csv_column_order_first_seen():
+    rows = [{"z": 1, "a": 2}, {"a": 3, "m": 4}]
+    header = to_csv(rows).splitlines()[0]
+    assert header == "z,a,m"
+
+
+def test_json_roundtrip(tmp_path):
+    data = {"x": [1, 2, 3], "y": {"nested": True}}
+    path = tmp_path / "out.json"
+    text = to_json(data, str(path))
+    assert json.loads(path.read_text()) == data
+    assert json.loads(text) == data
+
+
+def test_json_falls_back_to_str():
+    class Odd:
+        def __str__(self):
+            return "odd!"
+
+    assert "odd!" in to_json({"k": Odd()})

@@ -1,0 +1,87 @@
+"""Whole-network evaluation."""
+
+import pytest
+
+from repro.analysis.network import NetworkEvaluator
+from repro.dse.mapper import MapperConfig
+from repro.hardware.presets import case_study_accelerator
+from repro.workload.generator import dense_layer
+from repro.workload.networks import transformer_gemm_layers
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return NetworkEvaluator(
+        case_study_accelerator(),
+        mapper_config=MapperConfig(max_enumerated=60, samples=40),
+        with_energy=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(evaluator):
+    layers = [dense_layer(16, 32, 60, name="a"), dense_layer(32, 64, 120, name="b")]
+    return evaluator.evaluate(layers)
+
+
+def test_totals_are_sums(result):
+    assert result.total_cycles == pytest.approx(
+        sum(r.cycles for r in result.layers)
+    )
+    assert result.total_macs == 16 * 32 * 60 + 32 * 64 * 120
+    assert result.total_energy_pj == pytest.approx(
+        sum(r.energy.total_pj for r in result.layers)
+    )
+
+
+def test_network_utilization_bounds(result):
+    assert 0 < result.utilization <= 1
+
+
+def test_dominant_layers_sorted(result):
+    dom = result.dominant_layers(top=2)
+    assert dom[0].cycles >= dom[1].cycles
+
+
+def test_summary_renders(result):
+    text = result.summary()
+    assert "total latency" in text and "dominant layers" in text
+
+
+def test_layer_table_rows(evaluator, result):
+    rows = evaluator.layer_table(result)
+    assert len(rows) == 2
+    assert rows[0]["macs"] == 16 * 32 * 60
+    assert "energy_pj" in rows[0]
+
+
+def test_im2col_applied_to_conv(evaluator):
+    from repro.workload.dims import LoopDim
+    from repro.workload.layer import LayerSpec, LayerType
+
+    conv = LayerSpec(
+        LayerType.CONV2D,
+        {LoopDim.K: 8, LoopDim.C: 4, LoopDim.OX: 8, LoopDim.OY: 8,
+         LoopDim.FX: 3, LoopDim.FY: 3},
+        name="conv",
+    )
+    result = evaluator.evaluate([conv])
+    assert len(result.layers) == 1
+    assert result.layers[0].layer.layer_type is LayerType.DENSE
+
+
+def test_transformer_block_evaluates(evaluator):
+    layers = transformer_gemm_layers(seq_len=32, d_model=64, heads=2)[:4]
+    result = evaluator.evaluate(layers)
+    assert len(result.layers) == 4
+    assert result.total_cycles > 0
+
+
+def test_energy_optional():
+    evaluator = NetworkEvaluator(
+        case_study_accelerator(),
+        mapper_config=MapperConfig(max_enumerated=40, samples=20),
+        with_energy=False,
+    )
+    result = evaluator.evaluate([dense_layer(16, 16, 30)])
+    assert result.total_energy_pj is None

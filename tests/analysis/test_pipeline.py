@@ -1,0 +1,78 @@
+"""Inter-layer pipelining estimates."""
+
+import pytest
+
+from repro.analysis.network import NetworkEvaluator
+from repro.analysis.pipeline import estimate_network_pipeline, estimate_pipeline
+from repro.dse.mapper import MapperConfig
+from repro.hardware.presets import case_study_accelerator
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture(scope="module")
+def network_result():
+    evaluator = NetworkEvaluator(
+        case_study_accelerator(),
+        mapper_config=MapperConfig(max_enumerated=60, samples=40),
+    )
+    layers = [
+        dense_layer(32, 64, 240, name="l0"),
+        dense_layer(64, 64, 120, name="l1"),
+        dense_layer(32, 128, 240, name="l2"),
+    ]
+    return evaluator.evaluate(layers)
+
+
+def test_pipelined_never_slower(network_result):
+    est = estimate_network_pipeline(network_result)
+    assert est.pipelined_cycles <= est.sequential_cycles + 1e-9
+    assert est.hidden_cycles >= 0
+    assert est.sequential_cycles == pytest.approx(network_result.total_cycles)
+
+
+def test_pipelined_lower_bound(network_result):
+    """Overlap can only hide (off)loading, never computation."""
+    est = estimate_network_pipeline(network_result)
+    compute_floor = sum(r.report.computation_cycles for r in network_result.layers)
+    assert est.pipelined_cycles >= compute_floor - 1e-9
+
+
+def test_first_layer_preload_never_hidden(network_result):
+    est = estimate_network_pipeline(network_result)
+    assert est.per_layer_hidden[0] == 0.0
+
+
+def test_hidden_bounded_by_loading(network_result):
+    est = estimate_network_pipeline(network_result)
+    for i, layer in enumerate(network_result.layers):
+        if i == 0:
+            continue
+        bound = layer.report.preload + network_result.layers[i - 1].report.offload
+        assert est.per_layer_hidden[i] <= bound + 1e-9
+
+
+def test_empty_and_single():
+    assert estimate_pipeline([]).sequential_cycles == 0
+    assert estimate_pipeline([]).saving == 0.0
+
+
+def test_describe(network_result):
+    est = estimate_network_pipeline(network_result)
+    assert "pipelined" in est.describe()
+
+
+def test_saturated_producer_absorbs_less():
+    """A stall-bound producer hides less of its neighbor's preload."""
+    evaluator_fast = NetworkEvaluator(
+        case_study_accelerator(gb_read_bw=4096.0),
+        mapper_config=MapperConfig(max_enumerated=60, samples=40),
+    )
+    evaluator_slow = NetworkEvaluator(
+        case_study_accelerator(gb_read_bw=32.0),
+        mapper_config=MapperConfig(max_enumerated=60, samples=40),
+    )
+    layers = [dense_layer(128, 128, 8, name="a"), dense_layer(128, 128, 8, name="b")]
+    fast = estimate_network_pipeline(evaluator_fast.evaluate(layers))
+    slow = estimate_network_pipeline(evaluator_slow.evaluate(layers))
+    # Relative hiding is weaker when the machine is already port-bound.
+    assert slow.saving <= fast.saving + 0.05

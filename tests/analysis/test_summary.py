@@ -1,0 +1,67 @@
+"""Markdown design-report generation."""
+
+import pytest
+
+from repro.analysis.summary import ReportConfig, generate_report
+from repro.dse.mapper import MapperConfig
+from repro.hardware.presets import case_study_accelerator
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ReportConfig(
+        mapper_config=MapperConfig(max_enumerated=60, samples=40),
+        bandwidth_points=(128.0, 512.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def text(quick_config):
+    return generate_report(
+        case_study_accelerator(), dense_layer(128, 128, 8), quick_config
+    )
+
+
+def test_sections_present(text):
+    for heading in ("# ", "## Latency", "## Mapping", "## Roofline",
+                    "## Bottlenecks", "## Energy", "bandwidth sensitivity"):
+        assert heading in text
+
+
+def test_latency_table_totals(text):
+    assert "**total**" in text
+    assert "CC_ideal" in text
+    assert "scenario" in text
+
+
+def test_bottlenecks_listed_for_starved_layer(text):
+    # (128,128,8) on the 128 b/cyc GB is output-dominant: stalls exist.
+    assert "ReqBW" in text
+
+
+def test_knee_reported(text):
+    assert "Knee at" in text or "bandwidth sensitivity" in text
+
+
+def test_simulate_section_optional(quick_config):
+    import dataclasses
+
+    config = dataclasses.replace(quick_config, simulate=True,
+                                 bandwidth_sweep_memory=None)
+    text = generate_report(
+        case_study_accelerator(), dense_layer(16, 32, 60), config
+    )
+    assert "## Simulator cross-check" in text
+    assert "accuracy" in text
+    assert "bandwidth sensitivity" not in text
+
+
+def test_no_stall_message():
+    config = ReportConfig(
+        mapper_config=MapperConfig(max_enumerated=40, samples=30),
+        bandwidth_sweep_memory=None,
+    )
+    preset = case_study_accelerator(gb_read_bw=65536.0)
+    text = generate_report(preset, dense_layer(64, 32, 60), config)
+    assert "keeps up everywhere" in text or "ReqBW" in text

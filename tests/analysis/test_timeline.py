@@ -1,0 +1,53 @@
+"""ASCII timeline rendering (Fig. 3 style)."""
+
+from repro.analysis.timeline import render_timeline
+from repro.core.dtl import DTL, TrafficKind, Transfer
+from repro.hardware.port import EndpointKind
+from repro.workload.operand import Operand
+
+
+def _dtl(x_req=2.0, real_bw=4.0, period=8.0):
+    t = Transfer(
+        operand=Operand.W,
+        kind=TrafficKind.REFILL,
+        served_memory="W-Reg",
+        served_level=0,
+        src_memory="GB",
+        dst_memory="W-Reg",
+        data_bits=8.0,
+        period=period,
+        repeats=6,
+        x_req=x_req,
+        window_start=period - x_req,
+    )
+    return DTL(t, "GB", "rd", EndpointKind.TL, real_bw)
+
+
+def test_render_contains_rows_and_legend():
+    text = render_timeline(_dtl())
+    assert "comp:" in text and "mem:" in text
+    assert "keep-out" in text
+    assert "SS_u" in text
+
+
+def _mem_row(text):
+    return next(line for line in text.split("\n") if line.startswith("mem:"))
+
+
+def test_stalling_dtl_shows_overflow():
+    # X_REAL = 8/1 = 8 > X_REQ = 2: update overflows the window.
+    assert "!" in _mem_row(render_timeline(_dtl(x_req=2.0, real_bw=1.0)))
+
+
+def test_fitting_dtl_has_no_overflow():
+    assert "!" not in _mem_row(render_timeline(_dtl(x_req=4.0, real_bw=4.0)))
+
+
+def test_keepout_marked_for_partial_window():
+    text = render_timeline(_dtl(x_req=2.0, real_bw=8.0))
+    assert "x" in text.split("\n")[2]
+
+
+def test_periods_clamped_to_repeats():
+    text = render_timeline(_dtl(), periods=100)
+    assert "comp:" in text  # just renders without error

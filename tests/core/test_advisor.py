@@ -1,0 +1,69 @@
+"""Upgrade advisor."""
+
+import pytest
+
+from repro.core.advisor import UpgradeAdvisor, UpgradeOption
+from repro.dse.mapper import MapperConfig
+from repro.hardware.presets import case_study_accelerator
+from repro.mapping.mapping import MappingError
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    preset = case_study_accelerator()
+    return UpgradeAdvisor(
+        preset.accelerator, preset.spatial_unrolling,
+        MapperConfig(max_enumerated=60, samples=40),
+    )
+
+
+@pytest.fixture(scope="module")
+def options(advisor):
+    # Output-dominant, GB-write-bound layer: upgrades should matter.
+    return advisor.advise(dense_layer(128, 128, 8), min_saving=0.0)
+
+
+def test_options_sorted_by_saving(options):
+    savings = [o.saving for o in options]
+    assert savings == sorted(savings, reverse=True)
+    assert all(0 <= o.saving <= 1 for o in options)
+
+
+def test_gb_bandwidth_is_a_top_option(options):
+    """On a GB-bound layer, widening the GB must rank near the top."""
+    assert options, "no upgrade found for a clearly bound layer"
+    top_memories = [o.memory for o in options[:3]]
+    assert "GB" in top_memories
+
+
+def test_upgrades_never_worsen(options):
+    for option in options:
+        assert option.upgraded_cycles <= option.baseline_cycles + 1e-9
+
+
+def test_describe(options):
+    assert "->" in options[0].describe()
+
+
+def test_min_saving_filters(advisor):
+    few = advisor.advise(dense_layer(128, 128, 8), min_saving=0.10)
+    many = advisor.advise(dense_layer(128, 128, 8), min_saving=0.0)
+    assert len(few) <= len(many)
+    assert all(o.saving >= 0.10 for o in few)
+
+
+def test_unmappable_layer_raises():
+    from tests.conftest import toy_accelerator
+    from repro.workload.dims import LoopDim
+
+    advisor = UpgradeAdvisor(toy_accelerator(array=1), {LoopDim.K: 64})
+    with pytest.raises(MappingError):
+        advisor.advise(dense_layer(2, 64, 2))
+
+
+def test_option_saving_math():
+    option = UpgradeOption("x", "GB", "bandwidth", 100.0, 80.0)
+    assert option.saving == pytest.approx(0.2)
+    zero = UpgradeOption("x", "GB", "bandwidth", 0.0, 0.0)
+    assert zero.saving == 0.0

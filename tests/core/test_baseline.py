@@ -1,0 +1,50 @@
+"""BW-unaware baseline model (Fig. 7 cyan line / Fig. 8a)."""
+
+import pytest
+
+from repro.core.baseline import BwUnawareModel, ideal_cycles
+from repro.core.model import LatencyModel
+
+from tests.core.test_model import _balanced_mapping
+from tests.conftest import toy_accelerator
+
+
+def test_baseline_has_zero_temporal_stall():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 32, gb_read_bw=1, gb_write_bw=1)
+    mapping = _balanced_mapping()
+    report = BwUnawareModel(acc).evaluate(mapping)
+    assert report.ss_overall == 0
+    assert report.dtls == ()
+    assert "BW-unaware" in report.accelerator_name
+
+
+def test_baseline_underestimates_on_starved_hardware():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 32, gb_read_bw=1, gb_write_bw=1)
+    mapping = _balanced_mapping()
+    aware = LatencyModel(acc).evaluate(mapping)
+    unaware = BwUnawareModel(acc).evaluate(mapping)
+    assert unaware.total_cycles < aware.total_cycles
+    # The Fig. 7 message: the discrepancy can be large.
+    assert aware.total_cycles / unaware.total_cycles > 1.5
+
+
+def test_baseline_matches_aware_when_bandwidth_plentiful():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 32, gb_read_bw=4096,
+                          gb_write_bw=4096, reg_bw=64)
+    mapping = _balanced_mapping()
+    aware = LatencyModel(acc).evaluate(mapping)
+    unaware = BwUnawareModel(acc).evaluate(mapping)
+    assert aware.total_cycles == pytest.approx(unaware.total_cycles)
+
+
+def test_baseline_without_loading():
+    acc = toy_accelerator()
+    mapping = _balanced_mapping()
+    report = BwUnawareModel(acc, include_loading=False).evaluate(mapping)
+    assert report.preload == 0 and report.offload == 0
+    assert report.total_cycles == mapping.spatial_cycles
+
+
+def test_ideal_cycles():
+    mapping = _balanced_mapping(8, 4, 4)
+    assert ideal_cycles(mapping, 2) == pytest.approx(64)

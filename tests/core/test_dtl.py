@@ -1,0 +1,60 @@
+"""DTL and Transfer dataclass arithmetic."""
+
+import pytest
+
+from repro.core.dtl import DTL, TrafficKind, Transfer
+from repro.hardware.port import EndpointKind
+from repro.workload.operand import Operand
+
+
+def _transfer(data_bits=32.0, period=16.0, repeats=5, x_req=4.0):
+    return Transfer(
+        operand=Operand.I,
+        kind=TrafficKind.REFILL,
+        served_memory="I-Reg",
+        served_level=0,
+        src_memory="GB",
+        dst_memory="I-Reg",
+        data_bits=data_bits,
+        period=period,
+        repeats=repeats,
+        x_req=x_req,
+        window_start=period - x_req,
+    )
+
+
+def test_transfer_derived_quantities():
+    t = _transfer()
+    assert t.req_bw == pytest.approx(8.0)     # 32 / 4
+    assert t.bw0 == pytest.approx(2.0)        # 32 / 16
+    w = t.window()
+    assert w.period == 16 and w.active == 4 and w.start == 12 and w.repeats == 5
+
+
+def test_dtl_stall_slack_arithmetic():
+    t = _transfer()
+    fast = DTL(t, "GB", "rd", EndpointKind.TL, real_bw=16.0)  # X_REAL = 2
+    slow = DTL(t, "GB", "rd", EndpointKind.TL, real_bw=4.0)   # X_REAL = 8
+    exact = DTL(t, "GB", "rd", EndpointKind.TL, real_bw=8.0)  # X_REAL = 4
+    assert fast.ss_u == pytest.approx((2 - 4) * 5)
+    assert slow.ss_u == pytest.approx((8 - 4) * 5)
+    assert exact.ss_u == pytest.approx(0.0)
+    assert exact.muw_u == pytest.approx(20.0)
+
+
+def test_dtl_port_key_and_describe():
+    t = _transfer()
+    d = DTL(t, "GB", "rd", EndpointKind.TL, real_bw=8.0)
+    assert d.port_key == ("GB", "rd")
+    assert "GB.rd" in d.describe()
+    assert "I-refill" in t.describe()
+
+
+def test_dtl_requires_positive_bandwidth():
+    with pytest.raises(ValueError):
+        DTL(_transfer(), "GB", "rd", EndpointKind.TL, real_bw=0.0)
+
+
+def test_zero_window_means_infinite_reqbw():
+    t = _transfer(x_req=0.0)
+    assert t.req_bw == float("inf")

@@ -1,0 +1,91 @@
+"""Degenerate inputs: scalar layers, empty temporal mappings, Z = 1."""
+
+import pytest
+
+from repro.core.model import LatencyModel
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.mapping.mapping import Mapping
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping
+from repro.simulator.engine import CycleSimulator
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import toy_accelerator
+
+
+def _empty_temporal():
+    return TemporalMapping((), {op: (0,) for op in Operand})
+
+
+def test_scalar_layer_one_cycle():
+    """A 1x1x1 layer runs in one compute cycle plus loading."""
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24)
+    layer = dense_layer(1, 1, 1)
+    mapping = Mapping(layer, SpatialMapping({}), _empty_temporal())
+    report = LatencyModel(acc).evaluate(mapping)
+    assert report.cc_spatial == 1
+    assert report.ss_overall == 0  # everything preloads; no steady state
+    sim = CycleSimulator(acc, mapping).run()
+    assert sim.compute_cycles == 1
+    assert sim.total_cycles >= 1
+
+
+def test_layer_exactly_matching_spatial_array():
+    """All loops spatial: the temporal schedule is a single cycle."""
+    acc = toy_accelerator(array=16, reg_bits=8, o_reg_bits=24,
+                          reg_instances=16, o_instances=16, reg_bw=8,
+                          gb_read_bw=256, gb_write_bw=256)
+    layer = dense_layer(2, 4, 2)
+    spatial = SpatialMapping({LoopDim.B: 2, LoopDim.K: 4, LoopDim.C: 2})
+    mapping = Mapping(layer, spatial, _empty_temporal())
+    report = LatencyModel(acc).evaluate(mapping, validate=False)
+    assert report.cc_spatial == 1
+    assert report.cc_ideal == pytest.approx(1.0)
+    sim = CycleSimulator(acc, mapping).run()
+    assert sim.total_cycles >= 1
+
+
+def test_fully_resident_mapping_only_loads():
+    """Every tile fits at level 0: no steady-state DTL at all (Z = 1)."""
+    acc = toy_accelerator(reg_bits=8 * 64, o_reg_bits=24 * 64,
+                          gb_read_bw=64, gb_write_bw=64)
+    layer = dense_layer(2, 4, 8)
+    from repro.mapping.loop import Loop
+
+    loops = TemporalMapping(
+        tuple(Loop(d, s) for d, s in ((LoopDim.C, 8), (LoopDim.B, 2), (LoopDim.K, 4))),
+        {op: (3,) for op in Operand},
+    )
+    mapping = Mapping(layer, SpatialMapping({}), loops)
+    report = LatencyModel(acc).evaluate(mapping)
+    steady = [d for d in report.dtls if d.transfer.kind.value != "compute"]
+    assert steady == []
+    assert report.ss_overall == 0
+    sim = CycleSimulator(acc, mapping).run()
+    # Simulator: preload + compute + final drain only.
+    assert sim.stall_cycles == pytest.approx(0.0, abs=1.0)
+
+
+def test_mapper_handles_unit_layer(case_preset):
+    mapper = TemporalMapper(
+        case_preset.accelerator, {}, MapperConfig(max_enumerated=10, samples=5)
+    )
+    best = mapper.best_mapping(dense_layer(1, 1, 1))
+    assert best.report.total_cycles >= 1
+
+
+def test_single_temporal_loop():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24, gb_read_bw=64, gb_write_bw=64)
+    layer = dense_layer(1, 1, 16)
+    from repro.mapping.loop import Loop
+
+    # The C16 loop lives at the GB level (a single weight register cannot
+    # hold a 16-element tile).
+    tm = TemporalMapping((Loop(LoopDim.C, 16),), {op: (0,) for op in Operand})
+    mapping = Mapping(layer, SpatialMapping({}), tm)
+    report = LatencyModel(acc).evaluate(mapping)
+    assert report.cc_spatial == 16
+    sim = CycleSimulator(acc, mapping).run()
+    assert sim.total_cycles >= 16

@@ -1,0 +1,147 @@
+"""Property-based invariants of the latency model (hypothesis).
+
+These check the model's global guarantees over randomized layers and
+mapper-produced mappings rather than hand-picked cases:
+
+* total latency >= CC_spatial >= CC_ideal;
+* utilization in (0, 1] and equal to CC_ideal / CC;
+* latency never improves when a port gets slower (monotonicity);
+* the BW-unaware model never exceeds the aware one;
+* the simulator respects the same lower bounds;
+* footprints grow monotonically with added loops.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import BwUnawareModel
+from repro.core.model import LatencyModel
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.mapping.footprint import tile_elements
+from repro.mapping.loop import Loop
+from repro.mapping.spatial import SpatialMapping
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import toy_accelerator
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_dims = st.tuples(
+    st.integers(1, 32), st.integers(1, 32), st.integers(1, 64)
+)
+
+
+def _machine(gb_bw=16.0):
+    return toy_accelerator(
+        reg_bits=64, o_reg_bits=24 * 8, reg_bw=16,
+        gb_read_bw=gb_bw, gb_write_bw=gb_bw,
+    )
+
+
+def _some_mappings(acc, layer, count=3):
+    mapper = TemporalMapper(acc, {}, MapperConfig(max_enumerated=24, samples=16))
+    return list(itertools.islice(mapper.mappings(layer), count))
+
+
+@_SETTINGS
+@given(dims=_dims)
+def test_latency_ordering_invariant(dims):
+    b, k, c = dims
+    acc = _machine()
+    layer = dense_layer(b, k, c)
+    model = LatencyModel(acc)
+    for mapping in _some_mappings(acc, layer):
+        report = model.evaluate(mapping, validate=False)
+        assert report.cc_spatial >= report.cc_ideal - 1e-9
+        assert report.computation_cycles >= report.cc_spatial - 1e-9
+        assert report.total_cycles >= report.computation_cycles - 1e-9
+        assert 0 < report.utilization <= 1 + 1e-9
+        assert report.utilization == pytest.approx(
+            report.cc_ideal / report.total_cycles
+        )
+
+
+@_SETTINGS
+@given(dims=_dims)
+def test_bandwidth_monotonicity(dims):
+    b, k, c = dims
+    layer = dense_layer(b, k, c)
+    slow_acc, fast_acc = _machine(4.0), _machine(64.0)
+    for mapping in _some_mappings(slow_acc, layer, count=2):
+        slow = LatencyModel(slow_acc).evaluate(mapping, validate=False)
+        fast = LatencyModel(fast_acc).evaluate(mapping, validate=False)
+        assert fast.total_cycles <= slow.total_cycles + 1e-6
+        assert fast.ss_overall <= slow.ss_overall + 1e-6
+
+
+@_SETTINGS
+@given(dims=_dims)
+def test_bw_unaware_is_lower_bound(dims):
+    b, k, c = dims
+    acc = _machine(4.0)
+    layer = dense_layer(b, k, c)
+    aware = LatencyModel(acc)
+    unaware = BwUnawareModel(acc)
+    for mapping in _some_mappings(acc, layer, count=2):
+        assert (
+            unaware.evaluate(mapping).total_cycles
+            <= aware.evaluate(mapping, validate=False).total_cycles + 1e-6
+        )
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(dims=st.tuples(st.integers(1, 8), st.integers(1, 8), st.integers(1, 16)))
+def test_simulator_lower_bound(dims):
+    from repro.simulator.engine import CycleSimulator
+
+    b, k, c = dims
+    acc = _machine(8.0)
+    layer = dense_layer(b, k, c)
+    for mapping in _some_mappings(acc, layer, count=1):
+        sim = CycleSimulator(acc, mapping).run()
+        assert sim.total_cycles >= mapping.spatial_cycles - 1e-6
+
+
+@_SETTINGS
+@given(
+    sizes=st.lists(st.integers(2, 5), min_size=1, max_size=4),
+    dims=st.lists(st.sampled_from(list(LoopDim)), min_size=1, max_size=4),
+)
+def test_footprint_monotone_in_loops(sizes, dims):
+    # Conv-shaped layer so the partially-relevant dims matter too.
+    from repro.workload.layer import LayerSpec, LayerType
+
+    layer = LayerSpec(
+        LayerType.CONV2D,
+        {LoopDim.B: 8, LoopDim.K: 16, LoopDim.C: 16, LoopDim.OX: 8,
+         LoopDim.OY: 8, LoopDim.FX: 3, LoopDim.FY: 3},
+    )
+    spatial = SpatialMapping({})
+    loops = [Loop(d, s) for d, s in zip(dims, sizes)]
+    for operand in Operand:
+        prev = tile_elements(layer, operand, (), spatial)
+        for i in range(1, len(loops) + 1):
+            cur = tile_elements(layer, operand, tuple(loops[:i]), spatial)
+            assert cur >= prev
+            prev = cur
+
+
+@_SETTINGS
+@given(dims=_dims)
+def test_report_breakdown_sums(dims):
+    b, k, c = dims
+    acc = _machine()
+    layer = dense_layer(b, k, c)
+    for mapping in _some_mappings(acc, layer, count=2):
+        report = LatencyModel(acc).evaluate(mapping, validate=False)
+        assert report.breakdown.total == pytest.approx(report.total_cycles)

@@ -1,0 +1,95 @@
+"""Pre-loading and offloading phase latency."""
+
+import pytest
+
+from repro.core.loading import offload_cycles, preload_cycles
+from repro.hardware.accelerator import Accelerator
+from repro.mapping.loop import Loop
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import make_mapping, toy_accelerator
+
+
+def _mapping(b=8, k=4, c=4):
+    layer = dense_layer(b, k, c)
+    levels = {
+        Operand.W: [[Loop(LoopDim.B, b)], [Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.I: [[], [Loop(LoopDim.B, b), Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.O: [[Loop(LoopDim.B, b), Loop(LoopDim.C, c)], [Loop(LoopDim.K, k)]],
+    }
+    return make_mapping(layer, {}, levels)
+
+
+def test_preload_fills_first_tiles():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=8)
+    mapping = _mapping()
+    # W first tile: 1 weight (8b); I first tile: 1 input (8b). Both cross
+    # the shared GB rd port at 8 b/cyc -> serialized: 2 cycles.
+    assert preload_cycles(acc, mapping) == pytest.approx(2.0)
+
+
+def test_preload_scales_with_bandwidth():
+    slow = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=4)
+    fast = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=16)
+    mapping = _mapping()
+    assert preload_cycles(slow, mapping) == 2 * preload_cycles(fast, mapping) * 2
+
+
+def test_preload_with_offchip_stage():
+    import dataclasses
+
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=8)
+    acc_offchip = dataclasses.replace(acc, offchip_bandwidth=8.0)
+    mapping = _mapping(b=8, k=4, c=4)
+    base = preload_cycles(acc, mapping)
+    with_dram = preload_cycles(acc_offchip, mapping)
+    # Off-chip stage loads the full W + I data at 8 b/cyc on top.
+    layer = mapping.layer
+    full_bits = layer.operand_bits(Operand.W) + layer.operand_bits(Operand.I)
+    assert with_dram == pytest.approx(base + full_bits / 8.0)
+
+
+def test_offload_drains_final_tile():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 16, gb_write_bw=24)
+    mapping = _mapping()
+    # O level-0 tile: B8 outputs at final precision 24b = 192 bits over
+    # min(o_reg rd bw, gb wr bw) = 24 b/cyc -> 8 cycles.
+    assert offload_cycles(acc, mapping) == pytest.approx(8.0)
+
+
+def test_offload_uses_final_precision():
+    from repro.workload.layer import Precision
+
+    layer = dense_layer(8, 4, 4, precision=Precision(w=8, i=8, o_final=8, o_partial=32))
+    levels = {
+        Operand.W: [[Loop(LoopDim.B, 8)], [Loop(LoopDim.C, 4), Loop(LoopDim.K, 4)]],
+        Operand.I: [[], [Loop(LoopDim.B, 8), Loop(LoopDim.C, 4), Loop(LoopDim.K, 4)]],
+        Operand.O: [[Loop(LoopDim.B, 8)], [Loop(LoopDim.C, 4), Loop(LoopDim.K, 4)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=32 * 8, gb_write_bw=8)
+    # 8 outputs x 8b final / 8 b/cyc = 8 cycles (not the 32b psum width).
+    assert offload_cycles(acc, mapping) == pytest.approx(8.0)
+
+
+def test_loading_zero_for_single_level_chains():
+    # If an operand lives only in the GB there is nothing to (pre)load.
+    from repro.hardware.hierarchy import MemoryHierarchy, auto_allocate
+    from repro.hardware.mac_array import MacArray
+    from repro.hardware.memory import MemoryInstance, dual_port
+
+    gb = auto_allocate(
+        MemoryInstance("GB", 8 * 2 ** 20, dual_port(64, 64)), set(Operand)
+    )
+    acc = Accelerator(
+        name="flat",
+        mac_array=MacArray(1, 1),
+        hierarchy=MemoryHierarchy({op: (gb,) for op in Operand}),
+    )
+    layer = dense_layer(4, 4, 4)
+    levels = {op: [[Loop(LoopDim.B, 4), Loop(LoopDim.C, 4), Loop(LoopDim.K, 4)]] for op in Operand}
+    mapping = make_mapping(layer, {}, levels)
+    assert preload_cycles(acc, mapping) == 0
+    assert offload_cycles(acc, mapping) == 0

@@ -1,0 +1,71 @@
+"""LatencyReport accessors and breakdown."""
+
+import pytest
+
+from repro.core.report import LatencyBreakdown, LatencyReport
+
+
+def _report(**overrides):
+    base = dict(
+        layer_name="L",
+        accelerator_name="A",
+        cc_ideal=100.0,
+        cc_spatial=120,
+        ss_overall=30.0,
+        preload=10.0,
+        offload=5.0,
+        scenario=4,
+        dtls=(),
+        port_combinations={},
+        served_stalls=(),
+        integration=None,
+    )
+    base.update(overrides)
+    return LatencyReport(**base)
+
+
+def test_totals_and_utilizations():
+    r = _report()
+    assert r.spatial_stall == 20
+    assert r.computation_cycles == 150
+    assert r.total_cycles == 165
+    assert r.utilization == pytest.approx(100 / 165)
+    assert r.spatial_utilization == pytest.approx(100 / 120)
+    assert r.temporal_utilization == pytest.approx(120 / 150)
+
+
+def test_breakdown_sums_to_total():
+    r = _report()
+    bd = r.breakdown
+    assert bd.total == pytest.approx(r.total_cycles)
+    d = bd.as_dict()
+    assert d["temporal_stall"] == 30
+    assert d["total"] == pytest.approx(165)
+
+
+def test_breakdown_standalone():
+    bd = LatencyBreakdown(preload=1, ideal=2, spatial_stall=3, temporal_stall=4, offload=5)
+    assert bd.total == 15
+
+
+def test_bottlenecks_filter_positive():
+    from repro.core.step2 import ServedMemoryStall
+    from repro.workload.operand import Operand
+
+    stalls = (
+        ServedMemoryStall(Operand.W, 0, "A", 10.0, ("A", "rd")),
+        ServedMemoryStall(Operand.I, 0, "B", -5.0, ("B", "rd")),
+        ServedMemoryStall(Operand.O, 0, "C", 30.0, ("C", "wr")),
+    )
+    r = _report(served_stalls=stalls)
+    top = r.bottlenecks(top=2)
+    assert [s.memory for s in top] == ["C", "A"]
+
+
+def test_summary_and_as_dict():
+    r = _report()
+    text = r.summary()
+    assert "scenario 4" in text and "TOTAL" in text
+    d = r.as_dict()
+    assert d["scenario"] == 4.0
+    assert d["utilization"] == pytest.approx(100 / 165)

@@ -1,0 +1,81 @@
+"""Bandwidth / capacity sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import SensitivityAnalyzer, SensitivityCurve, SensitivityPoint
+from repro.hardware.presets import case_study_accelerator
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    preset = case_study_accelerator()
+    from repro.dse.mapper import MapperConfig
+
+    return SensitivityAnalyzer(
+        preset.accelerator, preset.spatial_unrolling,
+        mapper_config=MapperConfig(max_enumerated=60, samples=40),
+    )
+
+
+@pytest.fixture(scope="module")
+def bw_curve(analyzer):
+    return analyzer.bandwidth_sweep(
+        dense_layer(512, 512, 8), "GB", (64.0, 128.0, 512.0, 2048.0)
+    )
+
+
+def test_bandwidth_sweep_monotone(bw_curve):
+    totals = [p.total_cycles for p in bw_curve.points]
+    assert totals == sorted(totals, reverse=True)
+    assert bw_curve.points[0].ss_overall > bw_curve.points[-1].ss_overall
+
+
+def test_curve_knee_and_rows(bw_curve):
+    knee = bw_curve.knee()
+    assert knee is not None
+    assert knee.value in {p.value for p in bw_curve.points}
+    rows = bw_curve.as_rows()
+    assert rows[0]["bandwidth"] == 64.0
+    assert "utilization" in rows[0]
+
+
+def test_capacity_sweep_non_worsening(analyzer):
+    layer = dense_layer(64, 128, 1200)
+    kb = 1024 * 8
+    curve = analyzer.capacity_sweep(layer, "I-LB", (4 * kb, 8 * kb, 32 * kb))
+    assert len(curve.points) == 3
+    # More I-LB capacity never hurts the best mapping (within search noise).
+    assert curve.points[-1].total_cycles <= curve.points[0].total_cycles * 1.05
+
+
+def test_fixed_mapping_mode(analyzer):
+    preset = case_study_accelerator()
+    from repro.dse.mapper import MapperConfig
+
+    fixed = SensitivityAnalyzer(
+        preset.accelerator, preset.spatial_unrolling,
+        mapper_config=MapperConfig(max_enumerated=60, samples=40),
+        remap_per_point=False,
+    )
+    curve = fixed.bandwidth_sweep(dense_layer(128, 128, 8), "GB", (128.0, 1024.0))
+    assert len(curve.points) == 2
+    assert curve.points[1].total_cycles <= curve.points[0].total_cycles
+
+
+def test_compute_bound_detection():
+    points = (
+        SensitivityPoint(64, 1000, 500, 0.4),
+        SensitivityPoint(128, 600, 100, 0.7),
+        SensitivityPoint(256, 500, 0, 0.9),
+    )
+    curve = SensitivityCurve("bandwidth", points)
+    assert curve.compute_bound_from() == 256
+    assert curve.knee().value == 256
+
+
+def test_empty_curve():
+    curve = SensitivityCurve("bandwidth", ())
+    assert curve.knee() is None
+    assert curve.compute_bound_from() is None
+    assert curve.as_rows() == []

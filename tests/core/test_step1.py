@@ -1,0 +1,236 @@
+"""Step 1: DTL construction, Table I semantics, Fig. 3 stall cases."""
+
+import math
+
+import pytest
+
+from repro.core.dtl import TrafficKind
+from repro.core.step1 import ModelOptions, build_dtls
+from repro.mapping.loop import Loop
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import make_mapping, toy_accelerator
+
+
+def _dtls_by(dtls, operand=None, kind=None, memory=None):
+    out = []
+    for d in dtls:
+        t = d.transfer
+        if operand is not None and t.operand is not operand:
+            continue
+        if kind is not None and t.kind is not kind:
+            continue
+        if memory is not None and d.memory != memory:
+            continue
+        out.append(d)
+    return out
+
+
+def _ws_mapping(acc=None, b=8, k=4, c=4):
+    """Weight-'stationary' toy mapping: W reg holds one weight across B."""
+    layer = dense_layer(b, k, c)
+    levels = {
+        Operand.W: [[Loop(LoopDim.B, b)], [Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.I: [[], [Loop(LoopDim.B, b), Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.O: [[Loop(LoopDim.B, b), Loop(LoopDim.C, c)], [Loop(LoopDim.K, k)]],
+    }
+    return make_mapping(layer, {}, levels)
+
+
+def test_refill_periods_and_counts():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=8, gb_write_bw=8)
+    mapping = _ws_mapping()
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    w_refills = _dtls_by(dtls, Operand.W, TrafficKind.REFILL)
+    # Two endpoints (GB read + W-Reg write) of one transfer.
+    assert len(w_refills) == 2
+    t = w_refills[0].transfer
+    assert t.period == 8          # B8 at the reg level
+    assert t.repeats == 4 * 4 - 1  # Z-1 steady-state (first tile preloaded)
+    assert t.data_bits == 8       # one 8-bit weight
+
+
+def test_paper_period_count_option():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8)
+    mapping = _ws_mapping()
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False, paper_period_count=True))
+    t = _dtls_by(dtls, Operand.W, TrafficKind.REFILL)[0].transfer
+    assert t.repeats == 16  # all Z periods, as printed
+
+
+def test_table1_nondb_ir_top_scales_reqbw():
+    """Table I row: non-DB memory with ir loop on top -> ReqBW = BW0 x top-ir."""
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8)
+    mapping = _ws_mapping(b=8)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    t = _dtls_by(dtls, Operand.W, TrafficKind.REFILL)[0].transfer
+    # W-Reg: P=8 (B8 ir on top), Mem_DATA=8b -> BW0=1, top-ir=8 -> ReqBW=8.
+    assert t.bw0 == pytest.approx(1.0)
+    assert t.req_bw == pytest.approx(8.0)
+    assert t.x_req == pytest.approx(1.0)
+    # Window sits at the period end (keep-out zone before it).
+    assert t.window_start == pytest.approx(7.0)
+
+
+def test_table1_db_memory_full_window():
+    """Table I row: double-buffered memory -> ReqBW = BW0 regardless of top loop."""
+    acc = toy_accelerator(reg_bits=16, o_reg_bits=24 * 8, reg_double_buffered=True)
+    mapping = _ws_mapping(b=8)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    t = _dtls_by(dtls, Operand.W, TrafficKind.REFILL)[0].transfer
+    assert t.x_req == pytest.approx(8.0)   # whole period
+    assert t.req_bw == pytest.approx(t.bw0)
+    assert t.window_start == pytest.approx(0.0)
+
+
+def test_table1_r_top_full_window():
+    """Non-DB with a relevant loop on top streams across the whole period."""
+    acc = toy_accelerator(reg_bits=4 * 8, o_reg_bits=24 * 8)
+    layer = dense_layer(2, 4, 8)
+    levels = {
+        # W level 0 = [C4]: r on top for W -> no keep-out.
+        Operand.W: [[Loop(LoopDim.C, 4)],
+                    [Loop(LoopDim.C, 2), Loop(LoopDim.B, 2), Loop(LoopDim.K, 4)]],
+        Operand.I: [[], [Loop(LoopDim.C, 4), Loop(LoopDim.C, 2), Loop(LoopDim.B, 2), Loop(LoopDim.K, 4)]],
+        Operand.O: [[Loop(LoopDim.C, 4), Loop(LoopDim.C, 2)], [Loop(LoopDim.B, 2), Loop(LoopDim.K, 4)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    t = _dtls_by(dtls, Operand.W, TrafficKind.REFILL)[0].transfer
+    assert t.x_req == pytest.approx(t.period)
+    assert t.req_bw == pytest.approx(t.bw0)
+
+
+def test_residency_extension_by_ir_run_above():
+    """ir loops directly above a boundary extend Mem_CC (reuse, no refill)."""
+    acc = toy_accelerator(reg_bits=4 * 8, o_reg_bits=24 * 8)
+    layer = dense_layer(4, 4, 4)
+    levels = {
+        # W level 0 = [C4]; directly above: B4 (ir for W) then K4.
+        Operand.W: [[Loop(LoopDim.C, 4)], [Loop(LoopDim.B, 4), Loop(LoopDim.K, 4)]],
+        Operand.I: [[], [Loop(LoopDim.C, 4), Loop(LoopDim.B, 4), Loop(LoopDim.K, 4)]],
+        Operand.O: [[Loop(LoopDim.C, 4)], [Loop(LoopDim.B, 4), Loop(LoopDim.K, 4)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    t = _dtls_by(dtls, Operand.W, TrafficKind.REFILL)[0].transfer
+    assert t.period == 16          # 4 (C) x 4 (B extension)
+    assert t.repeats == 4 - 1      # one refill per K iteration
+
+
+def test_fully_resident_tile_generates_no_refill():
+    acc = toy_accelerator(reg_bits=4 * 4 * 8, o_reg_bits=24 * 8)
+    layer = dense_layer(4, 4, 4)
+    levels = {
+        # All W loops at level 0: the whole weight tensor is preloaded.
+        Operand.W: [[Loop(LoopDim.C, 4), Loop(LoopDim.K, 4), Loop(LoopDim.B, 4)], []],
+        Operand.I: [[], [Loop(LoopDim.C, 4), Loop(LoopDim.K, 4), Loop(LoopDim.B, 4)]],
+        Operand.O: [[Loop(LoopDim.C, 4)], [Loop(LoopDim.K, 4), Loop(LoopDim.B, 4)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    assert _dtls_by(dtls, Operand.W, TrafficKind.REFILL) == []
+
+
+def test_output_stationary_flush_final_precision():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 4)
+    layer = dense_layer(8, 4, 4)
+    levels = {
+        Operand.W: [[Loop(LoopDim.C, 4)], [Loop(LoopDim.B, 8), Loop(LoopDim.K, 4)]],
+        Operand.I: [[], [Loop(LoopDim.C, 4), Loop(LoopDim.B, 8), Loop(LoopDim.K, 4)]],
+        # All C at O level 0: pure output-stationary.
+        Operand.O: [[Loop(LoopDim.C, 4)], [Loop(LoopDim.B, 8), Loop(LoopDim.K, 4)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    flushes = _dtls_by(dtls, Operand.O, TrafficKind.FLUSH)
+    assert flushes
+    t = flushes[0].transfer
+    assert t.data_bits == 24  # one final output at o_final precision
+    assert _dtls_by(dtls, Operand.O, TrafficKind.PSUM_READBACK) == []
+
+
+def test_interrupted_accumulation_creates_psum_readback():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24)
+    layer = dense_layer(2, 2, 8)
+    levels = {
+        Operand.W: [[Loop(LoopDim.C, 2)],
+                    [Loop(LoopDim.B, 2), Loop(LoopDim.K, 2), Loop(LoopDim.C, 4)]],
+        Operand.I: [[], [Loop(LoopDim.C, 2), Loop(LoopDim.B, 2), Loop(LoopDim.K, 2), Loop(LoopDim.C, 4)]],
+        # C split: C2 inside O-Reg, C4 above (with B,K between) -> psums.
+        Operand.O: [[Loop(LoopDim.C, 2)],
+                    [Loop(LoopDim.B, 2), Loop(LoopDim.K, 2), Loop(LoopDim.C, 4)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+    flushes = _dtls_by(dtls, Operand.O, TrafficKind.FLUSH)
+    readbacks = _dtls_by(dtls, Operand.O, TrafficKind.PSUM_READBACK)
+    assert flushes and readbacks
+    t_flush = flushes[0].transfer
+    assert t_flush.data_bits == layer.precision.o_partial  # psum precision
+    # Z = 16 periods, revisit factor 4 -> 16 - 4 = 12 read-backs.
+    assert readbacks[0].transfer.repeats == 12
+
+
+def test_compute_edge_dtls():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, reg_bw=8.0)
+    mapping = _ws_mapping()
+    dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=True))
+    edges = _dtls_by(dtls, kind=TrafficKind.COMPUTE_READ)
+    # One per W and I (output accumulation is internal to the MAC).
+    assert {d.transfer.operand for d in edges} == {Operand.W, Operand.I}
+    w_edge = _dtls_by(dtls, Operand.W, TrafficKind.COMPUTE_READ)[0]
+    assert w_edge.transfer.period == 1
+    assert w_edge.transfer.repeats == mapping.spatial_cycles
+    # 8b needed per cycle over an 8 b/cyc reg read port: zero stall.
+    assert w_edge.ss_u == pytest.approx(0.0)
+
+
+def test_ss_u_sign_matches_fig3():
+    """Fig. 3: SS_u = 0 when X_REAL = X_REQ, negative when faster, positive when slower."""
+    mapping = _ws_mapping()
+    # W-Reg refill: Mem_DATA = 8 b, X_REQ = 1 cycle.
+    exact = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=8)
+    slack = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=16)
+    stall = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=4)
+    for acc, sign in ((exact, 0), (slack, -1), (stall, 1)):
+        dtls = build_dtls(acc, mapping, ModelOptions(compute_edges=False))
+        gb_side = [
+            d for d in _dtls_by(dtls, Operand.W, TrafficKind.REFILL)
+            if d.memory == "GB"
+        ][0]
+        assert math.copysign(1, gb_side.ss_u) == sign or gb_side.ss_u == sign == 0
+
+
+def test_endpoints_share_transfer_but_differ_in_realbw():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, reg_bw=8, gb_read_bw=64)
+    mapping = _ws_mapping()
+    dtls = _dtls_by(
+        build_dtls(acc, mapping, ModelOptions(compute_edges=False)),
+        Operand.W, TrafficKind.REFILL,
+    )
+    assert dtls[0].transfer is dtls[1].transfer
+    bws = {d.memory: d.real_bw for d in dtls}
+    assert bws["GB"] == 64 and bws["W-Reg"] == 8
+
+
+def test_served_memory_is_lower_level():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8)
+    mapping = _ws_mapping()
+    for d in build_dtls(acc, mapping, ModelOptions(compute_edges=False)):
+        t = d.transfer
+        if t.kind is TrafficKind.REFILL:
+            assert t.served_memory == t.dst_memory
+        elif t.kind is TrafficKind.FLUSH:
+            assert t.served_memory == t.src_memory
+
+
+def test_model_options_validation():
+    with pytest.raises(ValueError):
+        ModelOptions(combine_rule="bogus")
+    with pytest.raises(ValueError):
+        ModelOptions(served_rule="bogus")
+    paper = ModelOptions.paper_faithful()
+    assert paper.paper_period_count and paper.combine_rule == "paper"

@@ -1,0 +1,221 @@
+"""Step 2: Eq. (1)/(2) shared-port combination and served-memory max/sum."""
+
+import pytest
+
+from repro.core.dtl import DTL, TrafficKind, Transfer
+from repro.core.step2 import combine_all_ports, combine_port, served_memory_stalls
+from repro.hardware.port import EndpointKind
+from repro.workload.operand import Operand
+
+
+def _dtl(
+    operand=Operand.W,
+    kind=TrafficKind.REFILL,
+    data_bits=8.0,
+    period=8.0,
+    repeats=10,
+    x_req=1.0,
+    real_bw=8.0,
+    memory="GB",
+    port="rd",
+    served="W-Reg",
+    level=0,
+    start=None,
+):
+    transfer = Transfer(
+        operand=operand,
+        kind=kind,
+        served_memory=served,
+        served_level=level,
+        src_memory=memory,
+        dst_memory=served,
+        data_bits=data_bits,
+        period=period,
+        repeats=repeats,
+        x_req=x_req,
+        window_start=period - x_req if start is None else start,
+    )
+    return DTL(transfer, memory, port, EndpointKind.TL, real_bw)
+
+
+def test_single_dtl_passthrough():
+    d = _dtl(data_bits=8, x_req=1, real_bw=4)  # X_REAL=2, SS_u = 10
+    combo = combine_port("GB", "rd", [d], horizon=80)
+    assert combo.ss_comb == pytest.approx(d.ss_u) == pytest.approx(10)
+    assert combo.req_bw_comb == pytest.approx(8.0)
+
+
+def test_eq1_all_slack_no_stall():
+    # Two DTLs, each needs 1 of its 4-cycle window per period: fits easily.
+    a = _dtl(data_bits=8, x_req=4, real_bw=8, start=4)   # X_REAL=1
+    b = _dtl(data_bits=8, x_req=4, real_bw=8, start=0, served="I-Reg",
+             operand=Operand.I)
+    combo = combine_port("GB", "rd", [a, b], horizon=80)
+    # Eq (1): sum busy (10+10) - union window (80) < 0.
+    assert combo.ss_comb == pytest.approx(20 - 80)
+
+
+def test_eq1_window_overflow_creates_stall():
+    # Both DTLs demand the same 1-cycle end-of-period window: union = 10
+    # cycles over the horizon but demand = 20 cycle-equivalents.
+    a = _dtl(data_bits=8, x_req=1, real_bw=8)
+    b = _dtl(data_bits=8, x_req=1, real_bw=8, served="I-Reg", operand=Operand.I)
+    combo = combine_port("GB", "rd", [a, b], horizon=80)
+    assert combo.muw_comb == pytest.approx(10)
+    assert combo.ss_comb == pytest.approx(10)  # 20 - 10
+
+
+def test_eq2_positive_stall_not_cancelled_by_slack():
+    """The paper's no-cancellation rule: slack never erases another DTL's stall."""
+    stalling = _dtl(data_bits=16, x_req=1, real_bw=8)           # SS_u = +10
+    slack = _dtl(data_bits=8, x_req=8, real_bw=8, start=0,
+                 served="I-Reg", operand=Operand.I)             # SS_u = -70
+    combo = combine_port(
+        "GB", "rd", [stalling, slack], horizon=80, rule="paper"
+    )
+    # Eq (2): 10 + max(0, (80 + (-70)) - muw_comb) = 10 + max(0, 10-80) = 10.
+    assert combo.ss_comb == pytest.approx(10)
+
+
+def test_refined_rule_counts_total_busy():
+    """Refined rule: a saturating DTL cannot hide inside a window another
+    stalling DTL already consumes."""
+    stalling = _dtl(data_bits=16, x_req=1, real_bw=8)            # busy 2/period
+    saturating = _dtl(data_bits=8, x_req=8, real_bw=1, start=0,
+                      served="I-Reg", operand=Operand.I)         # busy 8/period (SS_u=0)
+    paper = combine_port("GB", "rd", [stalling, saturating], horizon=80, rule="paper")
+    refined = combine_port("GB", "rd", [stalling, saturating], horizon=80, rule="refined")
+    # total busy = 20 + 80 = 100 > horizon 80 -> refined sees 20 cycles stall.
+    assert refined.ss_comb == pytest.approx(100 - 80)
+    assert paper.ss_comb == pytest.approx(10)  # printed Eq. (2) misses half
+
+
+def test_refined_never_below_paper():
+    import random
+
+    rng = random.Random(0)
+    for _ in range(50):
+        dtls = [
+            _dtl(
+                data_bits=rng.choice([4, 8, 16]),
+                x_req=rng.choice([1, 2, 4, 8]),
+                real_bw=rng.choice([2, 4, 8]),
+                served=f"m{i}",
+                operand=rng.choice(list(Operand)),
+            )
+            for i in range(rng.randint(1, 4))
+        ]
+        paper = combine_port("GB", "rd", dtls, horizon=160, rule="paper")
+        refined = combine_port("GB", "rd", dtls, horizon=160, rule="refined")
+        assert refined.ss_comb >= paper.ss_comb - 1e-9
+
+
+def test_combine_all_ports_groups_by_port():
+    a = _dtl(memory="GB", port="rd")
+    b = _dtl(memory="GB", port="wr", kind=TrafficKind.FLUSH, served="O-Reg",
+             operand=Operand.O)
+    c = _dtl(memory="W-LB", port="rd", served="W-Reg")
+    combos = combine_all_ports([a, b, c], horizon=80)
+    assert set(combos) == {("GB", "rd"), ("GB", "wr"), ("W-LB", "rd")}
+
+
+def test_served_memory_max_within_stream():
+    """The two endpoints of one transfer: served mem takes the port max."""
+    t = _dtl(memory="GB", port="rd", real_bw=4).transfer  # shared transfer
+    src = DTL(t, "GB", "rd", EndpointKind.TL, real_bw=4)   # slower port
+    dst = DTL(t, "W-Reg", "wr", EndpointKind.FH, real_bw=64)
+    combos = combine_all_ports([src, dst], horizon=80)
+    served = served_memory_stalls([src, dst], combos)
+    assert len(served) == 1
+    assert served[0].ss == pytest.approx(combos[("GB", "rd")].ss_comb)
+    assert served[0].limiting_port == ("GB", "rd")
+
+
+def test_served_memory_paper_max_vs_sum():
+    """Distinct streams on one unit memory: paper takes max, 'sum' adds."""
+    flush = _dtl(
+        kind=TrafficKind.FLUSH, memory="GB", port="wr",
+        served="O-Reg", operand=Operand.O, data_bits=16, x_req=1, real_bw=8,
+    )  # SS +10
+    readback = _dtl(
+        kind=TrafficKind.PSUM_READBACK, memory="GB", port="rd",
+        served="O-Reg", operand=Operand.O, data_bits=24, x_req=1, real_bw=8,
+        start=0.0,
+    )  # SS +20
+    combos = combine_all_ports([flush, readback], horizon=80)
+    paper = served_memory_stalls([flush, readback], combos, rule="paper")
+    summed = served_memory_stalls([flush, readback], combos, rule="sum")
+    assert paper[0].ss == pytest.approx(20)
+    assert summed[0].ss == pytest.approx(30)
+
+
+def test_served_memory_refined_keeps_negative_when_all_slack():
+    a = _dtl(kind=TrafficKind.FLUSH, memory="GB", port="wr", served="O-Reg",
+             operand=Operand.O, data_bits=1, x_req=8, real_bw=8, start=0)
+    b = _dtl(kind=TrafficKind.PSUM_READBACK, memory="GB", port="rd",
+             served="O-Reg", operand=Operand.O, data_bits=1, x_req=8,
+             real_bw=8, start=0)
+    combos = combine_all_ports([a, b], horizon=80)
+    served = served_memory_stalls([a, b], combos, rule="sum")
+    assert served[0].ss < 0  # slack stays slack; nothing fabricated
+
+
+def _chain_pair(flush_xreq, rb_xreq, period=8.0):
+    flush = _dtl(
+        kind=TrafficKind.FLUSH, memory="GB", port="wr", served="O-Reg",
+        operand=Operand.O, data_bits=16, x_req=flush_xreq, real_bw=8,
+        period=period,
+    )
+    readback = _dtl(
+        kind=TrafficKind.PSUM_READBACK, memory="GB", port="rd",
+        served="O-Reg", operand=Operand.O, data_bits=16, x_req=rb_xreq,
+        real_bw=8, start=0.0, period=period,
+    )
+    return flush, readback
+
+
+def test_chained_rule_sums_separated_windows():
+    """X_REQ < P on both streams: the chain binds (stalls add)."""
+    flush, readback = _chain_pair(flush_xreq=1.0, rb_xreq=1.0)
+    combos = combine_all_ports([flush, readback], horizon=80)
+    served = served_memory_stalls([flush, readback], combos, rule="chained")
+    paper = served_memory_stalls([flush, readback], combos, rule="paper")
+    assert served[0].ss == pytest.approx(
+        combos[("GB", "wr")].ss_comb + combos[("GB", "rd")].ss_comb
+    )
+    assert served[0].ss > paper[0].ss
+
+
+def test_chained_rule_pipelines_full_windows():
+    """X_REQ == P: boundaries abut, streams pipeline, chain does not bind."""
+    flush, readback = _chain_pair(flush_xreq=8.0, rb_xreq=8.0)
+    combos = combine_all_ports([flush, readback], horizon=80)
+    served = served_memory_stalls([flush, readback], combos, rule="chained")
+    paper = served_memory_stalls([flush, readback], combos, rule="paper")
+    assert served[0].ss == pytest.approx(paper[0].ss)
+
+
+def test_chained_rule_needs_both_streams():
+    """A lone flush (output-stationary) never triggers the chain bound."""
+    flush, __ = _chain_pair(flush_xreq=1.0, rb_xreq=1.0)
+    combos = combine_all_ports([flush], horizon=80)
+    served = served_memory_stalls([flush], combos, rule="chained")
+    paper = served_memory_stalls([flush], combos, rule="paper")
+    assert served[0].ss == pytest.approx(paper[0].ss)
+
+
+def test_chained_rule_mixed_windows_pipeline():
+    """One abutting stream is enough to keep the pipeline going."""
+    flush, readback = _chain_pair(flush_xreq=8.0, rb_xreq=1.0)
+    combos = combine_all_ports([flush, readback], horizon=80)
+    served = served_memory_stalls([flush, readback], combos, rule="chained")
+    paper = served_memory_stalls([flush, readback], combos, rule="paper")
+    assert served[0].ss == pytest.approx(paper[0].ss)
+
+
+def test_describe_strings():
+    d = _dtl()
+    combo = combine_port("GB", "rd", [d], horizon=80)
+    assert "GB.rd" in combo.describe()
+    served = served_memory_stalls([d], {("GB", "rd"): combo})
+    assert "W-Reg" in served[0].describe()

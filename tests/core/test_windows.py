@@ -1,0 +1,151 @@
+"""Periodic window functions: union/intersection, hyperperiod fast path."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import (
+    PeriodicWindow,
+    _clipped_union,
+    intersection_length,
+    union_length,
+)
+
+
+def test_total_active_is_muw():
+    w = PeriodicWindow(period=10, active=3, start=7, repeats=5)
+    assert w.total_active == 15
+    assert w.horizon == 50
+    assert not w.is_full
+
+
+def test_full_window():
+    w = PeriodicWindow(period=10, active=10, start=0, repeats=4)
+    assert w.is_full
+    assert union_length([w], 40) == 40
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PeriodicWindow(period=0, active=0, start=0, repeats=1)
+    with pytest.raises(ValueError):
+        PeriodicWindow(period=10, active=11, start=0, repeats=1)
+    with pytest.raises(ValueError):
+        PeriodicWindow(period=10, active=5, start=6, repeats=1)
+    with pytest.raises(ValueError):
+        PeriodicWindow(period=10, active=5, start=0, repeats=-1)
+
+
+def test_intervals_enumeration():
+    w = PeriodicWindow(period=4, active=1, start=3, repeats=3)
+    assert list(w.intervals()) == [(3, 4), (7, 8), (11, 12)]
+
+
+def test_union_single_window():
+    w = PeriodicWindow(period=10, active=2, start=8, repeats=5)
+    assert union_length([w], 50) == 10
+
+
+def test_union_disjoint_windows():
+    a = PeriodicWindow(period=10, active=2, start=0, repeats=4)
+    b = PeriodicWindow(period=10, active=2, start=5, repeats=4)
+    assert union_length([a, b], 40) == pytest.approx(16)
+
+
+def test_union_overlapping_windows():
+    a = PeriodicWindow(period=10, active=4, start=0, repeats=4)
+    b = PeriodicWindow(period=10, active=4, start=2, repeats=4)
+    assert union_length([a, b], 40) == pytest.approx(24)  # [0,6) per period
+
+
+def test_union_divisor_periods_hyperperiod_path():
+    # period 2 divides period 6; exact union via lcm = 6.
+    a = PeriodicWindow(period=2, active=1, start=1, repeats=30)
+    b = PeriodicWindow(period=6, active=2, start=4, repeats=10)
+    # Per 6 cycles: a covers [1,2) [3,4) [5,6); b covers [4,6).
+    # Union per hyperperiod = 1+1+1 + 1 ([4,5)) = 4.
+    assert union_length([a, b], 60) == pytest.approx(40)
+
+
+def test_union_empty_and_zero_horizon():
+    assert union_length([], 100) == 0
+    w = PeriodicWindow(period=10, active=2, start=0, repeats=1)
+    assert union_length([w], 0) == 0
+
+
+def test_union_never_exceeds_horizon():
+    windows = [
+        PeriodicWindow(period=3, active=3, start=0, repeats=100),
+        PeriodicWindow(period=7, active=2, start=5, repeats=100),
+    ]
+    assert union_length(windows, 50) <= 50
+
+
+def test_clipped_union_partial_last_period():
+    w = PeriodicWindow(period=10, active=4, start=6, repeats=10)
+    # horizon 15 clips the second window [16,20) entirely, keeps [6,10).
+    assert _clipped_union([w], 15) == pytest.approx(4)
+
+
+def test_intersection_basics():
+    a = PeriodicWindow(period=10, active=5, start=0, repeats=2)
+    b = PeriodicWindow(period=10, active=5, start=3, repeats=2)
+    # Per period: [0,5) n [3,8) = [3,5) -> 2; two periods -> 4.
+    assert intersection_length(a, b, 20) == pytest.approx(4)
+
+
+def test_intersection_disjoint():
+    a = PeriodicWindow(period=10, active=2, start=0, repeats=2)
+    b = PeriodicWindow(period=10, active=2, start=5, repeats=2)
+    assert intersection_length(a, b, 20) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    period=st.integers(1, 24),
+    active_frac=st.floats(0.05, 1.0),
+    repeats=st.integers(1, 24),
+)
+def test_union_matches_total_active_single(period, active_frac, repeats):
+    active = period * active_frac
+    start = period - active
+    w = PeriodicWindow(period, active, start, repeats)
+    horizon = period * repeats
+    assert union_length([w], horizon) == pytest.approx(
+        min(w.total_active, horizon), rel=1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    p1=st.sampled_from([2, 3, 4, 6, 12]),
+    p2=st.sampled_from([2, 3, 4, 6, 12]),
+    a1=st.floats(0.1, 1.0),
+    a2=st.floats(0.1, 1.0),
+)
+def test_union_bounds_property(p1, p2, a1, a2):
+    """sup(individual) <= union <= min(sum, horizon)."""
+    horizon = 48
+    w1 = PeriodicWindow(p1, p1 * a1, p1 * (1 - a1), horizon // p1)
+    w2 = PeriodicWindow(p2, p2 * a2, p2 * (1 - a2), horizon // p2)
+    u = union_length([w1, w2], horizon)
+    assert u <= min(w1.total_active + w2.total_active, horizon) + 1e-6
+    assert u >= max(w1.total_active, w2.total_active) - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p1=st.sampled_from([2, 4, 8]),
+    p2=st.sampled_from([2, 4, 8]),
+    a1=st.floats(0.2, 0.9),
+    a2=st.floats(0.2, 0.9),
+)
+def test_hyperperiod_path_matches_direct_merge(p1, p2, a1, a2):
+    horizon = 64
+    w1 = PeriodicWindow(p1, p1 * a1, p1 * (1 - a1), horizon // p1)
+    w2 = PeriodicWindow(p2, p2 * a2, p2 * (1 - a2), horizon // p2)
+    fast = union_length([w1, w2], horizon)
+    direct = _clipped_union([w1, w2], horizon)
+    assert math.isclose(fast, direct, rel_tol=1e-9, abs_tol=1e-9)

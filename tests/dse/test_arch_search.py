@@ -1,0 +1,108 @@
+"""Architecture sweep (Case study 3 machinery)."""
+
+import pytest
+
+from repro.dse.arch_search import ArchSearch, ArchSearchConfig
+from repro.dse.mapper import MapperConfig
+from repro.hardware.pool import MemoryPool
+from repro.hardware.presets import KB
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    pool = MemoryPool(
+        w_reg_options=(8,),
+        i_reg_options=(8,),
+        o_reg_options=(24, 96),
+        w_lb_options=(8 * KB, 32 * KB),
+        i_lb_options=(4 * KB,),
+    )
+    return ArchSearchConfig(
+        array_scales={"16x16": (16, 8, 2)},
+        pool=pool,
+        gb_bandwidths=(128.0,),
+        mapper_config=MapperConfig(max_enumerated=60, samples=40, keep_top=1),
+    )
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return dense_layer(32, 64, 240)
+
+
+@pytest.fixture(scope="module")
+def points(tiny_config, layer):
+    return ArchSearch(tiny_config).evaluate(layer)
+
+
+def test_sweep_covers_all_designs(tiny_config, points):
+    assert len(points) == len(tiny_config.pool)
+
+
+def test_points_have_positive_coords(points):
+    for p in points:
+        assert p.area_mm2 > 0
+        assert p.latency > 0
+        assert 0 < p.utilization <= 1
+        assert p.gb_bandwidth == 128.0
+        assert p.array_label == "16x16"
+
+
+def test_more_memory_more_area(points):
+    by_wlb = {}
+    for p in points:
+        by_wlb.setdefault((p.candidate.o_reg_bits, p.candidate.w_lb_bits), p)
+    small = by_wlb[(24, 8 * KB)]
+    big = by_wlb[(24, 32 * KB)]
+    assert big.area_mm2 > small.area_mm2
+
+
+def test_front_is_subset_and_nondominated(points):
+    front = ArchSearch.front(points)
+    assert front
+    assert all(p in points for p in front)
+    for f in front:
+        assert not any(
+            p.area_mm2 <= f.area_mm2 and p.latency <= f.latency
+            and (p.area_mm2 < f.area_mm2 or p.latency < f.latency)
+            for p in points
+        )
+
+
+def test_best_per_array(points):
+    best = ArchSearch.best_per_array(points)
+    assert set(best) == {"16x16"}
+    assert best["16x16"].latency == min(p.latency for p in points)
+
+
+def test_energy_aware_sweep_and_3d_front(tiny_config, layer):
+    import dataclasses
+
+    config = dataclasses.replace(tiny_config, with_energy=True)
+    points = ArchSearch(config).evaluate(layer)
+    assert all(p.energy_pj is not None and p.energy_pj > 0 for p in points)
+    assert all(p.edp == pytest.approx(p.energy_pj * p.latency) for p in points)
+    front3 = ArchSearch.front3(points)
+    assert front3
+    front2 = ArchSearch.front(points)
+    # The 3-objective front contains every 2-objective front member.
+    for p in front2:
+        assert any(q is p for q in front3)
+
+
+def test_coords3_requires_energy(points):
+    with pytest.raises(ValueError, match="with_energy"):
+        points[0].coords3()
+    assert points[0].edp is None
+
+
+def test_bw_unaware_mode_collapses_latency_spread(tiny_config, layer, points):
+    import dataclasses
+
+    unaware_cfg = dataclasses.replace(tiny_config, bw_aware=False)
+    unaware = ArchSearch(unaware_cfg).evaluate(layer)
+    aware_spread = max(p.latency for p in points) - min(p.latency for p in points)
+    unaware_spread = max(p.latency for p in unaware) - min(p.latency for p in unaware)
+    # Fig. 8(a): without BW awareness, same-array designs look alike.
+    assert unaware_spread <= aware_spread

@@ -1,0 +1,76 @@
+"""Factorization and multiset-permutation utilities."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.factorize import (
+    count_permutations,
+    multiset_permutations,
+    ordered_factorizations,
+    prime_factors,
+    sample_permutations,
+)
+
+
+def test_prime_factors_basics():
+    assert prime_factors(1) == []
+    assert prime_factors(2) == [2]
+    assert prime_factors(600) == [2, 2, 2, 3, 5, 5]
+    assert prime_factors(97) == [97]
+    with pytest.raises(ValueError):
+        prime_factors(0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(1, 100_000))
+def test_prime_factors_multiply_back(n):
+    factors = prime_factors(n)
+    assert math.prod(factors) == n
+    assert all(prime_factors(f) == [f] for f in set(factors))
+
+
+def test_ordered_factorizations():
+    result = set(ordered_factorizations(12, max_parts=2))
+    assert result == {(12,), (2, 6), (3, 4), (4, 3), (6, 2)}
+    assert list(ordered_factorizations(1, max_parts=3)) == [()]
+    assert (2, 2, 3) in set(ordered_factorizations(12, max_parts=3))
+
+
+def test_count_permutations():
+    assert count_permutations([]) == 1
+    assert count_permutations(["a", "b"]) == 2
+    assert count_permutations(["a", "a", "b"]) == 3
+    assert count_permutations(list("aabbcc")) == math.factorial(6) // 8
+
+
+def test_multiset_permutations_complete_and_distinct():
+    items = ["a", "a", "b", "c"]
+    perms = list(multiset_permutations(items))
+    assert len(perms) == count_permutations(items) == 12
+    assert len(set(perms)) == 12
+    assert all(sorted(p) == sorted(items) for p in perms)
+
+
+@settings(max_examples=30, deadline=None)
+@given(items=st.lists(st.sampled_from("abc"), min_size=0, max_size=6))
+def test_multiset_permutation_count_property(items):
+    perms = list(multiset_permutations(items))
+    assert len(perms) == count_permutations(items)
+    assert len(set(perms)) == len(perms)
+
+
+def test_sample_permutations_distinct():
+    items = list(range(8))
+    samples = list(sample_permutations(items, 20, random.Random(1)))
+    assert len(samples) == 20
+    assert len(set(samples)) == 20
+    assert all(sorted(s) == items for s in samples)
+
+
+def test_sample_permutations_small_space_terminates():
+    samples = list(sample_permutations(["a", "b"], 10, random.Random(0)))
+    assert set(samples) <= {("a", "b"), ("b", "a")}

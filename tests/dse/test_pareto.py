@@ -1,0 +1,61 @@
+"""Pareto-front extraction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import pareto_front
+
+
+def test_simple_two_objective_front():
+    points = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]
+    front = pareto_front(points, key=lambda p: p)
+    assert set(front) == {(1, 5), (2, 3), (4, 1)}
+
+
+def test_duplicates_keep_one_representative():
+    points = [(1, 1), (1, 1), (2, 2)]
+    front = pareto_front(points, key=lambda p: p)
+    assert all(p == (1, 1) for p in front)
+
+
+def test_empty():
+    assert pareto_front([], key=lambda p: p) == []
+
+
+def test_single_point():
+    assert pareto_front([(3, 3)], key=lambda p: p) == [(3, 3)]
+
+
+def test_three_objectives_fallback():
+    points = [(1, 2, 3), (2, 1, 3), (3, 3, 3), (1, 1, 4)]
+    front = pareto_front(points, key=lambda p: p)
+    assert (3, 3, 3) not in front
+    assert (1, 2, 3) in front and (2, 1, 3) in front and (1, 1, 4) in front
+
+
+def test_mismatched_widths_rejected():
+    with pytest.raises(ValueError):
+        pareto_front([(1, 2), (1, 2, 3)], key=lambda p: p)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(1, 40),
+)
+def test_front_members_are_nondominated(seed, n):
+    rng = random.Random(seed)
+    points = [(rng.randint(0, 10), rng.randint(0, 10)) for __ in range(n)]
+    front = pareto_front(points, key=lambda p: p)
+    assert front
+    for f in front:
+        for p in points:
+            dominates = p[0] <= f[0] and p[1] <= f[1] and (p[0] < f[0] or p[1] < f[1])
+            assert not dominates
+    # Every non-front point is dominated by some front point.
+    for p in points:
+        if p not in front:
+            assert any(f[0] <= p[0] and f[1] <= p[1] for f in front)

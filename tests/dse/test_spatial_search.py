@@ -1,0 +1,89 @@
+"""Spatial-mapping enumeration and joint search."""
+
+import pytest
+
+from repro.dse.spatial_search import (
+    SpatialSearch,
+    SpatialSearchConfig,
+    enumerate_unrollings,
+    output_lanes_needed,
+    utilization_ceiling,
+)
+from repro.mapping.spatial import SpatialMapping
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+
+def test_enumerate_respects_array_size():
+    layer = dense_layer(64, 64, 64)
+    for sm in enumerate_unrollings(layer, 64):
+        assert sm.total_unrolling <= 64
+
+
+def test_enumerate_clamps_to_layer_bounds():
+    layer = dense_layer(2, 64, 64)
+    for sm in enumerate_unrollings(layer, 256):
+        assert sm.factor(LoopDim.B) <= 2
+
+
+def test_enumerate_deduplicates():
+    layer = dense_layer(64, 64, 64)
+    seen = set()
+    for sm in enumerate_unrollings(layer, 16):
+        key = tuple(sorted((d.value, f) for d, f in sm.unrolling.items()))
+        assert key not in seen
+        seen.add(key)
+    assert seen
+
+
+def test_min_utilization_pruning():
+    layer = dense_layer(3, 3, 3)  # tiny layer: most big unrollings are wasteful
+    strict = list(
+        enumerate_unrollings(
+            layer, 64, SpatialSearchConfig(min_spatial_utilization=0.9)
+        )
+    )
+    lax = list(
+        enumerate_unrollings(
+            layer, 64, SpatialSearchConfig(min_spatial_utilization=0.0)
+        )
+    )
+    assert len(strict) <= len(lax)
+
+
+def test_output_lanes_needed():
+    sm = SpatialMapping({LoopDim.K: 16, LoopDim.B: 8, LoopDim.C: 2})
+    assert output_lanes_needed(sm) == 128  # C excluded (adder tree)
+
+
+def test_search_orders_results(case_preset):
+    layer = dense_layer(32, 64, 128)
+    search = SpatialSearch(
+        case_preset.accelerator,
+        SpatialSearchConfig(
+            min_spatial_utilization=0.8, max_candidates=8,
+        ),
+    )
+    results = search.search(layer)
+    assert results
+    totals = [r.total_cycles for r in results]
+    assert totals == sorted(totals)
+    best = search.best(layer)
+    assert best.total_cycles == totals[0]
+
+
+def test_search_respects_accumulator_lanes(case_preset):
+    layer = dense_layer(256, 256, 2)
+    search = SpatialSearch(case_preset.accelerator)
+    lanes = case_preset.accelerator.hierarchy.innermost(Operand.O).instance.instances
+    for sm in search.candidates(layer):
+        assert output_lanes_needed(sm) <= lanes
+
+
+def test_utilization_ceiling():
+    layer = dense_layer(64, 64, 64)
+    assert utilization_ceiling(layer, 64) == pytest.approx(1.0)
+    odd_layer = dense_layer(3, 5, 7)
+    ceiling = utilization_ceiling(odd_layer, 64)
+    assert 0 < ceiling <= 1.0

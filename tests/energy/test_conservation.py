@@ -1,0 +1,100 @@
+"""Conservation properties of the access counts (hypothesis)."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.energy.access_counts import count_accesses
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import toy_accelerator
+
+_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+dims = st.tuples(st.integers(1, 16), st.integers(1, 16), st.integers(1, 32))
+
+
+def _mappings(acc, layer, count=2):
+    mapper = TemporalMapper(acc, {}, MapperConfig(max_enumerated=16, samples=12))
+    return list(itertools.islice(mapper.mappings(layer), count))
+
+
+@_SETTINGS
+@given(dims=dims)
+def test_weights_fetched_at_least_once(dims):
+    """GB weight reads cover the weight tensor at least once (and exactly
+    once when reuse is perfect)."""
+    acc = toy_accelerator(reg_bits=64, o_reg_bits=24 * 8)
+    layer = dense_layer(*dims)
+    for mapping in _mappings(acc, layer):
+        counts = count_accesses(acc, mapping)
+        w_bits = layer.operand_bits(Operand.W)
+        gb_reads = counts.reads_bits.get(("GB", Operand.W), 0.0)
+        if gb_reads:  # zero only when the reg holds the full tensor
+            assert gb_reads >= w_bits - 1e-6
+        else:
+            assert mapping.footprint_bits(Operand.W, 0) == w_bits
+
+
+@_SETTINGS
+@given(dims=dims)
+def test_final_outputs_written_exactly_once(dims):
+    """Every output element reaches the GB exactly once at final precision
+    (plus possibly psum traffic on top)."""
+    acc = toy_accelerator(reg_bits=64, o_reg_bits=24 * 8)
+    layer = dense_layer(*dims)
+    for mapping in _mappings(acc, layer):
+        counts = count_accesses(acc, mapping)
+        o_final_bits = layer.operand_bits(Operand.O)
+        gb_writes = counts.writes_bits.get(("GB", Operand.O), 0.0)
+        assert gb_writes >= o_final_bits - 1e-6
+
+
+@_SETTINGS
+@given(dims=dims)
+def test_interface_conservation(dims):
+    """Bits written into a level equal the bits read from its source for
+    the downward operands (refills are lossless)."""
+    acc = toy_accelerator(reg_bits=64, o_reg_bits=24 * 8)
+    layer = dense_layer(*dims)
+    for mapping in _mappings(acc, layer):
+        counts = count_accesses(acc, mapping)
+        for operand in (Operand.W, Operand.I):
+            into_reg = counts.writes_bits.get((f"{operand}-Reg", operand), 0.0)
+            from_gb = counts.reads_bits.get(("GB", operand), 0.0)
+            assert into_reg == pytest.approx(from_gb)
+
+
+@_SETTINGS
+@given(dims=dims)
+def test_compute_edge_reads_cover_macs(dims):
+    """The innermost W/I read traffic is exactly one element per MAC."""
+    acc = toy_accelerator(reg_bits=64, o_reg_bits=24 * 8)
+    layer = dense_layer(*dims)
+    for mapping in _mappings(acc, layer, count=1):
+        counts = count_accesses(acc, mapping)
+        total_cc = mapping.spatial_cycles
+        for operand, reg in ((Operand.W, "W-Reg"), (Operand.I, "I-Reg")):
+            reads = counts.reads_bits[(reg, operand)]
+            # 1-MAC machine: one 8-bit element per cycle.
+            assert reads == pytest.approx(8.0 * total_cc)
+
+
+@_SETTINGS
+@given(dims=dims)
+def test_link_bits_nonnegative_and_bounded(dims):
+    acc = toy_accelerator(reg_bits=64, o_reg_bits=24 * 8)
+    layer = dense_layer(*dims)
+    for mapping in _mappings(acc, layer, count=1):
+        counts = count_accesses(acc, mapping)
+        for memory, bits in counts.link_bits.items():
+            assert bits >= 0
+            total_rw = counts.memory_reads(memory) + counts.memory_writes(memory)
+            assert bits <= total_rw + 1e-6

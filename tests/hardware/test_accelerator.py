@@ -1,0 +1,68 @@
+"""Accelerator assembly and the stall-overlap configuration."""
+
+import pytest
+
+from repro.hardware.accelerator import StallOverlapConfig
+from repro.hardware.mac_array import MacArray
+
+from tests.conftest import toy_accelerator
+
+
+def test_mac_array_sizes():
+    array = MacArray(rows=16, cols=32, macs_per_pe=2)
+    assert array.num_pes == 512
+    assert array.size == 1024
+    assert "1024 MACs" in array.describe()
+    with pytest.raises(ValueError):
+        MacArray(rows=0, cols=1)
+
+
+def test_overlap_all_concurrent_groups_everything_together():
+    config = StallOverlapConfig.all_concurrent()
+    assert config.group_of("GB") == config.group_of("W-LB") == 0
+
+
+def test_overlap_all_sequential():
+    config = StallOverlapConfig.all_sequential(["A", "B", "C"])
+    groups = {config.group_of(n) for n in "ABC"}
+    assert len(groups) == 3
+
+
+def test_overlap_explicit_groups_and_implicit_rest():
+    config = StallOverlapConfig((frozenset({"GB"}), frozenset({"W-LB", "I-LB"})))
+    assert config.group_of("GB") == 0
+    assert config.group_of("W-LB") == config.group_of("I-LB") == 1
+    # Unlisted memories share the implicit last group.
+    assert config.group_of("O-Reg") == config.group_of("W-Reg") == 2
+
+
+def test_overlap_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError, match="more than one group"):
+        StallOverlapConfig((frozenset({"GB"}), frozenset({"GB", "X"})))
+    with pytest.raises(ValueError, match="empty"):
+        StallOverlapConfig((frozenset(),))
+
+
+def test_accelerator_lookup_and_describe():
+    acc = toy_accelerator()
+    assert acc.memory_by_name("GB").name == "GB"
+    with pytest.raises(KeyError):
+        acc.memory_by_name("DRAM")
+    text = acc.describe()
+    assert "toy" in text and "GB" in text
+    assert acc.peak_macs_per_cycle == 1
+    assert set(acc.memory_names()) == {"W-Reg", "I-Reg", "O-Reg", "GB"}
+
+
+def test_replace_stall_overlap():
+    acc = toy_accelerator()
+    seq = acc.replace_stall_overlap(StallOverlapConfig.all_sequential(acc.memory_names()))
+    assert seq.stall_overlap.group_of("GB") != seq.stall_overlap.group_of("W-Reg")
+    assert acc.stall_overlap.group_of("GB") == acc.stall_overlap.group_of("W-Reg")
+
+
+def test_area_positive_and_selective():
+    acc = toy_accelerator()
+    full = acc.area_mm2()
+    partial = acc.area_mm2(include=["W-Reg"])
+    assert 0 < partial < full

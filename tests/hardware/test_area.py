@@ -1,0 +1,63 @@
+"""Area model sanity: monotonicity and regime crossover."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.area import (
+    REGISTER_THRESHOLD_BITS,
+    memory_area_mm2,
+    register_area_mm2,
+    sram_area_mm2,
+)
+from repro.hardware.memory import MemoryInstance, dual_port
+
+
+def test_monotonic_in_bits():
+    assert register_area_mm2(2048) > register_area_mm2(1024)
+    assert sram_area_mm2(1 << 20) > sram_area_mm2(1 << 16)
+
+
+def test_register_costs_more_per_bit_than_large_sram():
+    bits = 1 << 20
+    assert register_area_mm2(bits) > sram_area_mm2(bits)
+
+
+def test_small_sram_dominated_by_periphery():
+    # Doubling a tiny SRAM must far less than double its area.
+    small, double = sram_area_mm2(512), sram_area_mm2(1024)
+    assert double / small < 1.5
+
+
+def test_invalid_bits():
+    with pytest.raises(ValueError):
+        register_area_mm2(0)
+    with pytest.raises(ValueError):
+        sram_area_mm2(-1)
+
+
+def test_memory_area_uses_explicit_value():
+    mem = MemoryInstance("m", 1024, dual_port(8, 8), area_mm2=0.5, instances=2)
+    assert memory_area_mm2(mem) == pytest.approx(1.0)
+
+
+def test_memory_area_picks_model_by_capacity():
+    reg = MemoryInstance("r", REGISTER_THRESHOLD_BITS, dual_port(8, 8))
+    sram = MemoryInstance("s", REGISTER_THRESHOLD_BITS * 64, dual_port(8, 8))
+    assert memory_area_mm2(reg) == pytest.approx(
+        register_area_mm2(REGISTER_THRESHOLD_BITS, 16)
+    )
+    assert memory_area_mm2(sram) == pytest.approx(
+        sram_area_mm2(REGISTER_THRESHOLD_BITS * 64, 16)
+    )
+
+
+def test_port_bandwidth_adds_area():
+    assert sram_area_mm2(1 << 16, 1024) > sram_area_mm2(1 << 16, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(bits=st.integers(1, 1 << 22))
+def test_areas_always_positive(bits):
+    assert register_area_mm2(bits) > 0
+    assert sram_area_mm2(bits) > 0

@@ -1,0 +1,107 @@
+"""Memory levels and per-operand chains."""
+
+import pytest
+
+from repro.hardware.hierarchy import MemoryHierarchy, MemoryLevel, auto_allocate
+from repro.hardware.memory import MemoryInstance, dual_port, single_rw_port
+from repro.hardware.port import EndpointKind
+from repro.workload.operand import Operand
+
+from tests.conftest import toy_accelerator
+
+
+def _mem(name="m", bits=1024, rd=8.0, wr=8.0, **kw):
+    return MemoryInstance(name, bits, dual_port(rd, wr), **kw)
+
+
+def test_auto_allocate_assigns_directional_ports():
+    level = auto_allocate(_mem(), {Operand.W})
+    assert level.port_for(Operand.W, EndpointKind.TL).name == "rd"
+    assert level.port_for(Operand.W, EndpointKind.FH).name == "wr"
+
+
+def test_allocation_validates_direction():
+    mem = _mem()
+    with pytest.raises(ValueError, match="cannot carry"):
+        MemoryLevel(mem, frozenset({Operand.W}), {(Operand.W, EndpointKind.FH): "rd"})
+
+
+def test_allocation_requires_served_operand():
+    mem = _mem()
+    with pytest.raises(ValueError, match="not served"):
+        MemoryLevel(mem, frozenset({Operand.W}), {(Operand.I, EndpointKind.TL): "rd"})
+
+
+def test_missing_endpoint_raises_keyerror():
+    level = MemoryLevel(_mem(), frozenset({Operand.W}), {(Operand.W, EndpointKind.TL): "rd"})
+    with pytest.raises(KeyError, match="no port allocated"):
+        level.port_for(Operand.W, EndpointKind.FH)
+    assert level.has_endpoint(Operand.W, EndpointKind.TL)
+    assert not level.has_endpoint(Operand.W, EndpointKind.FH)
+
+
+def test_capacity_share_validation():
+    mem = _mem(bits=100)
+    with pytest.raises(ValueError, match="exceed"):
+        MemoryLevel(
+            mem, frozenset({Operand.W, Operand.I}),
+            {}, capacity_share={Operand.W: 80, Operand.I: 40},
+        )
+
+
+def test_capacity_for_share_and_default():
+    mem = _mem(bits=100)
+    level = MemoryLevel(
+        mem, frozenset({Operand.W, Operand.I}), {},
+        capacity_share={Operand.W: 30},
+    )
+    assert level.capacity_for(Operand.W) == 30
+    assert level.capacity_for(Operand.I) == 100
+    with pytest.raises(KeyError):
+        level.capacity_for(Operand.O)
+
+
+def test_shared_rw_port_carries_all_endpoints():
+    mem = MemoryInstance("gb", 1024, single_rw_port(64))
+    level = auto_allocate(mem, set(Operand))
+    for operand in Operand:
+        for kind in EndpointKind:
+            assert level.port_for(operand, kind).name == "rw"
+
+
+def test_hierarchy_structure():
+    acc = toy_accelerator()
+    h = acc.hierarchy
+    assert h.depth(Operand.W) == 2
+    assert h.innermost(Operand.W).name == "W-Reg"
+    assert h.outermost(Operand.W).name == "GB"
+    # GB level object is shared across all three chains.
+    assert h.outermost(Operand.W) is h.outermost(Operand.I)
+    assert len(h.unique_levels()) == 4
+    assert set(h.operands_of(h.outermost(Operand.W))) == set(Operand)
+
+
+def test_hierarchy_level_index():
+    acc = toy_accelerator()
+    h = acc.hierarchy
+    gb = h.outermost(Operand.O)
+    assert h.level_index(Operand.O, gb) == 1
+    with pytest.raises(ValueError):
+        h.level_index(Operand.O, h.innermost(Operand.W))
+
+
+def test_hierarchy_requires_all_operands():
+    acc = toy_accelerator()
+    chains = dict(acc.hierarchy.chains)
+    del chains[Operand.O]
+    with pytest.raises(ValueError, match="at least one level"):
+        MemoryHierarchy(chains)
+
+
+def test_hierarchy_rejects_wrong_serving():
+    acc = toy_accelerator()
+    w_reg = acc.hierarchy.innermost(Operand.W)
+    chains = dict(acc.hierarchy.chains)
+    chains[Operand.I] = (w_reg,) + chains[Operand.I][1:]
+    with pytest.raises(ValueError, match="does not serve"):
+        MemoryHierarchy(chains)

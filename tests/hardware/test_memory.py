@@ -1,0 +1,59 @@
+"""MemoryInstance: capacities, ports, double-buffering."""
+
+import pytest
+
+from repro.hardware.memory import MemoryInstance, dual_port, single_rw_port
+from repro.hardware.port import EndpointKind
+
+
+def test_dual_port_helper():
+    ports = dual_port(128, 64)
+    assert ports[0].name == "rd" and ports[0].bandwidth == 128
+    assert ports[1].name == "wr" and ports[1].bandwidth == 64
+
+
+def test_mapper_visible_capacity_halves_for_db():
+    # Table I: "Mapper-seen capacity = 1/2 x A" for double-buffered memories.
+    plain = MemoryInstance("m", 1024, dual_port(8, 8))
+    db = MemoryInstance("m", 1024, dual_port(8, 8), double_buffered=True)
+    assert plain.mapper_visible_bits == 1024
+    assert db.mapper_visible_bits == 512
+
+
+def test_instances_aggregate():
+    regs = MemoryInstance("regs", 8, dual_port(8, 8), instances=256)
+    assert regs.total_size_bits == 2048
+    assert regs.aggregate_bandwidth("rd") == 2048
+
+
+def test_port_lookup_and_default():
+    mem = MemoryInstance("m", 64, single_rw_port(32))
+    assert mem.port("rw").bandwidth == 32
+    with pytest.raises(KeyError):
+        mem.port("nope")
+    assert mem.default_port_for(EndpointKind.FH).name == "rw"
+    assert mem.default_port_for(EndpointKind.TL).name == "rw"
+
+
+def test_default_port_missing_direction():
+    from repro.hardware.port import Port, PortDirection
+
+    mem = MemoryInstance("ro", 64, (Port("rd", PortDirection.READ, 8),))
+    with pytest.raises(ValueError, match="no port supports"):
+        mem.default_port_for(EndpointKind.FH)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        MemoryInstance("m", 0, dual_port(8, 8))
+    with pytest.raises(ValueError):
+        MemoryInstance("m", 8, dual_port(8, 8), instances=0)
+    with pytest.raises(ValueError):
+        MemoryInstance("m", 8, ())
+    with pytest.raises(ValueError, match="duplicate"):
+        from repro.hardware.port import Port, PortDirection
+
+        MemoryInstance(
+            "m", 8,
+            (Port("p", PortDirection.READ, 8), Port("p", PortDirection.WRITE, 8)),
+        )

@@ -1,0 +1,47 @@
+"""Memory pool for Case-study-3 architecture search."""
+
+from repro.hardware.pool import MemoryCandidate, MemoryPool, searched_memory_names
+from repro.hardware.presets import KB
+
+
+def test_default_pool_size_matches_paper_order():
+    pool = MemoryPool()
+    # 4 x 4 x 3 x 5 x 5 = 1200 candidates; x3 array sizes ~ the paper's 4176.
+    assert len(pool) == 1200
+    assert 3 * len(pool) > 3000
+
+
+def test_candidates_cover_cross_product():
+    pool = MemoryPool.small()
+    cands = list(pool.candidates())
+    assert len(cands) == len(pool) == 32
+    assert len(set(cands)) == 32
+
+
+def test_candidate_label():
+    cand = MemoryCandidate(8, 16, 24, 16 * KB, 8 * KB)
+    assert cand.label() == "wr8_ir16_or24_wlb16K_ilb8K"
+
+
+def test_build_produces_valid_presets():
+    pool = MemoryPool.small()
+    built = list(pool.build(16, 8, 2, gb_read_bw=128.0))
+    assert len(built) == 32
+    cand, preset = built[0]
+    acc = preset.accelerator
+    assert acc.memory_by_name("W-Reg").instance.size_bits == cand.w_reg_bits
+    assert acc.memory_by_name("W-LB").instance.size_bits == cand.w_lb_bits
+    assert acc.mac_array.size == 256
+    assert acc.memory_by_name("GB").instance.port("rd").bandwidth == 128
+
+
+def test_build_names_unique():
+    pool = MemoryPool.small()
+    names = [p.accelerator.name for _, p in pool.build(16, 8, 2, gb_read_bw=128.0)]
+    assert len(set(names)) == len(names)
+
+
+def test_searched_memory_names_exclude_gb():
+    names = searched_memory_names()
+    assert "GB" not in names
+    assert set(names) == {"W-Reg", "I-Reg", "O-Reg", "W-LB", "I-LB"}

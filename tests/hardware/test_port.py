@@ -1,0 +1,33 @@
+"""Ports and endpoint kinds."""
+
+import pytest
+
+from repro.hardware.port import EndpointKind, Port, PortDirection
+
+
+def test_direction_capabilities():
+    assert PortDirection.READ.can_read() and not PortDirection.READ.can_write()
+    assert PortDirection.WRITE.can_write() and not PortDirection.WRITE.can_read()
+    assert PortDirection.READ_WRITE.can_read() and PortDirection.READ_WRITE.can_write()
+
+
+def test_endpoint_read_write_classification():
+    assert EndpointKind.FH.is_write and not EndpointKind.FH.is_read
+    assert EndpointKind.FL.is_write
+    assert EndpointKind.TL.is_read
+    assert EndpointKind.TH.is_read
+
+
+def test_port_supports():
+    rd = Port("rd", PortDirection.READ, 64)
+    wr = Port("wr", PortDirection.WRITE, 64)
+    rw = Port("rw", PortDirection.READ_WRITE, 64)
+    assert rd.supports(EndpointKind.TL) and rd.supports(EndpointKind.TH)
+    assert not rd.supports(EndpointKind.FH)
+    assert wr.supports(EndpointKind.FL) and not wr.supports(EndpointKind.TL)
+    assert all(rw.supports(k) for k in EndpointKind)
+
+
+def test_positive_bandwidth_required():
+    with pytest.raises(ValueError):
+        Port("bad", PortDirection.READ, 0)

@@ -1,0 +1,87 @@
+"""Preset machines match the paper's published parameters."""
+
+import pytest
+
+from repro.hardware.presets import (
+    KB,
+    array_scales,
+    build_accelerator,
+    case_study_accelerator,
+    inhouse_accelerator,
+)
+from repro.workload.dims import LoopDim
+from repro.workload.operand import Operand
+
+
+def test_case_study_parameters():
+    preset = case_study_accelerator()
+    acc = preset.accelerator
+    # 8x16 PE x 2 MACs = 256 MACs, "16x16 MAC".
+    assert acc.mac_array.size == 256
+    assert acc.mac_array.macs_per_pe == 2
+    # Spatial unrolling K 16 | B 8 | C 2.
+    assert preset.spatial_unrolling == {LoopDim.K: 16, LoopDim.B: 8, LoopDim.C: 2}
+    # 16 KB W-LB, 8 KB I-LB, 1 MB GB at 128 b/cyc.
+    assert acc.memory_by_name("W-LB").instance.size_bits == 16 * KB
+    assert acc.memory_by_name("I-LB").instance.size_bits == 8 * KB
+    gb = acc.memory_by_name("GB").instance
+    assert gb.size_bits == 1024 * KB
+    assert gb.port("rd").bandwidth == 128
+    assert gb.port("wr").bandwidth == 128
+
+
+def test_case_study_register_files():
+    acc = case_study_accelerator().accelerator
+    w_reg = acc.memory_by_name("W-Reg").instance
+    assert w_reg.size_bits == 8 and w_reg.instances == 256
+    o_reg = acc.memory_by_name("O-Reg").instance
+    # One 24b accumulator per (K, B) lane: 16 x 8 = 128 lanes.
+    assert o_reg.size_bits == 24 and o_reg.instances == 128
+    # Aggregate O-Reg drain bandwidth is the paper's 3072 b/cyc figure.
+    assert o_reg.instances * o_reg.port("rd").bandwidth == 3072
+
+
+def test_inhouse_parameters():
+    preset = inhouse_accelerator()
+    acc = preset.accelerator
+    assert acc.mac_array.size == 1024
+    assert acc.mac_array.rows * acc.mac_array.cols == 512  # 16x32 PEs
+    assert acc.memory_by_name("W-LB").instance.size_bits == 32 * KB
+    assert acc.memory_by_name("W-LB").instance.port("rd").bandwidth == 256
+    assert acc.memory_by_name("I-LB").instance.size_bits == 64 * KB
+    assert acc.memory_by_name("I-LB").instance.port("rd").bandwidth == 512
+
+
+def test_lb_double_buffered_gb_not():
+    acc = case_study_accelerator().accelerator
+    assert acc.memory_by_name("W-LB").instance.double_buffered
+    assert acc.memory_by_name("I-LB").instance.double_buffered
+    assert not acc.memory_by_name("GB").instance.double_buffered
+    assert not acc.memory_by_name("W-Reg").instance.double_buffered
+
+
+def test_gb_shared_by_all_operands():
+    acc = case_study_accelerator().accelerator
+    gb = acc.memory_by_name("GB")
+    assert gb.serves == frozenset(Operand)
+    assert acc.hierarchy.depth(Operand.W) == 3
+    assert acc.hierarchy.depth(Operand.O) == 2
+
+
+def test_build_accelerator_rejects_odd_arrays():
+    with pytest.raises(ValueError, match="even"):
+        build_accelerator("odd", macs_k=3, macs_b=3, macs_c=1)
+
+
+def test_array_scales_match_case3():
+    scales = array_scales()
+    assert set(scales) == {"16x16", "32x32", "64x64"}
+    for label, (k, b, c) in scales.items():
+        assert k * b * c == int(label.split("x")[0]) ** 2
+
+
+def test_gb_bw_parameterization():
+    preset = case_study_accelerator(gb_read_bw=1024.0)
+    gb = preset.accelerator.memory_by_name("GB").instance
+    assert gb.port("rd").bandwidth == 1024
+    assert gb.port("wr").bandwidth == 1024

@@ -1,0 +1,81 @@
+"""The shared-LB / single-RW-port machine (architecture diversity)."""
+
+import pytest
+
+from repro.core.model import LatencyModel
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.hardware.presets import KB, shared_lb_accelerator
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import accuracy
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return shared_lb_accelerator()
+
+
+def test_structure(preset):
+    acc = preset.accelerator
+    lb = acc.memory_by_name("LB")
+    gb = acc.memory_by_name("GB")
+    assert lb.serves == frozenset(Operand)
+    assert len(lb.instance.ports) == 1
+    assert lb.instance.ports[0].direction.value == "read_write"
+    assert len(gb.instance.ports) == 1
+    # All three operands have a 3-level chain through the shared LB.
+    for op in Operand:
+        assert [l.name for l in acc.hierarchy.levels(op)][1:] == ["LB", "GB"]
+
+
+def test_rw_port_carries_reads_and_writes(preset, case1_layer):
+    mapper = TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling,
+        MapperConfig(max_enumerated=40, samples=30),
+    )
+    mapping = next(mapper.mappings(case1_layer))
+    report = LatencyModel(preset.accelerator).evaluate(mapping, validate=False)
+    lb_port = report.port_combinations[("LB", "rw")]
+    kinds = {(d.transfer.operand, d.endpoint.is_write) for d in lb_port.dtls}
+    # The single port sees both reads and writes, multiple operands.
+    assert any(write for __, write in kinds)
+    assert any(not write for __, write in kinds)
+    assert len({op for op, __ in kinds}) >= 2
+
+
+def test_model_simulator_agreement(preset):
+    layer = dense_layer(32, 64, 240)
+    mapper = TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling,
+        MapperConfig(max_enumerated=100, samples=80),
+    )
+    best = mapper.best_mapping(layer)
+    sim = CycleSimulator(preset.accelerator, best.mapping).run()
+    assert accuracy(best.report.total_cycles, sim.total_cycles) > 0.9
+
+
+def test_rw_contention_worse_than_dual_port():
+    """Same capacities/bandwidths, but a single RW port must serialize
+    reads against writes: never faster than the dual-ported machine."""
+    from repro.hardware.presets import case_study_accelerator
+
+    layer = dense_layer(64, 128, 1200)
+    shared = shared_lb_accelerator(gb_rw_bw=128.0)
+    dual = case_study_accelerator(gb_read_bw=128.0)
+
+    def best_cc(preset):
+        mapper = TemporalMapper(
+            preset.accelerator, preset.spatial_unrolling,
+            MapperConfig(max_enumerated=150, samples=120),
+        )
+        return mapper.best_mapping(layer).report.total_cycles
+
+    assert best_cc(shared) >= best_cc(dual) * 0.95  # LB helps, port hurts
+
+
+def test_capacity_share_enforced():
+    shares = {Operand.W: 16 * KB, Operand.I: 16 * KB, Operand.O: 16 * KB}
+    preset = shared_lb_accelerator(lb_shares=shares)
+    lb = preset.accelerator.memory_by_name("LB")
+    assert lb.capacity_for(Operand.W) == 16 * KB

@@ -1,0 +1,27 @@
+"""Loop atoms."""
+
+import pytest
+
+from repro.mapping.loop import Loop, dim_product, loops_product
+from repro.workload.dims import LoopDim
+
+
+def test_loop_construction_and_str():
+    loop = Loop(LoopDim.K, 4)
+    assert str(loop) == "K4"
+    assert Loop("K", 4).dim is LoopDim.K  # string coercion
+
+
+def test_loop_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        Loop(LoopDim.K, 0)
+    with pytest.raises(ValueError):
+        Loop(LoopDim.K, 2.5)
+
+
+def test_products():
+    ls = [Loop(LoopDim.K, 4), Loop(LoopDim.B, 2), Loop(LoopDim.K, 3)]
+    assert loops_product(ls) == 24
+    assert loops_product([]) == 1
+    assert dim_product(ls, LoopDim.K) == 12
+    assert dim_product(ls, LoopDim.C) == 1

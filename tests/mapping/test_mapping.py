@@ -1,0 +1,136 @@
+"""Full mappings: completeness invariant, Fig. 1(b) math, capacity checks."""
+
+import pytest
+
+from repro.mapping.loop import Loop
+from repro.mapping.mapping import Mapping, MappingError, check_capacity, is_valid, utilization_scenario
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping, loops_from_pairs
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import make_mapping, toy_accelerator
+
+
+def _simple_mapping(b=4, k=4, c=4):
+    layer = dense_layer(b, k, c)
+    levels = {
+        Operand.W: [[Loop(LoopDim.C, c)], [Loop(LoopDim.B, b), Loop(LoopDim.K, k)]],
+        Operand.I: [[Loop(LoopDim.C, c)], [Loop(LoopDim.B, b), Loop(LoopDim.K, k)]],
+        Operand.O: [[Loop(LoopDim.C, c)], [Loop(LoopDim.B, b), Loop(LoopDim.K, k)]],
+    }
+    return make_mapping(layer, {}, levels)
+
+
+def test_completeness_invariant_enforced():
+    layer = dense_layer(4, 4, 4)
+    bad = TemporalMapping(
+        loops_from_pairs([("B", 4), ("K", 4)]),  # C missing
+        {op: (1,) for op in Operand},
+    )
+    with pytest.raises(MappingError, match="temporal loops of C"):
+        Mapping(layer, SpatialMapping({}), bad)
+
+
+def test_completeness_with_spatial_ceil():
+    layer = dense_layer(10, 4, 4)
+    spatial = SpatialMapping({LoopDim.B: 8})
+    tm = TemporalMapping(
+        loops_from_pairs([("B", 2), ("K", 4), ("C", 4)]),  # ceil(10/8)=2
+        {op: (1,) for op in Operand},
+    )
+    mapping = Mapping(layer, spatial, tm)
+    assert mapping.spatial_cycles == 2 * 4 * 4
+
+
+def test_ideal_and_spatial_cycles():
+    mapping = _simple_mapping(4, 4, 4)
+    assert mapping.ideal_cycles(array_size=1) == 64
+    assert mapping.spatial_cycles == 64
+    assert mapping.spatial_stall(1) == 0
+    assert mapping.spatial_utilization(1) == 1.0
+
+
+def test_footprint_bits_partial_flag():
+    layer = dense_layer(2, 2, 4)
+    # C split across levels: the inner-level O tile is partial.
+    levels = {
+        Operand.W: [[Loop(LoopDim.C, 2)], [Loop(LoopDim.B, 2), Loop(LoopDim.C, 2), Loop(LoopDim.K, 2)]],
+        Operand.I: [[Loop(LoopDim.C, 2)], [Loop(LoopDim.B, 2), Loop(LoopDim.C, 2), Loop(LoopDim.K, 2)]],
+        Operand.O: [[Loop(LoopDim.C, 2), Loop(LoopDim.B, 2)], [Loop(LoopDim.C, 2), Loop(LoopDim.K, 2)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    bits = mapping.footprint_bits(Operand.O, 0)
+    assert bits == 2 * layer.precision.o_partial
+
+
+def test_scenarios_classification():
+    mapping = _simple_mapping()
+    # Full spatial (array=1, every dim covered), no temporal stall -> 1.
+    assert utilization_scenario(mapping, 1, 0.0) == 1
+    assert utilization_scenario(mapping, 1, 100.0) == 3
+    layer = dense_layer(3, 1, 1)
+    spatial = SpatialMapping({LoopDim.B: 2})
+    tm = TemporalMapping(
+        loops_from_pairs([("B", 2)]), {op: (1,) for op in Operand}
+    )
+    under = Mapping(layer, spatial, tm)
+    assert utilization_scenario(under, 2, 0.0) == 2
+    assert utilization_scenario(under, 2, 5.0) == 4
+
+
+def test_check_capacity_passes_small(case_preset=None):
+    acc = toy_accelerator(reg_bits=64, o_reg_bits=64)
+    mapping = _simple_mapping(2, 2, 4)
+    assert check_capacity(mapping, acc) == []
+    assert is_valid(mapping, acc)
+
+
+def test_check_capacity_detects_overflow():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24)
+    layer = dense_layer(2, 2, 4)
+    # Put a K loop at W level 0: 2 weights x8b = 16b > 8b reg.
+    levels = {
+        Operand.W: [[Loop(LoopDim.K, 2)], [Loop(LoopDim.C, 4), Loop(LoopDim.B, 2)]],
+        Operand.I: [[], [Loop(LoopDim.K, 2), Loop(LoopDim.C, 4), Loop(LoopDim.B, 2)]],
+        Operand.O: [[Loop(LoopDim.K, 2)], [Loop(LoopDim.C, 4), Loop(LoopDim.B, 2)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    violations = check_capacity(mapping, acc)
+    assert any("W-Reg" in v for v in violations)
+    assert not is_valid(mapping, acc)
+
+
+def test_check_capacity_outermost_exempt():
+    # A layer far larger than the GB must still be mappable (off-chip home).
+    acc = toy_accelerator(reg_bits=64, o_reg_bits=640)
+    layer = dense_layer(4096, 1024, 8)
+    levels = {
+        Operand.W: [[Loop(LoopDim.C, 8)],
+                    [Loop(LoopDim.B, 4096), Loop(LoopDim.K, 1024)]],
+        Operand.I: [[Loop(LoopDim.C, 8)],
+                    [Loop(LoopDim.B, 4096), Loop(LoopDim.K, 1024)]],
+        Operand.O: [[Loop(LoopDim.C, 8)],
+                    [Loop(LoopDim.B, 4096), Loop(LoopDim.K, 1024)]],
+    }
+    mapping = make_mapping(layer, {}, levels)
+    assert check_capacity(mapping, acc) == []
+
+
+def test_check_capacity_level_count_mismatch():
+    acc = toy_accelerator()
+    layer = dense_layer(2, 2, 2)
+    tm = TemporalMapping(
+        loops_from_pairs([("B", 2), ("K", 2), ("C", 2)]),
+        {op: (1, 2) for op in Operand},  # 3 levels, machine has 2
+    )
+    mapping = Mapping(layer, SpatialMapping({}), tm)
+    violations = check_capacity(mapping, acc)
+    assert violations and "levels" in violations[0]
+
+
+def test_describe_lists_all_operands():
+    text = _simple_mapping().describe()
+    for op in ("W", "I", "O"):
+        assert f"{op}:" in text

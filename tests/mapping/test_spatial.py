@@ -1,0 +1,67 @@
+"""Spatial mapping: unrolling, ceil effects, Fig. 1(b) scenario-2 math."""
+
+import pytest
+
+from repro.mapping.spatial import SpatialMapping
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+
+
+def test_factor_defaults_and_cleanup():
+    sm = SpatialMapping({LoopDim.K: 16, LoopDim.B: 1})
+    assert sm.factor(LoopDim.K) == 16
+    assert sm.factor(LoopDim.B) == 1
+    assert LoopDim.B not in sm.unrolling  # size-1 dropped
+
+
+def test_total_unrolling_and_fits():
+    sm = SpatialMapping({LoopDim.K: 16, LoopDim.B: 8, LoopDim.C: 2})
+    assert sm.total_unrolling == 256
+    assert sm.fits(256) and not sm.fits(255)
+
+
+def test_temporal_bounds_ceil():
+    sm = SpatialMapping({LoopDim.K: 16})
+    layer = dense_layer(4, 24, 10)
+    # ceil(24/16) = 2 temporal K iterations.
+    assert sm.temporal_bound(LoopDim.K, layer) == 2
+    assert sm.temporal_bound(LoopDim.B, layer) == 4
+
+
+def test_cc_spatial_formula():
+    # Fig. 1(b) scenario 2: CC_spatial = prod ceil(dim / unroll).
+    sm = SpatialMapping({LoopDim.K: 16, LoopDim.B: 8})
+    layer = dense_layer(12, 24, 5)
+    assert sm.temporal_iterations(layer) == 2 * 2 * 5
+
+
+def test_spatial_utilization_full():
+    sm = SpatialMapping({LoopDim.K: 16, LoopDim.B: 8, LoopDim.C: 2})
+    layer = dense_layer(64, 128, 1200)
+    assert sm.spatial_utilization(layer, 256) == pytest.approx(1.0)
+
+
+def test_spatial_utilization_underfilled():
+    sm = SpatialMapping({LoopDim.K: 16, LoopDim.B: 8, LoopDim.C: 2})
+    layer = dense_layer(4, 8, 2)  # smaller than the array in every dim
+    u = sm.spatial_utilization(layer, 256)
+    assert 0 < u < 1
+    # U_spatial = CC_ideal / CC_spatial exactly.
+    assert u == pytest.approx((layer.total_macs / 256) / sm.temporal_iterations(layer))
+
+
+def test_effective_factor_clamps():
+    sm = SpatialMapping({LoopDim.K: 16})
+    layer = dense_layer(1, 5, 1)
+    assert sm.effective_factor(LoopDim.K, layer) == 5
+
+
+def test_str_rendering():
+    sm = SpatialMapping({LoopDim.K: 16, LoopDim.B: 8, LoopDim.C: 2})
+    assert str(sm) == "K 16 | B 8 | C 2"
+    assert "no spatial" in str(SpatialMapping({}))
+
+
+def test_invalid_factors():
+    with pytest.raises(ValueError):
+        SpatialMapping({LoopDim.K: 0})

@@ -1,0 +1,121 @@
+"""Temporal mapping: loop order, level cuts, residency helpers."""
+
+import pytest
+
+from repro.mapping.loop import Loop
+from repro.mapping.temporal import TemporalMapping, loops_from_pairs
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+
+def _tm(loops, cuts):
+    return TemporalMapping(tuple(loops), cuts)
+
+
+@pytest.fixture
+def simple():
+    # inner -> outer: B4, K2, C8  (one reg level + one GB level per operand)
+    loops = loops_from_pairs([("B", 4), ("K", 2), ("C", 8)])
+    cuts = {Operand.W: (1,), Operand.I: (0,), Operand.O: (2,)}
+    return _tm(loops, cuts)
+
+
+def test_total_cycles(simple):
+    assert simple.total_cycles == 64
+
+
+def test_level_partitions(simple):
+    assert [str(l) for l in simple.loops_at_level(Operand.W, 0)] == ["B4"]
+    assert [str(l) for l in simple.loops_at_level(Operand.W, 1)] == ["K2", "C8"]
+    assert simple.loops_at_level(Operand.I, 0) == ()
+    assert [str(l) for l in simple.loops_at_level(Operand.O, 0)] == ["B4", "K2"]
+
+
+def test_loops_above_and_below(simple):
+    assert [str(l) for l in simple.loops_above(Operand.W, 0)] == ["K2", "C8"]
+    assert [str(l) for l in simple.loops_at_or_below(Operand.O, 0)] == ["B4", "K2"]
+    assert simple.cycles_at_or_below(Operand.W, 0) == 4
+    assert simple.cycles_at_or_below(Operand.O, 0) == 8
+
+
+def test_size_one_loops_dropped():
+    tm = TemporalMapping(
+        (Loop(LoopDim.B, 1), Loop(LoopDim.K, 4)),
+        {op: (0,) for op in Operand},
+    )
+    assert len(tm.loops) == 1
+
+
+def test_cut_validation():
+    loops = loops_from_pairs([("B", 4)])
+    with pytest.raises(ValueError, match="missing cuts"):
+        TemporalMapping(loops, {Operand.W: (0,)})
+    with pytest.raises(ValueError, match="out of range"):
+        TemporalMapping(loops, {op: (5,) for op in Operand})
+    with pytest.raises(ValueError, match="non-decreasing"):
+        TemporalMapping(
+            loops_from_pairs([("B", 2), ("K", 2)]),
+            {Operand.W: (1, 0), Operand.I: (0, 0), Operand.O: (0, 0)},
+        )
+
+
+def test_ir_run_above_weight():
+    # W level 0 = [K2]; directly above: B2, B2 (ir for W), then C2 (r).
+    layer = dense_layer(4, 4, 4)
+    loops = loops_from_pairs([("K", 2), ("B", 2), ("B", 2), ("C", 2)])
+    tm = TemporalMapping(loops, {Operand.W: (1,), Operand.I: (0,), Operand.O: (0,)})
+    run = tm.ir_run_above(Operand.W, 0, layer)
+    assert [str(l) for l in run] == ["B2", "B2"]
+
+
+def test_ir_run_stops_at_relevant_loop():
+    layer = dense_layer(4, 4, 4)
+    loops = loops_from_pairs([("K", 2), ("C", 2), ("B", 4)])
+    tm = TemporalMapping(loops, {Operand.W: (1,), Operand.I: (0,), Operand.O: (0,)})
+    assert tm.ir_run_above(Operand.W, 0, layer) == ()
+
+
+def test_top_ir_run_includes_level_top(simple):
+    layer = dense_layer(4, 2, 8)
+    # O level 0 = [B4, K2]; above = [C8] (ir for O). Top run = C8 only
+    # (K2 at the level top is relevant for O).
+    run = simple.top_ir_run(Operand.O, 0, layer)
+    assert [str(l) for l in run] == ["C8"]
+
+
+def test_top_ir_run_spans_boundary():
+    layer = dense_layer(8, 4, 4)
+    # W level 0 = [C2, B2]; above = [B2, K...]: run = B2(above) + B2(level top).
+    loops = loops_from_pairs([("C", 4), ("B", 2), ("B", 4), ("K", 4)])
+    tm = TemporalMapping(loops, {Operand.W: (2,), Operand.I: (0,), Operand.O: (0,)})
+    run = tm.top_ir_run(Operand.W, 0, layer)
+    assert sorted(str(l) for l in run) == ["B2", "B4"]
+
+
+def test_from_level_lists_consistency():
+    levels = {
+        Operand.W: [[Loop(LoopDim.B, 2)], [Loop(LoopDim.K, 4)]],
+        Operand.I: [[], [Loop(LoopDim.B, 2), Loop(LoopDim.K, 4)]],
+        Operand.O: [[Loop(LoopDim.B, 2), Loop(LoopDim.K, 4)], []],
+    }
+    tm = TemporalMapping.from_level_lists(levels)
+    assert tm.total_cycles == 8
+    assert tm.cuts[Operand.W] == (1,)
+    assert tm.cuts[Operand.I] == (0,)
+    assert tm.cuts[Operand.O] == (2,)
+
+
+def test_from_level_lists_detects_order_mismatch():
+    levels = {
+        Operand.W: [[Loop(LoopDim.B, 2)], [Loop(LoopDim.K, 4)]],
+        Operand.I: [[Loop(LoopDim.K, 4)], [Loop(LoopDim.B, 2)]],
+        Operand.O: [[Loop(LoopDim.B, 2), Loop(LoopDim.K, 4)], []],
+    }
+    with pytest.raises(ValueError, match="disagree"):
+        TemporalMapping.from_level_lists(levels)
+
+
+def test_describe(simple):
+    text = simple.describe(Operand.W)
+    assert text == "L0[B4] L1[K2 C8]"

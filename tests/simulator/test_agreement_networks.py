@@ -1,0 +1,57 @@
+"""Model-vs-simulator agreement on real network layers (beyond Fig. 5c).
+
+The Fig. 5(c) bench validates on the in-house chip; these tests sweep
+realistic layers from every zoo family through the case-study machine —
+different shapes stress different stall regimes (depthwise: tiny C and poor
+spatial fit; transformer FFN: fat GEMMs; ResNet stem: huge Im2Col B').
+"""
+
+import pytest
+
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import accuracy
+from repro.workload.im2col import im2col
+from repro.workload.networks import (
+    hand_tracking_layers,
+    resnet18_layers,
+    transformer_gemm_layers,
+)
+
+
+def _check(preset, layer, threshold=0.85):
+    mapper = TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling,
+        MapperConfig(max_enumerated=120, samples=80),
+    )
+    best = mapper.best_mapping(im2col(layer))
+    sim = CycleSimulator(preset.accelerator, best.mapping).run()
+    acc = accuracy(best.report.total_cycles, sim.total_cycles)
+    assert acc > threshold, (layer.name, best.report.total_cycles, sim.total_cycles)
+    return acc
+
+
+def test_depthwise_layer_agreement(case_preset):
+    dw = hand_tracking_layers()[3]  # dw2, strided
+    _check(case_preset, dw)
+
+
+def test_pointwise_layer_agreement(case_preset):
+    pw = hand_tracking_layers()[4]
+    _check(case_preset, pw)
+
+
+def test_transformer_ffn_agreement(case_preset):
+    ffn = transformer_gemm_layers(seq_len=64, d_model=128)[6]  # ffn_up
+    _check(case_preset, ffn)
+
+
+def test_attention_scores_agreement(case_preset):
+    scores = transformer_gemm_layers(seq_len=64, d_model=128, heads=4)[3]
+    _check(case_preset, scores)
+
+
+@pytest.mark.slow
+def test_resnet_stage_agreement(case_preset):
+    conv = resnet18_layers()[4]  # res2a_conv2 (28x28x128)
+    _check(case_preset, conv, threshold=0.8)

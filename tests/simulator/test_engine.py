@@ -1,0 +1,110 @@
+"""Cycle-level engine behaviour: stalls emerge, bandwidth scaling works."""
+
+import pytest
+
+from repro.mapping.loop import Loop
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import accuracy
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import make_mapping, toy_accelerator
+
+
+def _ws_mapping(b=8, k=4, c=4):
+    layer = dense_layer(b, k, c)
+    levels = {
+        Operand.W: [[Loop(LoopDim.B, b)], [Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.I: [[], [Loop(LoopDim.B, b), Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.O: [[Loop(LoopDim.B, b), Loop(LoopDim.C, c)], [Loop(LoopDim.K, k)]],
+    }
+    return make_mapping(layer, {}, levels)
+
+
+def test_no_stall_with_fast_memories():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=1024,
+                          gb_write_bw=1024, reg_bw=64)
+    result = CycleSimulator(acc, _ws_mapping()).run()
+    assert result.compute_cycles == 128
+    assert result.stall_cycles == pytest.approx(0.0, abs=1e-6)
+    assert result.total_cycles == pytest.approx(
+        128 + result.preload_cycles + result.drain_tail_cycles
+    )
+    assert result.utilization_proxy > 0.9
+
+
+def test_stall_emerges_when_starved():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=2, gb_write_bw=2)
+    result = CycleSimulator(acc, _ws_mapping()).run()
+    assert result.stall_cycles > 0
+    assert result.total_cycles > 128
+
+
+def test_monotone_in_bandwidth():
+    prev = float("inf")
+    for bw in (1, 2, 4, 8, 32):
+        acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=bw, gb_write_bw=bw)
+        total = CycleSimulator(acc, _ws_mapping()).run().total_cycles
+        assert total <= prev + 1e-6
+        prev = total
+
+
+def test_double_buffering_helps():
+    """DB registers overlap refills with compute: never slower than non-DB."""
+    mapping = _ws_mapping()
+    nondb = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=4, gb_write_bw=4)
+    db = toy_accelerator(reg_bits=16, o_reg_bits=24 * 8, gb_read_bw=4, gb_write_bw=4,
+                         reg_double_buffered=True)
+    t_nondb = CycleSimulator(nondb, mapping).run().total_cycles
+    t_db = CycleSimulator(db, mapping).run().total_cycles
+    assert t_db <= t_nondb + 1e-6
+
+
+def test_port_busy_tracked():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8)
+    result = CycleSimulator(acc, _ws_mapping()).run()
+    assert ("GB", "rd") in result.port_busy
+    assert result.port_busy[("GB", "rd")] > 0
+    assert 0 < result.port_utilization(("GB", "rd"), 64.0) <= 1.0
+
+
+def test_event_budget_enforced():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8)
+    with pytest.raises(RuntimeError, match="exceeded"):
+        CycleSimulator(acc, _ws_mapping(), max_events=3).run()
+
+
+def test_summary_renders():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8)
+    result = CycleSimulator(acc, _ws_mapping()).run()
+    assert "total" in result.summary()
+    assert result.jobs_completed > 0
+
+
+def test_accuracy_metric():
+    assert accuracy(95, 100) == pytest.approx(0.95)
+    assert accuracy(105, 100) == pytest.approx(0.95)
+    with pytest.raises(ValueError):
+        accuracy(1, 0)
+
+
+def test_psum_roundtrips_slow_the_machine():
+    """A mapping with partial-sum traffic is slower than output-stationary."""
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24, gb_read_bw=8, gb_write_bw=8)
+    layer = dense_layer(2, 2, 8)
+    os_levels = {
+        Operand.W: [[Loop(LoopDim.C, 8)], [Loop(LoopDim.B, 2), Loop(LoopDim.K, 2)]],
+        Operand.I: [[], [Loop(LoopDim.C, 8), Loop(LoopDim.B, 2), Loop(LoopDim.K, 2)]],
+        Operand.O: [[Loop(LoopDim.C, 8)], [Loop(LoopDim.B, 2), Loop(LoopDim.K, 2)]],
+    }
+    psum_levels = {
+        Operand.W: [[Loop(LoopDim.C, 2)],
+                    [Loop(LoopDim.B, 2), Loop(LoopDim.K, 2), Loop(LoopDim.C, 4)]],
+        Operand.I: [[], [Loop(LoopDim.C, 2), Loop(LoopDim.B, 2), Loop(LoopDim.K, 2), Loop(LoopDim.C, 4)]],
+        Operand.O: [[Loop(LoopDim.C, 2)],
+                    [Loop(LoopDim.B, 2), Loop(LoopDim.K, 2), Loop(LoopDim.C, 4)]],
+    }
+    t_os = CycleSimulator(acc, make_mapping(layer, {}, os_levels)).run().total_cycles
+    t_ps = CycleSimulator(acc, make_mapping(layer, {}, psum_levels)).run().total_cycles
+    assert t_ps > t_os

@@ -1,0 +1,85 @@
+"""Property test: model tracks the simulator on RANDOM machines.
+
+Hypothesis draws machine parameters (register widths, bandwidths,
+double-buffering, GB port speeds) and a layer; the mapper produces a
+mapping; the analytical model must track the emergent simulator latency
+within a generous band and never under-predict the hard lower bound.
+This is the uniformity claim exercised far outside the hand-built presets.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import LatencyModel
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import accuracy
+from repro.workload.generator import dense_layer
+
+from tests.conftest import toy_accelerator
+
+machines = st.fixed_dictionaries(
+    {
+        "reg_bits": st.sampled_from([8, 16, 32, 64]),
+        "o_reg_bits": st.sampled_from([24, 48, 24 * 8]),
+        "reg_bw": st.sampled_from([4.0, 8.0, 16.0]),
+        "gb_read_bw": st.sampled_from([2.0, 8.0, 32.0, 128.0]),
+        "gb_write_bw": st.sampled_from([2.0, 8.0, 32.0, 128.0]),
+        "reg_double_buffered": st.booleans(),
+    }
+)
+
+layers = st.tuples(
+    st.sampled_from([2, 4, 8]), st.sampled_from([2, 4, 8]),
+    st.sampled_from([4, 8, 16, 32]),
+)
+
+
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(params=machines, dims=layers)
+def test_model_tracks_simulator_on_random_machines(params, dims):
+    if params["reg_double_buffered"]:
+        # DB halves the visible capacity; keep at least one element.
+        params = dict(params)
+        params["reg_bits"] = max(params["reg_bits"], 16)
+    acc = toy_accelerator(**params)
+    layer = dense_layer(*dims)
+    mapper = TemporalMapper(acc, {}, MapperConfig(max_enumerated=24, samples=16))
+    model = LatencyModel(acc)
+    checked = 0
+    for mapping in mapper.mappings(layer):
+        report = model.evaluate(mapping, validate=False)
+        sim = CycleSimulator(acc, mapping).run()
+        # Hard bounds.
+        assert sim.total_cycles >= mapping.spatial_cycles - 1e-6
+        assert report.total_cycles >= mapping.spatial_cycles - 1e-6
+        # Tracking band: the analytical estimate stays within 2.5x of the
+        # emergent latency in either direction, across arbitrary machines.
+        acc_value = accuracy(report.total_cycles, sim.total_cycles)
+        assert acc_value > -1.5, (params, dims, report.total_cycles, sim.total_cycles)
+        assert report.total_cycles <= sim.total_cycles * 2.5 + 10
+        assert report.total_cycles >= sim.total_cycles / 2.5 - 10
+        checked += 1
+        if checked >= 2:
+            break
+    assert checked > 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=machines)
+def test_best_mapping_tracks_well(params):
+    """On mapper-optimized mappings the band tightens considerably."""
+    if params["reg_double_buffered"]:
+        params = dict(params)
+        params["reg_bits"] = max(params["reg_bits"], 16)
+    acc = toy_accelerator(**params)
+    layer = dense_layer(4, 8, 16)
+    mapper = TemporalMapper(acc, {}, MapperConfig(max_enumerated=48, samples=32))
+    best = mapper.best_mapping(layer)
+    sim = CycleSimulator(acc, best.mapping).run()
+    assert accuracy(best.report.total_cycles, sim.total_cycles) > 0.6

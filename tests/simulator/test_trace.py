@@ -1,0 +1,86 @@
+"""Trace recording in the cycle-level simulator."""
+
+import pytest
+
+from repro.mapping.loop import Loop
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.trace import TraceRecorder
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.operand import Operand
+
+from tests.conftest import make_mapping, toy_accelerator
+
+
+def _mapping(b=8, k=4, c=4):
+    layer = dense_layer(b, k, c)
+    levels = {
+        Operand.W: [[Loop(LoopDim.B, b)], [Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.I: [[], [Loop(LoopDim.B, b), Loop(LoopDim.C, c), Loop(LoopDim.K, k)]],
+        Operand.O: [[Loop(LoopDim.B, b), Loop(LoopDim.C, c)], [Loop(LoopDim.K, k)]],
+    }
+    return make_mapping(layer, {}, levels)
+
+
+@pytest.fixture
+def traced_run():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=4, gb_write_bw=4)
+    trace = TraceRecorder()
+    result = CycleSimulator(acc, _mapping(), trace=trace).run()
+    return result, trace
+
+
+def test_jobs_recorded(traced_run):
+    result, trace = traced_run
+    assert len(trace.jobs) == result.jobs_completed
+    for job in trace.jobs:
+        assert job.end >= job.start
+        assert job.bits > 0
+
+
+def test_job_durations_consistent_with_bandwidth(traced_run):
+    __, trace = traced_run
+    for job in trace.jobs:
+        # No transfer can beat the fastest port in the machine (64 b/cyc).
+        assert job.duration >= job.bits / 64.0 - 1e-9
+
+
+def test_stalls_recorded_when_starved(traced_run):
+    result, trace = traced_run
+    total_traced = sum(s.duration for s in trace.stalls)
+    # Traced stall covers preload + compute stalls of the result.
+    assert total_traced == pytest.approx(
+        result.stall_cycles + result.preload_cycles, rel=0.05, abs=2.0
+    )
+
+
+def test_no_stalls_on_fast_machine():
+    acc = toy_accelerator(reg_bits=8, o_reg_bits=24 * 8, gb_read_bw=1024,
+                          gb_write_bw=1024, reg_bw=64)
+    trace = TraceRecorder()
+    CycleSimulator(acc, _mapping(), trace=trace).run()
+    compute_stalls = [s for s in trace.stalls if s.compute_position > 0]
+    assert sum(s.duration for s in compute_stalls) < 2.0
+
+
+def test_busiest_streams(traced_run):
+    __, trace = traced_run
+    ranked = trace.busiest_streams()
+    assert ranked
+    assert ranked[0][1] >= ranked[-1][1]
+
+
+def test_stall_binning(traced_run):
+    __, trace = traced_run
+    bins = trace.stall_by_position(bins=4, horizon=128)
+    assert len(bins) == 4
+    assert sum(bins) > 0
+
+
+def test_rows_and_render(traced_run):
+    __, trace = traced_run
+    rows = trace.as_rows()
+    assert rows and rows[0]["start"] <= rows[-1]["start"]
+    text = trace.render(width=40)
+    assert "stall map" in text
+    assert len(text.splitlines()[1]) == 40

@@ -1,0 +1,92 @@
+"""CLI smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["evaluate", "--layer", "8,16,32"])
+    assert args.command == "evaluate"
+    assert args.layer.total_macs == 8 * 16 * 32
+
+
+def test_layer_parse_error():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["evaluate", "--layer", "8,16"])
+
+
+def test_evaluate_command_runs(capsys):
+    rc = main(["evaluate", "--layer", "16,32,60", "--enumerate", "30", "--samples", "20"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "CC_ideal" in out and "TOTAL" in out
+
+
+def test_search_command_runs(capsys):
+    rc = main(["search", "--layer", "16,32,60", "--enumerate", "30",
+               "--samples", "20", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mapping space" in out
+
+
+def test_simulate_command_runs(capsys):
+    rc = main(["simulate", "--layer", "16,16,24", "--enumerate", "20", "--samples", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "accuracy" in out
+
+
+@pytest.mark.slow
+def test_validate_command_runs(capsys):
+    rc = main(["validate", "--limit", "2", "--enumerate", "60", "--samples", "40"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "average accuracy" in out
+
+
+def test_network_command_runs(capsys, tmp_path):
+    csv_path = str(tmp_path / "net.csv")
+    rc = main(["network", "--network", "transformer", "--limit", "2",
+               "--enumerate", "40", "--samples", "30", "--csv", csv_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total latency" in out
+    assert (tmp_path / "net.csv").exists()
+
+
+def test_sensitivity_command_runs(capsys):
+    rc = main(["sensitivity", "--layer", "128,128,8", "--memory", "GB",
+               "--bandwidths", "128,1024", "--enumerate", "40", "--samples", "30"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bandwidth sweep" in out
+
+
+def test_report_command_runs(capsys, tmp_path):
+    out = str(tmp_path / "report.md")
+    rc = main(["report", "--layer", "128,128,8", "--enumerate", "40",
+               "--samples", "30", "--out", out])
+    assert rc == 0
+    text = (tmp_path / "report.md").read_text()
+    assert "## Latency" in text and "## Bottlenecks" in text
+
+
+def test_advise_command_runs(capsys):
+    rc = main(["advise", "--layer", "128,128,8", "--enumerate", "30",
+               "--samples", "20", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "upgrade" in out
+
+
+def test_export_and_load_arch(capsys, tmp_path):
+    path = str(tmp_path / "arch.json")
+    assert main(["export-arch", "--out", path]) == 0
+    rc = main(["evaluate", "--layer", "16,16,24", "--arch", path,
+               "--enumerate", "20", "--samples", "15"])
+    assert rc == 0
+    assert "case-study-16x16" in capsys.readouterr().out

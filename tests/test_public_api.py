@@ -1,0 +1,31 @@
+"""The top-level package exposes the documented public API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_quickstart_flow():
+    """The README quickstart, miniaturized."""
+    preset = repro.case_study_accelerator()
+    layer = repro.dense_layer(16, 32, 60)
+    from repro.dse.mapper import MapperConfig
+
+    mapper = repro.TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling,
+        MapperConfig(max_enumerated=40, samples=30),
+    )
+    best = mapper.best_mapping(layer)
+    report = repro.LatencyModel(preset.accelerator).evaluate(best.mapping)
+    assert report.total_cycles > 0
+    energy = repro.EnergyModel(preset.accelerator).evaluate(best.mapping)
+    assert energy.total_pj > 0
+    sim = repro.CycleSimulator(preset.accelerator, best.mapping).run()
+    assert sim.total_cycles >= report.cc_spatial

@@ -1,0 +1,63 @@
+"""Loop-dimension relevance tables (Section III-A)."""
+
+import pytest
+
+from repro.workload.dims import (
+    ALL_DIMS,
+    IR_DIMS,
+    PR_DIMS,
+    R_DIMS,
+    LoopDim,
+    is_irrelevant,
+    relevance_of,
+)
+from repro.workload.operand import ALL_OPERANDS, Operand
+
+
+def test_seven_canonical_dims():
+    assert len(ALL_DIMS) == 7
+    assert {d.value for d in ALL_DIMS} == {"B", "K", "C", "OX", "OY", "FX", "FY"}
+
+
+def test_weight_relevance_matches_paper():
+    # "W's r loops are {K, C, FX, FY}, and its ir loops are {B, OY, OX}."
+    assert R_DIMS[Operand.W] == frozenset(
+        {LoopDim.K, LoopDim.C, LoopDim.FX, LoopDim.FY}
+    )
+    assert IR_DIMS[Operand.W] == frozenset({LoopDim.B, LoopDim.OX, LoopDim.OY})
+
+
+def test_output_relevance():
+    assert R_DIMS[Operand.O] == frozenset(
+        {LoopDim.B, LoopDim.K, LoopDim.OX, LoopDim.OY}
+    )
+    assert IR_DIMS[Operand.O] == frozenset({LoopDim.C, LoopDim.FX, LoopDim.FY})
+
+
+def test_input_partial_relevance():
+    assert PR_DIMS[Operand.I] == frozenset(
+        {LoopDim.OX, LoopDim.OY, LoopDim.FX, LoopDim.FY}
+    )
+    assert R_DIMS[Operand.I] == frozenset({LoopDim.B, LoopDim.C})
+    assert IR_DIMS[Operand.I] == frozenset({LoopDim.K})
+
+
+@pytest.mark.parametrize("operand", ALL_OPERANDS)
+def test_partition_is_complete_and_disjoint(operand):
+    r, pr, ir = R_DIMS[operand], PR_DIMS[operand], IR_DIMS[operand]
+    assert r | pr | ir == frozenset(ALL_DIMS)
+    assert not (r & pr) and not (r & ir) and not (pr & ir)
+
+
+def test_relevance_of_pr_as_r():
+    assert relevance_of(Operand.I, LoopDim.OX) == "pr"
+    assert relevance_of(Operand.I, LoopDim.OX, pr_as_r=True) == "r"
+    assert relevance_of(Operand.I, LoopDim.K) == "ir"
+    assert relevance_of(Operand.W, LoopDim.K) == "r"
+
+
+def test_is_irrelevant():
+    assert is_irrelevant(Operand.W, LoopDim.B)
+    assert not is_irrelevant(Operand.W, LoopDim.K)
+    assert is_irrelevant(Operand.I, LoopDim.K)
+    assert not is_irrelevant(Operand.I, LoopDim.OX)  # pr, not ir

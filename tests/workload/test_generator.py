@@ -1,0 +1,70 @@
+"""Synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.workload.dims import LoopDim
+from repro.workload.generator import (
+    bkc_sweep,
+    dense_layer,
+    layers_from_triples,
+    random_dense_layer,
+    scale_layer,
+)
+from repro.workload.layer import LayerType
+
+
+def test_dense_layer_builder():
+    layer = dense_layer(8, 16, 32)
+    assert layer.layer_type is LayerType.DENSE
+    assert layer.size(LoopDim.B) == 8
+    assert layer.name == "dense(8,16,32)"
+
+
+def test_bkc_sweep_no_duplicates():
+    layers = bkc_sweep(values=(8, 32, 128, 512))
+    keys = [(l.size(LoopDim.B), l.size(LoopDim.K), l.size(LoopDim.C)) for l in layers]
+    assert len(keys) == len(set(keys))
+
+
+def test_bkc_sweep_contains_paper_corners():
+    layers = bkc_sweep(values=(8, 128, 512))
+    keys = {(l.size(LoopDim.B), l.size(LoopDim.K), l.size(LoopDim.C)) for l in layers}
+    # The Output-dominant corners the paper highlights.
+    assert (128, 128, 8) in keys
+    assert (512, 512, 8) in keys
+
+
+def test_scale_layer():
+    layer = dense_layer(4, 8, 16)
+    scaled = scale_layer(layer, 4)
+    assert scaled.size(LoopDim.B) == 16
+    assert scaled.size(LoopDim.C) == 64
+    with pytest.raises(ValueError):
+        scale_layer(layer, 0)
+
+
+def test_scale_layer_leaves_unit_dims():
+    layer = dense_layer(4, 8, 16)
+    scaled = scale_layer(layer, 2)
+    assert scaled.size(LoopDim.OX) == 1
+
+
+def test_random_dense_layer_determinism():
+    a = random_dense_layer(random.Random(7))
+    b = random_dense_layer(random.Random(7))
+    assert a.dims == b.dims
+
+
+def test_random_dense_layer_pow2():
+    layer = random_dense_layer(random.Random(3), max_size=64, pow2=True)
+    for dim in (LoopDim.B, LoopDim.K, LoopDim.C):
+        size = layer.size(dim)
+        assert size & (size - 1) == 0  # power of two
+
+
+def test_layers_from_triples():
+    layers = layers_from_triples([(1, 2, 3), (4, 5, 6)])
+    assert len(layers) == 2
+    assert layers[1].size(LoopDim.C) == 6

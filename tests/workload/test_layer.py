@@ -1,0 +1,105 @@
+"""LayerSpec: bounds, derived sizes, type constraints."""
+
+import pytest
+
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerSpec, LayerType, Precision
+from repro.workload.operand import Operand
+
+
+def test_dense_layer_basics():
+    layer = LayerSpec(LayerType.DENSE, {LoopDim.B: 4, LoopDim.K: 8, LoopDim.C: 16})
+    assert layer.total_macs == 4 * 8 * 16
+    assert layer.size(LoopDim.OX) == 1
+    assert layer.operand_elements(Operand.W) == 8 * 16
+    assert layer.operand_elements(Operand.I) == 4 * 16
+    assert layer.operand_elements(Operand.O) == 4 * 8
+
+
+def test_operand_bits_use_precision():
+    precision = Precision(w=8, i=8, o_final=24, o_partial=32)
+    layer = LayerSpec(
+        LayerType.DENSE, {LoopDim.B: 2, LoopDim.K: 2, LoopDim.C: 2}, precision=precision
+    )
+    assert layer.operand_bits(Operand.W) == 4 * 8
+    assert layer.operand_bits(Operand.O) == 4 * 24
+    assert layer.precision.of(Operand.O, partial=True) == 32
+
+
+def test_conv_input_extents_with_stride():
+    layer = LayerSpec(
+        LayerType.CONV2D,
+        {LoopDim.K: 8, LoopDim.C: 3, LoopDim.OX: 10, LoopDim.OY: 10,
+         LoopDim.FX: 3, LoopDim.FY: 3},
+        stride_x=2, stride_y=2,
+    )
+    # ix = (ox-1)*stride + (fx-1)*dilation + 1
+    assert layer.input_extent_x(10, 3) == 9 * 2 + 2 + 1
+    assert layer.operand_elements(Operand.I) == 3 * 21 * 21
+
+
+def test_conv_with_dilation():
+    layer = LayerSpec(
+        LayerType.CONV2D,
+        {LoopDim.K: 1, LoopDim.C: 1, LoopDim.OX: 5, LoopDim.OY: 1,
+         LoopDim.FX: 3, LoopDim.FY: 1},
+        dilation_x=2,
+    )
+    assert layer.input_extent_x(5, 3) == 4 + 4 + 1
+
+
+def test_dense_rejects_spatial_dims():
+    with pytest.raises(ValueError, match="Dense layer"):
+        LayerSpec(LayerType.DENSE, {LoopDim.B: 2, LoopDim.OX: 4})
+
+
+def test_pointwise_rejects_filter_dims():
+    with pytest.raises(ValueError, match="Pointwise"):
+        LayerSpec(LayerType.POINTWISE, {LoopDim.K: 4, LoopDim.FX: 3})
+
+
+def test_depthwise_channel_semantics():
+    layer = LayerSpec(
+        LayerType.DEPTHWISE,
+        {LoopDim.K: 32, LoopDim.OX: 8, LoopDim.OY: 8, LoopDim.FX: 3, LoopDim.FY: 3},
+    )
+    # One input channel per output channel: K relevant for I.
+    assert layer.relevance(Operand.I, LoopDim.K) == "r"
+    assert layer.operand_elements(Operand.W) == 32 * 9
+    assert layer.operand_elements(Operand.I) == 32 * 10 * 10
+
+
+def test_depthwise_rejects_c():
+    with pytest.raises(ValueError, match="Depthwise"):
+        LayerSpec(LayerType.DEPTHWISE, {LoopDim.K: 8, LoopDim.C: 4})
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        LayerSpec(LayerType.DENSE, {LoopDim.B: 0})
+    with pytest.raises(ValueError):
+        LayerSpec(LayerType.DENSE, {LoopDim.B: 2}, stride_x=0)
+
+
+def test_precision_validation():
+    with pytest.raises(ValueError):
+        Precision(w=0)
+
+
+def test_with_dims_and_describe():
+    layer = LayerSpec(LayerType.DENSE, {LoopDim.B: 2, LoopDim.K: 4, LoopDim.C: 8})
+    bigger = layer.with_dims(B=16)
+    assert bigger.size(LoopDim.B) == 16
+    assert bigger.size(LoopDim.K) == 4
+    assert "macs=" in layer.describe()
+
+
+def test_total_data_bits():
+    layer = LayerSpec(LayerType.DENSE, {LoopDim.B: 2, LoopDim.K: 2, LoopDim.C: 2})
+    expected = (4 + 4) * 8 + 4 * 24
+    assert layer.total_data_bits == expected
+
+
+def test_string_dim_keys_accepted():
+    layer = LayerSpec(LayerType.DENSE, {"B": 2, "K": 4, "C": 8})
+    assert layer.size(LoopDim.K) == 4

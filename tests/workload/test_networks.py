@@ -1,0 +1,101 @@
+"""Hand-tracking workload tables."""
+
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerType
+from repro.workload.networks import (
+    hand_tracking_layers,
+    int8_precision,
+    mlp_layers,
+    validation_layers,
+)
+
+
+def test_backbone_structure():
+    layers = hand_tracking_layers()
+    # conv0 + 13 separable blocks (dw + pw each)
+    assert len(layers) == 1 + 13 * 2
+    assert layers[0].layer_type is LayerType.CONV2D
+    assert layers[1].layer_type is LayerType.DEPTHWISE
+    assert layers[2].layer_type is LayerType.POINTWISE
+
+
+def test_channel_chaining():
+    layers = hand_tracking_layers()
+    # Every pointwise consumes the channels its depthwise saw.
+    for i in range(1, len(layers) - 1, 2):
+        dw, pw = layers[i], layers[i + 1]
+        assert dw.size(LoopDim.K) == pw.size(LoopDim.C)
+
+
+def test_final_channels_1024():
+    layers = hand_tracking_layers()
+    assert layers[-1].size(LoopDim.K) == 1024
+
+
+def test_limit():
+    assert len(hand_tracking_layers(limit=5)) == 5
+
+
+def test_mlp_layers():
+    fcs = mlp_layers(batch=8)
+    assert all(l.layer_type is LayerType.DENSE for l in fcs)
+    assert all(l.size(LoopDim.B) == 8 for l in fcs)
+
+
+def test_validation_set_spans_sizes():
+    layers = validation_layers()
+    assert len(layers) >= 10
+    macs = sorted(l.total_macs for l in layers)
+    assert macs[-1] / macs[0] > 50  # spans orders of magnitude
+
+
+def test_int8_precision():
+    p = int8_precision()
+    assert (p.w, p.i, p.o_final) == (8, 8, 24)
+
+
+def test_resnet18_structure():
+    from repro.workload.networks import resnet18_layers
+
+    layers = resnet18_layers()
+    assert layers[0].name == "stem7x7"
+    assert layers[0].stride_x == 2
+    # Four stages, each with conv1+conv2 (+ projection for strided stages).
+    names = [l.name for l in layers]
+    assert "res4a_conv2" in names
+    assert sum(1 for n in names if n.endswith("_proj")) == 3
+    # Channel chaining: conv2 of each stage has C == K.
+    for layer in layers:
+        if layer.name and layer.name.endswith("conv2"):
+            assert layer.size(LoopDim.C) == layer.size(LoopDim.K)
+
+
+def test_resnet18_mac_scale():
+    from repro.workload.networks import resnet18_layers
+
+    total = sum(l.total_macs for l in resnet18_layers())
+    # ResNet-18 backbone is ~1.8 GMACs at 224x224; our subset (no fc,
+    # single conv pair per stage) should land within the right decade.
+    assert 2e8 < total < 3e9
+
+
+def test_transformer_block_shapes():
+    from repro.workload.networks import transformer_gemm_layers
+
+    layers = transformer_gemm_layers(seq_len=128, d_model=256, heads=4)
+    by_name = {l.name: l for l in layers}
+    assert by_name["attn_q"].size(LoopDim.K) == 256
+    assert by_name["attn_scores"].size(LoopDim.B) == 4 * 128
+    assert by_name["attn_scores"].size(LoopDim.C) == 64  # d_head
+    assert by_name["ffn_up"].size(LoopDim.K) == 1024
+    # Q/K/V/O projections share shape.
+    assert by_name["attn_q"].dims == by_name["attn_out"].dims
+
+
+def test_transformer_all_dense():
+    from repro.workload.layer import LayerType
+    from repro.workload.networks import transformer_gemm_layers
+
+    assert all(
+        l.layer_type is LayerType.DENSE for l in transformer_gemm_layers()
+    )
