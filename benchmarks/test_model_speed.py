@@ -8,12 +8,15 @@ jobs (~ cycles). This bench measures both runtimes across a 64x range of
 layer sizes and asserts the scaling separation.
 """
 
+import json
+import os
 import time
 
 import pytest
 
 from repro.core.model import LatencyModel
 from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.engine import EvaluationEngine
 from repro.simulator.engine import CycleSimulator
 from repro.workload.generator import dense_layer
 
@@ -78,3 +81,47 @@ def test_bench_model_largest_layer(benchmark, case_preset):
     model = LatencyModel(case_preset.accelerator)
     report = benchmark(model.evaluate, mapping, False)
     assert report.total_cycles > 0
+
+
+def test_emit_engine_bench_artifact(case_preset, tmp_path_factory):
+    """Measure the engine's evaluation paths and write ``BENCH_engine.json``.
+
+    CI uploads the file as a build artifact, so engine performance
+    (kernel evaluation rate, cache hit cost, repeated-sweep hit rate) is
+    tracked per commit. The output path honors ``BENCH_DIR`` (defaults
+    to the working directory).
+    """
+    layer = dense_layer(64, 128, 1200)
+    mapper = make_mapper(case_preset, enumerated=80, samples=60)
+    mappings = []
+    for mapping in mapper.mappings(layer):
+        mappings.append(mapping)
+        if len(mappings) >= 50:
+            break
+
+    cold = EvaluationEngine(case_preset.accelerator, use_cache=False)
+    t0 = time.perf_counter()
+    cold.evaluate_many(mappings)
+    cold_s = time.perf_counter() - t0
+
+    warm = EvaluationEngine(case_preset.accelerator)
+    warm.evaluate_many(mappings)  # populate
+    t0 = time.perf_counter()
+    warm.evaluate_many(mappings)  # all hits
+    hit_s = time.perf_counter() - t0
+
+    payload = {
+        "mappings": len(mappings),
+        "uncached_eval_us": cold_s / len(mappings) * 1e6,
+        "cache_hit_us": hit_s / len(mappings) * 1e6,
+        "hit_vs_eval_speedup": cold_s / hit_s if hit_s else None,
+        "stats": warm.stats.snapshot(),
+    }
+    out = os.path.join(os.environ.get("BENCH_DIR", "."), "BENCH_engine.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nengine bench written to {out}: "
+          f"eval {payload['uncached_eval_us']:.0f} us, "
+          f"hit {payload['cache_hit_us']:.1f} us")
+    assert payload["stats"]["cache_hits"] >= len(mappings)
+    assert hit_s < cold_s

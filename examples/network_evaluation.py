@@ -15,6 +15,7 @@ from repro.analysis.network import NetworkEvaluator
 from repro.analysis.roofline import compare_with_roofline
 from repro.core.sensitivity import SensitivityAnalyzer
 from repro.dse.mapper import MapperConfig
+from repro.engine import EvaluationEngine
 from repro.hardware.presets import case_study_accelerator
 from repro.workload.networks import (
     hand_tracking_layers,
@@ -25,10 +26,15 @@ from repro.workload.networks import (
 
 def main() -> None:
     preset = case_study_accelerator()
+    # One engine for all three networks: repeated layer shapes (residual
+    # stacks, attention heads) are served from its cache, and the stats
+    # printed at the end cover the whole session.
+    engine = EvaluationEngine(preset.accelerator)
     evaluator = NetworkEvaluator(
         preset,
         mapper_config=MapperConfig(max_enumerated=120, samples=80),
         with_energy=True,
+        engine=engine,
     )
 
     networks = {
@@ -60,6 +66,7 @@ def main() -> None:
     analyzer = SensitivityAnalyzer(
         preset.accelerator, preset.spatial_unrolling,
         mapper_config=MapperConfig(max_enumerated=80, samples=60),
+        engine=engine,
     )
     curve = analyzer.bandwidth_sweep(
         worst_layer.layer, "GB", (128.0, 256.0, 512.0, 1024.0)
@@ -72,6 +79,8 @@ def main() -> None:
     if knee:
         print(f"knee at {knee.value:.0f} b/cyc — the 3D-IC argument of "
               f"Section V-C in one number.")
+
+    print(f"\n{engine.stats.summary()}")
 
 
 if __name__ == "__main__":

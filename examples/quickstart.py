@@ -2,16 +2,16 @@
 """Quickstart: evaluate a layer's latency on the case-study accelerator.
 
 Builds the paper's scaled-down machine (Section V), maps a GEMM layer onto
-it with the temporal mapper, runs the 3-step uniform latency model, and
-prints the full latency anatomy plus the energy estimate.
+it with the temporal mapper, runs the 3-step uniform latency model through
+the evaluation engine, and prints the full latency anatomy plus the energy
+estimate and the engine's cache statistics.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
     CycleSimulator,
-    EnergyModel,
-    LatencyModel,
+    EvaluationEngine,
     TemporalMapper,
     case_study_accelerator,
     dense_layer,
@@ -33,23 +33,29 @@ def main() -> None:
     print("Layer:", layer.describe())
     print()
 
-    # 3. Mapping: search the temporal-mapping space for the lowest latency.
+    # 3. Engine + mapping: one cached evaluation path for the whole run.
+    #    The mapper routes every candidate through the engine's LRU cache;
+    #    a process-pool variant is one argument away
+    #    (EvaluationEngine(accelerator, executor="process")).
+    engine = EvaluationEngine(accelerator)
     mapper = TemporalMapper(
         accelerator, preset.spatial_unrolling,
         MapperConfig(max_enumerated=300, samples=300),
+        engine=engine,
     )
     best = mapper.best_mapping(layer)
     print("Best mapping found:")
     print(best.mapping.describe())
     print()
 
-    # 4. Latency: the uniform 3-step model (Section III).
-    report = LatencyModel(accelerator).evaluate(best.mapping)
+    # 4. Latency: the uniform 3-step model (Section III). This re-request
+    #    is a cache hit — the mapper already evaluated the winner.
+    report = engine.evaluate(best.mapping)
     print(report.summary())
     print()
 
     # 5. Energy: the classic access-count model (Section I).
-    energy = EnergyModel(accelerator).evaluate(best.mapping)
+    energy = engine.evaluate_energy(best.mapping)
     print(energy.summary())
     print()
 
@@ -58,6 +64,10 @@ def main() -> None:
     print(sim.summary())
     print(f"\nmodel vs simulator accuracy: "
           f"{accuracy(report.total_cycles, sim.total_cycles):.1%}")
+
+    # 7. What did the run cost? The engine kept count.
+    print()
+    print(engine.stats.summary())
 
 
 if __name__ == "__main__":

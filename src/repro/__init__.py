@@ -11,15 +11,25 @@ of the authors' (unavailable) taped-out chip for validation.
 Quickstart::
 
     from repro import (
-        LatencyModel, case_study_accelerator, dense_layer, TemporalMapper,
+        EvaluationEngine, case_study_accelerator, dense_layer, TemporalMapper,
     )
 
     preset = case_study_accelerator()
     layer = dense_layer(64, 128, 1200)
-    mapper = TemporalMapper(preset.accelerator, preset.spatial_unrolling)
+    engine = EvaluationEngine(preset.accelerator)
+    mapper = TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling, engine=engine
+    )
     best = mapper.best_mapping(layer)
-    report = LatencyModel(preset.accelerator).evaluate(best.mapping)
-    print(report.summary())
+    print(best.report.summary())
+    print(engine.stats.summary())
+
+Every high-level flow (mapper, architecture search, sensitivity sweeps,
+network evaluation, the CLI) evaluates through an
+:class:`~repro.engine.EvaluationEngine`, which caches results by
+canonical fingerprint and can fan batches out to worker processes; the
+pure 3-step kernel remains directly usable via
+:class:`~repro.core.model.LatencyModel` for single evaluations.
 """
 
 from repro.analysis.network import NetworkEvaluator
@@ -33,6 +43,7 @@ from repro.core import (
 from repro.core.advisor import UpgradeAdvisor
 from repro.core.sensitivity import SensitivityAnalyzer
 from repro.energy import EnergyModel, EnergyReport
+from repro.engine import EngineStats, Evaluation, EvaluationCache, EvaluationEngine
 from repro.hardware import Accelerator, MacArray, MemoryHierarchy, MemoryInstance
 from repro.hardware.presets import (
     Preset,
@@ -54,6 +65,10 @@ __all__ = [
     "CycleSimulator",
     "EnergyModel",
     "EnergyReport",
+    "EngineStats",
+    "Evaluation",
+    "EvaluationCache",
+    "EvaluationEngine",
     "LatencyModel",
     "LatencyReport",
     "LayerSpec",

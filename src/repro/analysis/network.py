@@ -14,10 +14,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.model import LatencyModel
 from repro.core.report import LatencyReport
 from repro.dse.mapper import MapperConfig, TemporalMapper
-from repro.energy.energy_model import EnergyModel, EnergyReport
+from repro.energy.energy_model import EnergyReport
+from repro.engine import EvaluationEngine
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import Mapping, MappingError
 from repro.workload.im2col import im2col
@@ -105,7 +105,13 @@ class NetworkResult:
 
 
 class NetworkEvaluator:
-    """Run every layer of a network through mapper + latency (+ energy)."""
+    """Run every layer of a network through mapper + latency (+ energy).
+
+    Evaluations route through one :class:`EvaluationEngine`, so networks
+    with repeated layer shapes (residual stacks, repeated blocks) search
+    and evaluate each distinct shape once — pass a shared ``engine`` to
+    pool the cache across machines or enable the process executor.
+    """
 
     def __init__(
         self,
@@ -113,15 +119,17 @@ class NetworkEvaluator:
         mapper_config: Optional[MapperConfig] = None,
         apply_im2col: bool = True,
         with_energy: bool = False,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.preset = preset
         self.mapper = TemporalMapper(
             preset.accelerator,
             preset.spatial_unrolling,
             mapper_config or MapperConfig(max_enumerated=150, samples=100),
+            engine=engine,
         )
-        self.model = LatencyModel(preset.accelerator)
-        self.energy = EnergyModel(preset.accelerator) if with_energy else None
+        self.engine = self.mapper.engine
+        self.with_energy = with_energy
         self.apply_im2col = apply_im2col
 
     def evaluate(self, layers: Sequence[LayerSpec]) -> NetworkResult:
@@ -135,7 +143,11 @@ class NetworkEvaluator:
             except MappingError:
                 skipped.append(layer.name or str(layer.layer_type))
                 continue
-            energy = self.energy.evaluate(best.mapping) if self.energy else None
+            energy = (
+                self.engine.evaluate_energy(best.mapping)
+                if self.with_energy
+                else None
+            )
             results.append(
                 LayerResult(
                     layer=lowered, mapping=best.mapping,

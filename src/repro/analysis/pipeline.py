@@ -13,6 +13,10 @@ is capped by the *stall slack* of the producing layer — a layer that
 already saturates its memory ports cannot absorb a neighbor's preload
 traffic for free — using the port-utilization information the reports
 carry.
+
+This module is a pure post-processing pass over per-layer reports: it
+constructs no models itself; the reports come from an engine-backed
+:class:`~repro.analysis.network.NetworkEvaluator` run.
 """
 
 from __future__ import annotations

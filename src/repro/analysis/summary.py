@@ -16,10 +16,8 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.bottleneck import diagnose
 from repro.analysis.roofline import compare_with_roofline
-from repro.core.model import LatencyModel
 from repro.core.sensitivity import SensitivityAnalyzer
 from repro.dse.mapper import MapperConfig, TemporalMapper
-from repro.energy.energy_model import EnergyModel
 from repro.hardware.presets import Preset
 from repro.mapping.stationarity import classify_dataflow
 from repro.workload.layer import LayerSpec
@@ -30,7 +28,9 @@ from repro.workload.operand import Operand
 class ReportConfig:
     """What to include and how hard to search."""
 
-    mapper_config: MapperConfig = MapperConfig(max_enumerated=150, samples=120)
+    mapper_config: MapperConfig = dataclasses.field(
+        default_factory=lambda: MapperConfig(max_enumerated=150, samples=120)
+    )
     simulate: bool = False
     bandwidth_sweep_memory: Optional[str] = "GB"
     bandwidth_points: Sequence[float] = (128.0, 256.0, 512.0, 1024.0)
@@ -49,7 +49,7 @@ def generate_report(
     )
     best = mapper.best_mapping(layer)
     report = best.report
-    energy = EnergyModel(accelerator).evaluate(best.mapping)
+    energy = mapper.engine.evaluate_energy(best.mapping)
     dataflow = classify_dataflow(best.mapping)
     roofline = compare_with_roofline(accelerator, best.mapping, report)
 
@@ -133,6 +133,7 @@ def generate_report(
             analyzer = SensitivityAnalyzer(
                 accelerator, preset.spatial_unrolling,
                 mapper_config=config.mapper_config,
+                engine=mapper.engine,
             )
             curve = analyzer.bandwidth_sweep(
                 layer, config.bandwidth_sweep_memory, config.bandwidth_points

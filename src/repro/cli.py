@@ -14,9 +14,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.model import LatencyModel
 from repro.dse.mapper import MapperConfig, TemporalMapper
-from repro.energy.energy_model import EnergyModel
+from repro.engine import EvaluationEngine
 from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
 from repro.simulator.engine import CycleSimulator
 from repro.simulator.result import accuracy
@@ -42,9 +41,30 @@ def _preset(args: argparse.Namespace):
     return case_study_accelerator(gb_read_bw=args.gb_bw)
 
 
+def _engine(preset, args: argparse.Namespace) -> EvaluationEngine:
+    workers = getattr(args, "workers", 0)
+    return EvaluationEngine(
+        preset.accelerator,
+        executor="process" if workers else "serial",
+        max_workers=workers or None,
+    )
+
+
 def _mapper(preset, args: argparse.Namespace) -> TemporalMapper:
     config = MapperConfig(max_enumerated=args.enumerate, samples=args.samples)
-    return TemporalMapper(preset.accelerator, preset.spatial_unrolling, config)
+    return TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        config,
+        engine=_engine(preset, args),
+    )
+
+
+def _finish(engine: EvaluationEngine, args: argparse.Namespace) -> int:
+    if getattr(args, "stats", False):
+        print(engine.stats.summary())
+    engine.close()
+    return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -53,9 +73,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     best = mapper.best_mapping(args.layer)
     print(best.mapping.describe())
     print(best.report.summary())
-    energy = EnergyModel(preset.accelerator).evaluate(best.mapping)
+    energy = mapper.engine.evaluate_energy(best.mapping)
     print(energy.summary())
-    return 0
+    return _finish(mapper.engine, args)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -66,7 +86,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     sim = CycleSimulator(preset.accelerator, best.mapping).run()
     print(sim.summary())
     print(f"model-vs-simulator accuracy: {accuracy(best.report.total_cycles, sim.total_cycles):.1%}")
-    return 0
+    return _finish(mapper.engine, args)
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -76,13 +96,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(f"mapping space: {mapper.space_size(args.layer)} orders; showing top {args.top}")
     for result in results[: args.top]:
         print("  " + result.describe())
-    return 0
+    return _finish(mapper.engine, args)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     preset = _preset(args)
     mapper = _mapper(preset, args)
-    model = LatencyModel(preset.accelerator)
     layers = validation_layers()[: args.limit]
     accs: List[float] = []
     for layer in layers:
@@ -96,8 +115,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             f"sim {sim.total_cycles:10.0f}  accuracy {acc:6.1%}"
         )
     print(f"average accuracy: {sum(accs) / len(accs):.1%}")
-    del model
-    return 0
+    return _finish(mapper.engine, args)
 
 
 def _cmd_network(args: argparse.Namespace) -> int:
@@ -121,20 +139,23 @@ def _cmd_network(args: argparse.Namespace) -> int:
         preset,
         mapper_config=_MC(max_enumerated=args.enumerate, samples=args.samples),
         with_energy=True,
+        engine=_engine(preset, args),
     )
     result = evaluator.evaluate(layers)
     print(result.summary())
     if args.csv:
         to_csv(evaluator.layer_table(result), args.csv)
         print(f"per-layer table written to {args.csv}")
-    return 0
+    return _finish(evaluator.engine, args)
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.core.sensitivity import SensitivityAnalyzer
 
     preset = _preset(args)
-    analyzer = SensitivityAnalyzer(preset.accelerator, preset.spatial_unrolling)
+    analyzer = SensitivityAnalyzer(
+        preset.accelerator, preset.spatial_unrolling, engine=_engine(preset, args)
+    )
     bandwidths = [float(b) for b in args.bandwidths.split(",")]
     curve = analyzer.bandwidth_sweep(args.layer, args.memory, bandwidths)
     print(f"{args.memory} bandwidth sweep for {args.layer.describe()}:")
@@ -147,7 +168,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     bound = curve.compute_bound_from()
     if bound is not None:
         print(f"compute-bound from: {bound:.0f} b/cyc")
-    return 0
+    return _finish(analyzer.engine, args)
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
@@ -234,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--top", type=int, default=5)
         p.add_argument("--limit", type=int, default=6,
                        help="layer-count limit (validate / network)")
+        p.add_argument("--workers", type=int, default=0,
+                       help="evaluate mapper batches on this many worker "
+                            "processes (0 = in-process serial)")
+        p.add_argument("--stats", action="store_true",
+                       help="print engine statistics (evaluations, cache "
+                            "hit rate, phase timings) on exit")
         if name == "network":
             p.add_argument("--network",
                            choices=("handtracking", "resnet18", "transformer"),

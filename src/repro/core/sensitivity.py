@@ -14,9 +14,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.model import LatencyModel
 from repro.core.step1 import ModelOptions
 from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.engine import EvaluationEngine
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.hierarchy import MemoryHierarchy, MemoryLevel
 from repro.hardware.memory import MemoryInstance
@@ -137,6 +137,7 @@ class SensitivityAnalyzer:
         mapper_config: Optional[MapperConfig] = None,
         options: Optional[ModelOptions] = None,
         remap_per_point: bool = True,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.accelerator = accelerator
         self.spatial_unrolling = spatial_unrolling
@@ -148,6 +149,19 @@ class SensitivityAnalyzer:
         #: the best mapping changes with the hardware); False keeps the
         #: baseline machine's mapping fixed.
         self.remap_per_point = remap_per_point
+        #: Engine lineage shared across every swept machine: per-machine
+        #: engines are derived from it, pooling the cache, stats and
+        #: executor for the whole sweep.
+        self.engine = engine
+
+    def _engine_for(self, machine: Accelerator) -> EvaluationEngine:
+        if self.engine is None:
+            self.engine = EvaluationEngine(
+                machine, self.mapper_config.model_options
+            )
+        elif self.engine.accelerator is not machine:
+            self.engine = self.engine.derive(accelerator=machine)
+        return self.engine
 
     # ------------------------------------------------------------------ #
 
@@ -194,10 +208,14 @@ class SensitivityAnalyzer:
         points: List[SensitivityPoint] = []
         for value in values:
             machine = build(value)
+            engine = self._engine_for(machine)
             try:
                 if self.remap_per_point or baseline_mapping is None:
                     mapper = TemporalMapper(
-                        machine, self.spatial_unrolling, self.mapper_config
+                        machine,
+                        self.spatial_unrolling,
+                        self.mapper_config,
+                        engine=engine,
                     )
                     best = mapper.best_mapping(layer)
                     mapping = best.mapping
@@ -205,7 +223,9 @@ class SensitivityAnalyzer:
                         baseline_mapping = mapping
                 else:
                     mapping = baseline_mapping
-                report = LatencyModel(machine, self.options).evaluate(
+                # The reported curve uses the analyzer's own ModelOptions,
+                # which may differ from the mapper's search options.
+                report = engine.derive(options=self.options).evaluate(
                     mapping, validate=False
                 )
             except MappingError:

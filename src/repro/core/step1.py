@@ -154,9 +154,10 @@ def _endpoint_pair(
 def build_dtls(
     accelerator: Accelerator,
     mapping: Mapping,
-    options: ModelOptions = ModelOptions(),
+    options: Optional[ModelOptions] = None,
 ) -> List[DTL]:
     """All DTL endpoints of ``mapping`` on ``accelerator`` (Step 1)."""
+    options = options or ModelOptions()
     dtls: List[DTL] = []
     dtls.extend(_input_weight_dtls(accelerator, mapping, options))
     dtls.extend(_output_dtls(accelerator, mapping, options))

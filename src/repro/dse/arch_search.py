@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.baseline import BwUnawareModel
 from repro.dse.mapper import MapperConfig, TemporalMapper
 from repro.dse.pareto import pareto_front
+from repro.engine import EvaluationEngine
 from repro.hardware.pool import MemoryCandidate, MemoryPool, searched_memory_names
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import MappingError
@@ -29,7 +30,11 @@ class ArchSearchConfig:
     gb_bandwidths: Sequence[float] = (128.0,)
     bw_aware: bool = True
     with_energy: bool = False
-    mapper_config: MapperConfig = MapperConfig(max_enumerated=400, samples=200, keep_top=1)
+    mapper_config: MapperConfig = dataclasses.field(
+        default_factory=lambda: MapperConfig(
+            max_enumerated=400, samples=200, keep_top=1
+        )
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,10 +69,31 @@ class ArchPoint:
 
 
 class ArchSearch:
-    """Run the Case-study-3 sweep for one layer."""
+    """Run the Case-study-3 sweep for one layer.
 
-    def __init__(self, config: ArchSearchConfig) -> None:
+    All design points evaluate through one :class:`EvaluationEngine`
+    lineage (per-machine engines derived from a shared cache, stats and
+    executor), so revisited (machine, mapping) pairs are free and
+    ``search.engine.stats`` summarizes the whole sweep. Pass ``engine``
+    to pool evaluations with an outer flow, or e.g.
+    ``EvaluationEngine(..., executor="process")`` to fan mapper batches
+    out to worker processes.
+    """
+
+    def __init__(
+        self, config: ArchSearchConfig, engine: Optional[EvaluationEngine] = None
+    ) -> None:
         self.config = config
+        self.engine = engine
+
+    def _engine_for(self, accelerator) -> EvaluationEngine:
+        if self.engine is None:
+            self.engine = EvaluationEngine(
+                accelerator, self.config.mapper_config.model_options
+            )
+        elif self.engine.accelerator is not accelerator:
+            self.engine = self.engine.derive(accelerator=accelerator)
+        return self.engine
 
     def design_points(self) -> Iterator[Tuple[str, float, MemoryCandidate, Preset]]:
         """Every (array label, GB BW, candidate, preset) in the sweep."""
@@ -96,7 +122,10 @@ class ArchSearch:
         """Best-mapping latency and area of one design point."""
         accelerator = preset.accelerator
         mapper = TemporalMapper(
-            accelerator, preset.spatial_unrolling, self.config.mapper_config
+            accelerator,
+            preset.spatial_unrolling,
+            self.config.mapper_config,
+            engine=self._engine_for(accelerator),
         )
         energy_pj: Optional[float] = None
         try:
@@ -105,9 +134,7 @@ class ArchSearch:
                 latency = best.report.total_cycles
                 utilization = best.report.utilization
                 if self.config.with_energy:
-                    from repro.energy.energy_model import EnergyModel
-
-                    energy_pj = EnergyModel(accelerator).evaluate(
+                    energy_pj = mapper.engine.evaluate_energy(
                         best.mapping
                     ).total_pj
             else:

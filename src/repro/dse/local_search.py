@@ -7,6 +7,11 @@ orders are a natural neighborhood space for this: most of the latency
 structure (residencies, keep-out windows, psum round trips) changes
 smoothly under adjacent swaps, so short climbs recover most of what
 exhaustive enumeration would find at a tiny fraction of the cost.
+
+Evaluations route through the wrapped mapper's
+:class:`~repro.engine.EvaluationEngine`, so orders revisited across
+restarts (different climbs converging on the same neighborhood) hit the
+engine cache instead of re-running the model.
 """
 
 from __future__ import annotations

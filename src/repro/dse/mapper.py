@@ -27,7 +27,6 @@ import itertools
 import random
 from typing import Dict, Iterator, List, Mapping as TMapping, Optional, Tuple, Union
 
-from repro.core.model import LatencyModel
 from repro.core.report import LatencyReport
 from repro.core.step1 import ModelOptions
 from repro.dse.factorize import (
@@ -36,7 +35,8 @@ from repro.dse.factorize import (
     prime_factors,
     sample_permutations,
 )
-from repro.energy.energy_model import EnergyModel, EnergyReport
+from repro.energy.energy_model import EnergyReport
+from repro.engine import EvaluationEngine
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.footprint import spatial_replication, tile_elements
 from repro.mapping.loop import Loop
@@ -57,11 +57,15 @@ class MapperConfig:
     samples: int = 2_000            # sampled orders when above the cap
     seed: int = 0
     keep_top: int = 50              # results retained by search()
-    model_options: ModelOptions = ModelOptions()
+    batch_size: int = 256           # mappings per engine batch
+    sample_chunk: int = 64          # samples per RNG stream (determinism unit)
+    model_options: ModelOptions = dataclasses.field(default_factory=ModelOptions)
 
     def __post_init__(self) -> None:
         if self.objective not in ("latency", "energy", "edp"):
             raise ValueError(f"unknown objective {self.objective!r}")
+        if self.batch_size < 1 or self.sample_chunk < 1:
+            raise ValueError("batch_size and sample_chunk must be >= 1")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,14 +94,25 @@ class TemporalMapper:
         accelerator: Accelerator,
         spatial: Union[SpatialMapping, TMapping[LoopDim, int]],
         config: Optional[MapperConfig] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.accelerator = accelerator
         self.spatial = (
             spatial if isinstance(spatial, SpatialMapping) else SpatialMapping(spatial)
         )
         self.config = config or MapperConfig()
-        self._latency_model = LatencyModel(accelerator, self.config.model_options)
-        self._energy_model = EnergyModel(accelerator)
+        if engine is None:
+            engine = EvaluationEngine(accelerator, self.config.model_options)
+        elif (
+            engine.accelerator is not accelerator
+            or engine.options != self.config.model_options
+        ):
+            # Share the caller's cache/stats/executor but evaluate on this
+            # mapper's machine under this mapper's model options.
+            engine = engine.derive(
+                accelerator=accelerator, options=self.config.model_options
+            )
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     # Loop-order space
@@ -136,8 +151,18 @@ class TemporalMapper:
         remaining = max(budget - len(seeds), 16)
         prefix = remaining // 2
         yield from itertools.islice(multiset_permutations(atoms), prefix)
-        rng = random.Random(self.config.seed)
-        yield from sample_permutations(atoms, remaining - prefix, rng)
+        # Random samples come from fixed-size chunks, each with its own RNG
+        # stream derived from (seed, chunk index) — not from one shared
+        # stream — so the sampled set is a pure function of the config and
+        # identical under the serial and parallel evaluation backends
+        # (duplicates across chunks are deduplicated by mappings()).
+        to_sample = remaining - prefix
+        chunk = self.config.sample_chunk
+        for index, start in enumerate(range(0, to_sample, chunk)):
+            rng = random.Random(self.config.seed + index)
+            yield from sample_permutations(
+                atoms, min(chunk, to_sample - start), rng
+            )
 
     def _seed_orders(
         self, layer: LayerSpec, atoms: List[Tuple[LoopDim, int]]
@@ -238,32 +263,95 @@ class TemporalMapper:
             except MappingError:
                 continue
 
+    @property
+    def _wants_energy(self) -> bool:
+        return self.config.objective in ("energy", "edp")
+
+    def _objective(
+        self, report: LatencyReport, energy: Optional[EnergyReport]
+    ) -> float:
+        if self.config.objective == "latency":
+            return report.total_cycles
+        assert energy is not None
+        if self.config.objective == "energy":
+            return energy.total_pj
+        return energy.total_pj * report.total_cycles
+
     def evaluate(self, mapping: Mapping) -> MappingSearchResult:
         """Score one mapping under the configured objective."""
-        report = self._latency_model.evaluate(mapping, validate=False)
+        report = self.engine.evaluate(mapping, validate=False)
         energy: Optional[EnergyReport] = None
-        if self.config.objective in ("energy", "edp"):
-            energy = self._energy_model.evaluate(mapping)
-        if self.config.objective == "latency":
-            objective = report.total_cycles
-        elif self.config.objective == "energy":
-            assert energy is not None
-            objective = energy.total_pj
-        else:
-            assert energy is not None
-            objective = energy.total_pj * report.total_cycles
-        return MappingSearchResult(mapping, report, energy, objective)
+        if self._wants_energy:
+            energy = self.engine.evaluate_energy(mapping)
+        return MappingSearchResult(
+            mapping, report, energy, self._objective(report, energy)
+        )
+
+    def _evaluated(self, layer: LayerSpec) -> Iterator[MappingSearchResult]:
+        """Stream scored mappings, batch-evaluating through the engine.
+
+        Infeasible mappings (``None`` outcomes from the engine) are
+        skipped, matching the old per-mapping try/except behavior.
+        """
+        batch: List[Mapping] = []
+
+        def flush() -> Iterator[MappingSearchResult]:
+            outcomes = self.engine.evaluate_many(
+                batch, validate=False, with_energy=self._wants_energy
+            )
+            batch.clear()
+            for outcome in outcomes:
+                if outcome is None:
+                    continue
+                yield MappingSearchResult(
+                    outcome.mapping,
+                    outcome.report,
+                    outcome.energy,
+                    self._objective(outcome.report, outcome.energy),
+                )
+
+        for mapping in self.mappings(layer):
+            batch.append(mapping)
+            if len(batch) >= self.config.batch_size:
+                yield from flush()
+        if batch:
+            yield from flush()
+
+    def _search_key(self, kind: str, layer: LayerSpec):
+        """Engine-cache key for a whole search outcome on ``layer``.
+
+        The search is deterministic in (machine, model options, spatial
+        unrolling, layer, search config), so its result can be memoized in
+        the engine cache alongside per-mapping reports — a repeated layer
+        shape skips candidate *generation* as well as evaluation.
+        """
+        from repro.fingerprint import memoized_fingerprint, stable_fingerprint
+
+        return (
+            kind,
+            self.engine.accelerator_fingerprint,
+            self.engine.options_fingerprint,
+            stable_fingerprint(
+                memoized_fingerprint(self.spatial),
+                memoized_fingerprint(layer),
+                self.config,
+            ),
+        )
 
     def search(self, layer: LayerSpec) -> List[MappingSearchResult]:
         """Evaluate the mapping space; return the top results, best first."""
-        results: List[MappingSearchResult] = []
-        for mapping in self.mappings(layer):
-            try:
-                results.append(self.evaluate(mapping))
-            except MappingError:
-                continue
+        key = self._search_key("search", layer)
+        if self.engine.use_cache:
+            cached = self.engine.cache.get(key)
+            if cached is not None:
+                self.engine.stats.cache_hits += 1
+                return list(cached)
+        results = list(self._evaluated(layer))
         results.sort(key=lambda r: r.objective)
-        return results[: self.config.keep_top]
+        results = results[: self.config.keep_top]
+        if self.engine.use_cache:
+            self.engine.cache.put(key, tuple(results))
+        return results
 
     def best_mapping_verified(
         self, layer: LayerSpec, shortlist: int = 5
@@ -296,12 +384,14 @@ class TemporalMapper:
 
     def best_mapping(self, layer: LayerSpec) -> MappingSearchResult:
         """The best mapping found (raises if none fits)."""
+        key = self._search_key("best_mapping", layer)
+        if self.engine.use_cache:
+            cached = self.engine.cache.get(key)
+            if cached is not None:
+                self.engine.stats.cache_hits += 1
+                return cached
         best: Optional[MappingSearchResult] = None
-        for mapping in self.mappings(layer):
-            try:
-                result = self.evaluate(mapping)
-            except MappingError:
-                continue
+        for result in self._evaluated(layer):
             if best is None or result.objective < best.objective:
                 best = result
         if best is None:
@@ -309,4 +399,6 @@ class TemporalMapper:
                 f"no valid temporal mapping of {layer.describe()} on "
                 f"{self.accelerator.name} with spatial {self.spatial}"
             )
+        if self.engine.use_cache:
+            self.engine.cache.put(key, best)
         return best

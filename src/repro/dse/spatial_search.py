@@ -22,6 +22,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dse.factorize import prime_factors
 from repro.dse.mapper import MapperConfig, MappingSearchResult, TemporalMapper
+from repro.engine import EvaluationEngine
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import MappingError
 from repro.mapping.spatial import SpatialMapping
@@ -38,7 +39,9 @@ class SpatialSearchConfig:
     min_spatial_utilization: float = 0.5
     max_candidates: int = 64
     require_full_array: bool = False
-    mapper_config: MapperConfig = MapperConfig(max_enumerated=100, samples=80)
+    mapper_config: MapperConfig = dataclasses.field(
+        default_factory=lambda: MapperConfig(max_enumerated=100, samples=80)
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -109,15 +112,25 @@ def output_lanes_needed(spatial: SpatialMapping) -> int:
 
 
 class SpatialSearch:
-    """Joint spatial + temporal mapping search on one accelerator."""
+    """Joint spatial + temporal mapping search on one accelerator.
+
+    Every candidate unrolling's temporal search runs through one shared
+    :class:`EvaluationEngine`, so the latency of a (mapping) revisited
+    under two unrollings is evaluated once and ``search.engine.stats``
+    covers the whole joint search.
+    """
 
     def __init__(
         self,
         accelerator: Accelerator,
         config: Optional[SpatialSearchConfig] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.accelerator = accelerator
         self.config = config or SpatialSearchConfig()
+        self.engine = engine or EvaluationEngine(
+            accelerator, self.config.mapper_config.model_options
+        )
 
     def candidates(self, layer: LayerSpec) -> List[SpatialMapping]:
         """Feasible unrollings (array size + accumulator lanes respected)."""
@@ -134,7 +147,12 @@ class SpatialSearch:
         """Best temporal mapping per candidate unrolling, best first."""
         results: List[SpatialSearchResult] = []
         for spatial in self.candidates(layer):
-            mapper = TemporalMapper(self.accelerator, spatial, self.config.mapper_config)
+            mapper = TemporalMapper(
+                self.accelerator,
+                spatial,
+                self.config.mapper_config,
+                engine=self.engine,
+            )
             try:
                 best = mapper.best_mapping(layer)
             except MappingError:

@@ -1,0 +1,23 @@
+"""The evaluation engine: caching, batch fan-out and instrumentation.
+
+All user-facing flows route their model evaluations through
+:class:`EvaluationEngine` (the mapper, architecture search, sensitivity
+sweeps, network evaluation and the CLI); the pure 3-step kernel stays in
+:mod:`repro.core.model`. See :mod:`repro.engine.evaluation` for the full
+story and ``docs/API.md`` ("Evaluation engine") for usage.
+"""
+
+from repro.engine.cache import EvaluationCache
+from repro.engine.evaluation import Evaluation, EvaluationEngine
+from repro.engine.executors import ProcessBackend, SerialBackend, make_backend
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "Evaluation",
+    "EvaluationCache",
+    "EvaluationEngine",
+    "EngineStats",
+    "ProcessBackend",
+    "SerialBackend",
+    "make_backend",
+]

@@ -1,0 +1,48 @@
+"""LRU cache for evaluation results, keyed on canonical fingerprints."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+
+class EvaluationCache:
+    """A bounded least-recently-used map from fingerprint keys to results.
+
+    Keys are the tuples the engine builds from (result kind, accelerator
+    fingerprint, options fingerprint, mapping fingerprint) — see
+    :class:`repro.engine.EvaluationEngine`. Values are the (immutable)
+    report objects, so sharing one cache across engines and machines is
+    safe by construction.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Optional[Any]:
+        """The cached value for ``key`` (refreshing its recency), or default."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key`` -> ``value``, evicting the oldest entry if full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._data.clear()

@@ -1,0 +1,287 @@
+"""The shared evaluation engine: one path for every model evaluation.
+
+Every flow in this reproduction — mapping search (Case 1), workload
+sweeps (Case 2), architecture DSE (Case 3), sensitivity what-ifs, network
+evaluation, the CLI — ultimately runs the same pure 3-step kernel
+(:class:`repro.core.model.LatencyModel`). The :class:`EvaluationEngine`
+owns that kernel for one (accelerator, options) pair and adds what the
+kernel deliberately does not have:
+
+* an LRU **cache** keyed on a canonical fingerprint of (accelerator,
+  mapping, options), so repeated design points — repeated layer shapes in
+  a network, revisited loop orders in a hill climb, shared mappings across
+  a sweep — are evaluated once;
+* **batch fan-out** (:meth:`evaluate_many`) over a pluggable executor
+  (serial or process-pool), with chunking that keeps results byte-identical
+  to serial evaluation;
+* an :class:`~repro.engine.stats.EngineStats` **instrumentation surface**
+  (evaluations run, hits/misses, wall time per phase).
+
+Engines are cheap; :meth:`derive` builds one for another machine or
+options while *sharing* the cache, stats and executor — the idiom for
+architecture sweeps where every design point is a different accelerator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Union
+
+from repro.core.model import LatencyModel
+from repro.core.report import LatencyReport
+from repro.core.step1 import ModelOptions
+from repro.energy.energy_model import EnergyModel, EnergyReport
+from repro.engine.cache import EvaluationCache
+from repro.engine.executors import Backend, ChunkPayload, make_backend
+from repro.engine.stats import EngineStats
+from repro.fingerprint import stable_fingerprint
+from repro.hardware.accelerator import Accelerator
+from repro.mapping.mapping import Mapping
+
+
+@dataclasses.dataclass(frozen=True)
+class Evaluation:
+    """One mapping's evaluated reports, as returned by :meth:`evaluate_many`."""
+
+    mapping: Mapping
+    report: LatencyReport
+    energy: Optional[EnergyReport] = None
+
+
+class EvaluationEngine:
+    """Cached, instrumented, batchable evaluation of mappings on one machine.
+
+    Parameters
+    ----------
+    accelerator:
+        The hardware design point this engine evaluates on.
+    options:
+        Modeling conventions forwarded to :class:`LatencyModel`.
+    cache:
+        A shared :class:`EvaluationCache`; one is created when omitted.
+    cache_size:
+        Capacity of the created cache (ignored when ``cache`` is given).
+    use_cache:
+        Disable to force every evaluation through the kernel (benchmarks
+        and ablations; the cache object is still attached but unused).
+    executor:
+        ``"serial"`` (default), ``"process"``, or a backend instance from
+        :mod:`repro.engine.executors` to share a process pool.
+    max_workers:
+        Worker count for the ``"process"`` executor.
+    stats:
+        A shared :class:`EngineStats`; one is created when omitted.
+    chunk_size:
+        Mappings per executor chunk in :meth:`evaluate_many`.
+
+    Examples
+    --------
+    >>> engine = EvaluationEngine(preset.accelerator)     # doctest: +SKIP
+    >>> report = engine.evaluate(mapping)                 # doctest: +SKIP
+    >>> engine.stats.hit_rate                             # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        options: Optional[ModelOptions] = None,
+        *,
+        cache: Optional[EvaluationCache] = None,
+        cache_size: int = 65536,
+        use_cache: bool = True,
+        executor: Union[str, Backend] = "serial",
+        max_workers: Optional[int] = None,
+        stats: Optional[EngineStats] = None,
+        chunk_size: int = 32,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.accelerator = accelerator
+        self.options = options or ModelOptions()
+        self.use_cache = use_cache
+        self.cache = cache if cache is not None else EvaluationCache(cache_size)
+        self.stats = stats if stats is not None else EngineStats()
+        self.chunk_size = chunk_size
+        self._backend = make_backend(executor, max_workers)
+        self._model = LatencyModel(accelerator, self.options)
+        self._energy_model = EnergyModel(accelerator)
+        self._accel_fp = accelerator.fingerprint()
+        self._options_fp = stable_fingerprint(self.options)
+
+    # ------------------------------------------------------------------ #
+    # Derivation / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def derive(
+        self,
+        accelerator: Optional[Accelerator] = None,
+        options: Optional[ModelOptions] = None,
+    ) -> "EvaluationEngine":
+        """An engine for another machine/options sharing this engine's
+        cache, stats and executor backend.
+
+        Fingerprinted cache keys keep entries from different machines
+        apart, so a whole architecture or sensitivity sweep can pool its
+        evaluations in one cache and report one stats surface.
+        """
+        return EvaluationEngine(
+            accelerator if accelerator is not None else self.accelerator,
+            options if options is not None else self.options,
+            cache=self.cache,
+            use_cache=self.use_cache,
+            executor=self._backend,
+            stats=self.stats,
+            chunk_size=self.chunk_size,
+        )
+
+    def close(self) -> None:
+        """Shut down the executor backend (no-op for the serial backend)."""
+        self._backend.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether batches fan out to worker processes."""
+        return self._backend.name == "process"
+
+    @property
+    def accelerator_fingerprint(self) -> str:
+        """Canonical fingerprint of this engine's accelerator."""
+        return self._accel_fp
+
+    @property
+    def options_fingerprint(self) -> str:
+        """Canonical fingerprint of this engine's model options."""
+        return self._options_fp
+
+    # ------------------------------------------------------------------ #
+    # Cache keys
+    # ------------------------------------------------------------------ #
+
+    def _latency_key(self, mapping: Mapping):
+        return ("latency", self._accel_fp, self._options_fp, mapping.fingerprint())
+
+    def _energy_key(self, mapping: Mapping):
+        # The energy model takes no ModelOptions; its key omits them.
+        return ("energy", self._accel_fp, mapping.fingerprint())
+
+    # ------------------------------------------------------------------ #
+    # Single evaluations
+    # ------------------------------------------------------------------ #
+
+    def check(self, mapping: Mapping) -> None:
+        """Raise :class:`MappingError` if ``mapping`` is infeasible here."""
+        self._model.check(mapping)
+
+    def evaluate(self, mapping: Mapping, validate: bool = True) -> LatencyReport:
+        """Latency of ``mapping``, served from the cache when possible."""
+        if validate:
+            self._model.check(mapping)
+        with self.stats.phase("evaluate"):
+            if not self.use_cache:
+                self.stats.evaluations += 1
+                return self._model.evaluate(mapping, validate=False)
+            key = self._latency_key(mapping)
+            report = self.cache.get(key)
+            if report is not None:
+                self.stats.cache_hits += 1
+                return report
+            self.stats.cache_misses += 1
+            self.stats.evaluations += 1
+            report = self._model.evaluate(mapping, validate=False)
+            self.cache.put(key, report)
+            return report
+
+    def evaluate_energy(self, mapping: Mapping) -> EnergyReport:
+        """Dynamic energy of ``mapping``, served from the cache when possible."""
+        with self.stats.phase("energy"):
+            if not self.use_cache:
+                self.stats.energy_evaluations += 1
+                return self._energy_model.evaluate(mapping)
+            key = self._energy_key(mapping)
+            energy = self.cache.get(key)
+            if energy is not None:
+                self.stats.cache_hits += 1
+                return energy
+            self.stats.cache_misses += 1
+            self.stats.energy_evaluations += 1
+            energy = self._energy_model.evaluate(mapping)
+            self.cache.put(key, energy)
+            return energy
+
+    # ------------------------------------------------------------------ #
+    # Batch evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate_many(
+        self,
+        mappings: Iterable[Mapping],
+        validate: bool = False,
+        with_energy: bool = False,
+    ) -> List[Optional[Evaluation]]:
+        """Evaluate a batch of mappings, preserving order.
+
+        Cache hits are answered immediately; misses are chunked onto the
+        executor backend. The result list is parallel to the input:
+        entry ``i`` is an :class:`Evaluation`, or ``None`` when mapping
+        ``i`` raised :class:`MappingError` (infeasible under ``validate``
+        or inconsistent with the machine's memory depth).
+        """
+        mappings = list(mappings)
+        results: List[Optional[Evaluation]] = [None] * len(mappings)
+        with self.stats.phase("batch"):
+            self.stats.batches += 1
+            pending: List[int] = []
+            if self.use_cache:
+                for i, mapping in enumerate(mappings):
+                    report = self.cache.get(self._latency_key(mapping))
+                    energy = (
+                        self.cache.get(self._energy_key(mapping))
+                        if with_energy
+                        else None
+                    )
+                    if report is not None and (not with_energy or energy is not None):
+                        self.stats.cache_hits += 1
+                        results[i] = Evaluation(mapping, report, energy)
+                    else:
+                        self.stats.cache_misses += 1
+                        pending.append(i)
+            else:
+                pending = list(range(len(mappings)))
+            if not pending:
+                return results
+
+            chunks = [
+                pending[at : at + self.chunk_size]
+                for at in range(0, len(pending), self.chunk_size)
+            ]
+            payloads: List[ChunkPayload] = [
+                (
+                    self.accelerator,
+                    self.options,
+                    tuple(mappings[i] for i in chunk),
+                    validate,
+                    with_energy,
+                )
+                for chunk in chunks
+            ]
+            for chunk, outcomes in zip(chunks, self._backend.map_chunks(payloads)):
+                for i, outcome in zip(chunk, outcomes):
+                    if outcome is None:
+                        self.stats.errors += 1
+                        continue
+                    report, energy = outcome
+                    self.stats.evaluations += 1
+                    if with_energy:
+                        self.stats.energy_evaluations += 1
+                    if self.use_cache:
+                        self.cache.put(self._latency_key(mappings[i]), report)
+                        if with_energy and energy is not None:
+                            self.cache.put(self._energy_key(mappings[i]), energy)
+                    results[i] = Evaluation(mappings[i], report, energy)
+        return results

@@ -1,0 +1,112 @@
+"""Batch-evaluation backends: in-process serial and process-pool fan-out.
+
+The engine splits a batch of mappings into chunks and hands each chunk to
+a backend as a self-contained payload ``(accelerator, options, mappings,
+validate, with_energy)``. Chunks are dispatched and reassembled in list
+order, so the serial and parallel backends produce byte-identical result
+sequences — worker scheduling can never reorder or change the numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.model import LatencyModel
+from repro.core.report import LatencyReport
+from repro.core.step1 import ModelOptions
+from repro.energy.energy_model import EnergyModel, EnergyReport
+from repro.hardware.accelerator import Accelerator
+from repro.mapping.mapping import Mapping, MappingError
+
+#: One chunk of work shipped to a backend (picklable end to end).
+ChunkPayload = Tuple[
+    Accelerator, ModelOptions, Tuple[Mapping, ...], bool, bool
+]
+#: Per-mapping outcome: (latency report, optional energy report), or None
+#: when the mapping raised MappingError.
+ChunkResult = List[Optional[Tuple[LatencyReport, Optional[EnergyReport]]]]
+
+
+def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
+    """Evaluate one chunk of mappings; the unit of work a backend runs.
+
+    Module-level (not a closure) so process pools can pickle it.
+    """
+    accelerator, options, mappings, validate, with_energy = payload
+    model = LatencyModel(accelerator, options)
+    energy_model = EnergyModel(accelerator) if with_energy else None
+    out: ChunkResult = []
+    for mapping in mappings:
+        try:
+            report = model.evaluate(mapping, validate=validate)
+        except MappingError:
+            out.append(None)
+            continue
+        energy = energy_model.evaluate(mapping) if energy_model else None
+        out.append((report, energy))
+    return out
+
+
+class SerialBackend:
+    """Evaluate chunks in the calling process, one after the other."""
+
+    name = "serial"
+
+    def map_chunks(self, payloads: Sequence[ChunkPayload]) -> List[ChunkResult]:
+        return [evaluate_chunk(p) for p in payloads]
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessBackend:
+    """Fan chunks out to a lazily created :class:`ProcessPoolExecutor`.
+
+    The pool is created on first use and reused across batches (worker
+    start-up dominates otherwise). Results come back in submission order,
+    so numbers are identical to the serial backend's.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map_chunks(self, payloads: Sequence[ChunkPayload]) -> List[ChunkResult]:
+        payloads = list(payloads)
+        if len(payloads) <= 1:
+            # Not worth shipping to a worker; also keeps tiny batches exact
+            # on platforms where pool start-up is expensive.
+            return [evaluate_chunk(p) for p in payloads]
+        return list(self._ensure_pool().map(evaluate_chunk, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+Backend = Union[SerialBackend, ProcessBackend]
+
+
+def make_backend(
+    executor: Union[str, Backend], max_workers: Optional[int] = None
+) -> Backend:
+    """Resolve an ``executor`` spec: ``"serial"``, ``"process"``, or an instance."""
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialBackend()
+        if executor == "process":
+            return ProcessBackend(max_workers)
+        raise ValueError(
+            f"unknown executor {executor!r} (expected 'serial' or 'process')"
+        )
+    return executor

@@ -133,3 +133,20 @@ class Accelerator:
     def replace_stall_overlap(self, config: StallOverlapConfig) -> "Accelerator":
         """Copy of this accelerator with a different Step-3 policy."""
         return dataclasses.replace(self, stall_overlap=config)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this design point.
+
+        Equal-by-value accelerators — whatever their construction path
+        (preset builder, serde round trip, ``dataclasses.replace``) —
+        fingerprint identically; any field change changes the digest. The
+        evaluation engine keys its cache on this, so one cache can serve a
+        whole architecture sweep. Memoized (the dataclass is frozen).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            from repro.fingerprint import stable_fingerprint
+
+            cached = stable_fingerprint(self)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached

@@ -213,6 +213,20 @@ def preset_from_json(text: str) -> Preset:
     return preset_from_dict(data)
 
 
+def preset_fingerprint(preset: Preset) -> str:
+    """Stable content hash of a preset (accelerator + spatial unrolling).
+
+    Serde round trips preserve it: ``preset_fingerprint(p) ==
+    preset_fingerprint(preset_from_json(preset_to_json(p)))``.
+    """
+    from repro.fingerprint import stable_fingerprint
+
+    return stable_fingerprint(
+        preset.accelerator,
+        {dim.value: f for dim, f in preset.spatial_unrolling.items()},
+    )
+
+
 def load_preset(path: str) -> Preset:
     """Load a preset from a JSON file."""
     with open(path) as handle:

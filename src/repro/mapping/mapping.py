@@ -93,6 +93,29 @@ class Mapping:
             lines.append(f"{operand}: {self.temporal.describe(operand)}")
         return "\n".join(lines)
 
+    def fingerprint(self) -> str:
+        """Stable content hash of (layer, spatial, temporal).
+
+        Equal mappings fingerprint identically regardless of how they were
+        built; the evaluation engine combines this with the accelerator's
+        fingerprint as its cache key. Memoized (the dataclass is frozen).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            from repro.fingerprint import memoized_fingerprint, stable_fingerprint
+
+            # Composed hierarchically: the layer and spatial unrolling
+            # recur (as the same objects) across every mapping of one
+            # search, so their fingerprints are computed once and only
+            # the temporal part is canonicalized per mapping.
+            cached = stable_fingerprint(
+                memoized_fingerprint(self.layer),
+                memoized_fingerprint(self.spatial),
+                self.temporal,
+            )
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
 
 def check_capacity(mapping: Mapping, accelerator: "Accelerator") -> List[str]:
     """Capacity violations of ``mapping`` on ``accelerator`` (empty = fits).

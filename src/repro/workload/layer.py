@@ -72,8 +72,12 @@ class LayerSpec:
     stride_y: int = 1
     dilation_x: int = 1
     dilation_y: int = 1
-    precision: Precision = Precision()
+    precision: Precision = dataclasses.field(default_factory=Precision)
     name: Optional[str] = None
+
+    #: The label is reporting metadata, not part of the design point:
+    #: repeated shapes under different names share evaluation-cache entries.
+    __fingerprint_exclude__ = ("name",)
 
     def __post_init__(self) -> None:
         full: Dict[LoopDim, int] = {dim: 1 for dim in ALL_DIMS}

@@ -1,0 +1,205 @@
+"""EvaluationEngine: cache behavior, parity with the kernel, batching."""
+
+import pytest
+
+from repro.core.model import LatencyModel
+from repro.core.step1 import ModelOptions
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.energy.energy_model import EnergyModel
+from repro.engine import EvaluationCache, EvaluationEngine
+from repro.hardware.presets import case_study_accelerator
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture
+def preset():
+    return case_study_accelerator()
+
+
+@pytest.fixture
+def layer():
+    return dense_layer(16, 32, 64)
+
+
+@pytest.fixture
+def mappings(preset, layer):
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=100, samples=60),
+    )
+    out = list(mapper.mappings(layer))
+    assert len(out) >= 5
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Parity with the pure kernel
+# --------------------------------------------------------------------- #
+
+def test_evaluate_matches_latency_model(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    model = LatencyModel(preset.accelerator)
+    for mapping in mappings[:5]:
+        assert (
+            engine.evaluate(mapping).total_cycles
+            == model.evaluate(mapping).total_cycles
+        )
+
+
+def test_evaluate_energy_matches_energy_model(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    model = EnergyModel(preset.accelerator)
+    mapping = mappings[0]
+    assert engine.evaluate_energy(mapping).total_pj == model.evaluate(mapping).total_pj
+
+
+def test_options_are_forwarded(preset, mappings):
+    options = ModelOptions(paper_period_count=True)
+    engine = EvaluationEngine(preset.accelerator, options)
+    model = LatencyModel(preset.accelerator, options)
+    mapping = mappings[0]
+    assert engine.evaluate(mapping).total_cycles == model.evaluate(mapping).total_cycles
+
+
+# --------------------------------------------------------------------- #
+# Caching
+# --------------------------------------------------------------------- #
+
+def test_repeat_evaluation_hits_cache(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    mapping = mappings[0]
+    first = engine.evaluate(mapping)
+    second = engine.evaluate(mapping)
+    assert first is second  # the very same report object
+    assert engine.stats.cache_hits == 1
+    assert engine.stats.evaluations == 1
+
+
+def test_cache_disabled_reevaluates(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator, use_cache=False)
+    mapping = mappings[0]
+    engine.evaluate(mapping)
+    engine.evaluate(mapping)
+    assert engine.stats.evaluations == 2
+    assert engine.stats.cache_hits == 0
+
+
+def test_different_options_do_not_share_entries(preset, mappings):
+    cache = EvaluationCache()
+    a = EvaluationEngine(preset.accelerator, ModelOptions(), cache=cache)
+    b = EvaluationEngine(
+        preset.accelerator, ModelOptions(paper_period_count=True), cache=cache
+    )
+    mapping = mappings[0]
+    a.evaluate(mapping)
+    assert b.stats.cache_hits == 0
+    b.evaluate(mapping)
+    assert b.stats.cache_hits == 0  # miss: distinct options fingerprint
+
+
+def test_lru_eviction_bounds_size():
+    cache = EvaluationCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    assert len(cache) == 2
+    assert "a" not in cache and "c" in cache
+
+
+def test_lru_get_refreshes_recency():
+    cache = EvaluationCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")
+    cache.put("c", 3)
+    assert "a" in cache and "b" not in cache
+
+
+# --------------------------------------------------------------------- #
+# Batch evaluation
+# --------------------------------------------------------------------- #
+
+def test_evaluate_many_preserves_order_and_values(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator, chunk_size=2)
+    model = LatencyModel(preset.accelerator)
+    outcomes = engine.evaluate_many(mappings)
+    assert len(outcomes) == len(mappings)
+    for mapping, outcome in zip(mappings, outcomes):
+        assert outcome is not None
+        assert outcome.mapping is mapping
+        assert outcome.report.total_cycles == model.evaluate(mapping).total_cycles
+
+
+def test_evaluate_many_second_pass_is_all_hits(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    engine.evaluate_many(mappings)
+    misses_before = engine.stats.cache_misses
+    engine.evaluate_many(mappings)
+    assert engine.stats.cache_misses == misses_before
+    assert engine.stats.cache_hits >= len(mappings)
+
+
+def test_evaluate_many_with_energy(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    outcomes = engine.evaluate_many(mappings[:4], with_energy=True)
+    assert all(o is not None and o.energy is not None for o in outcomes)
+
+
+# --------------------------------------------------------------------- #
+# Derivation and stats
+# --------------------------------------------------------------------- #
+
+def test_derive_shares_cache_and_stats(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    other = engine.derive(options=ModelOptions(paper_period_count=True))
+    assert other.cache is engine.cache
+    assert other.stats is engine.stats
+    other.evaluate(mappings[0])
+    assert engine.stats.evaluations == 1
+
+
+def test_stats_snapshot_and_summary(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    engine.evaluate(mappings[0])
+    engine.evaluate(mappings[0])
+    snap = engine.stats.snapshot()
+    assert snap["evaluations"] == 1
+    assert snap["cache_hits"] == 1
+    assert 0.0 < engine.stats.hit_rate < 1.0
+    assert "evaluations" in engine.stats.summary()
+    engine.stats.reset()
+    assert engine.stats.requests == 0
+
+
+def test_phase_timers_accumulate(preset, mappings):
+    engine = EvaluationEngine(preset.accelerator)
+    engine.evaluate(mappings[0])
+    assert engine.stats.phase_seconds.get("evaluate", 0.0) > 0.0
+
+
+# --------------------------------------------------------------------- #
+# Mapper integration
+# --------------------------------------------------------------------- #
+
+def test_mapper_search_results_unchanged_by_batching(preset, layer):
+    config = MapperConfig(max_enumerated=100, samples=60, batch_size=7)
+    small = TemporalMapper(preset.accelerator, preset.spatial_unrolling, config)
+    big = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=100, samples=60, batch_size=1000),
+    )
+    a = [(r.objective, r.mapping.fingerprint()) for r in small.search(layer)]
+    b = [(r.objective, r.mapping.fingerprint()) for r in big.search(layer)]
+    assert a == b
+
+
+def test_mapper_reuses_shared_engine(preset, layer):
+    engine = EvaluationEngine(preset.accelerator)
+    mapper = TemporalMapper(
+        preset.accelerator, preset.spatial_unrolling, engine=engine
+    )
+    assert mapper.engine is engine
+    mapper.best_mapping(layer)
+    assert engine.stats.evaluations > 0

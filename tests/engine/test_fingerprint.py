@@ -1,0 +1,132 @@
+"""Fingerprint stability: equal objects agree, any mutation disagrees."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.step1 import ModelOptions
+from repro.core.sensitivity import scale_memory_bandwidth, scale_memory_capacity
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.fingerprint import canonical_payload, stable_fingerprint
+from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
+from repro.hardware.serde import (
+    preset_fingerprint,
+    preset_from_json,
+    preset_to_json,
+)
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture
+def preset():
+    return case_study_accelerator()
+
+
+@pytest.fixture
+def mapping(preset):
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=50, samples=30),
+    )
+    return next(iter(mapper.mappings(dense_layer(16, 32, 64))))
+
+
+# --------------------------------------------------------------------- #
+# Equality across construction paths
+# --------------------------------------------------------------------- #
+
+def test_same_preset_built_twice_agrees(preset):
+    assert (
+        preset.accelerator.fingerprint()
+        == case_study_accelerator().accelerator.fingerprint()
+    )
+
+
+def test_serde_round_trip_agrees(preset):
+    restored = preset_from_json(preset_to_json(preset))
+    assert restored.accelerator.fingerprint() == preset.accelerator.fingerprint()
+    assert preset_fingerprint(restored) == preset_fingerprint(preset)
+
+
+def test_dataclass_replace_copy_agrees(preset):
+    copy = dataclasses.replace(preset.accelerator)
+    assert copy is not preset.accelerator
+    assert copy.fingerprint() == preset.accelerator.fingerprint()
+
+
+def test_mapping_built_twice_agrees(preset, mapping):
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=50, samples=30),
+    )
+    again = next(iter(mapper.mappings(dense_layer(16, 32, 64))))
+    assert again.fingerprint() == mapping.fingerprint()
+
+
+def test_options_fingerprint_stable():
+    assert stable_fingerprint(ModelOptions()) == stable_fingerprint(ModelOptions())
+
+
+# --------------------------------------------------------------------- #
+# Sensitivity to mutation
+# --------------------------------------------------------------------- #
+
+def test_different_machines_disagree(preset):
+    assert (
+        preset.accelerator.fingerprint()
+        != inhouse_accelerator().accelerator.fingerprint()
+    )
+
+
+def test_bandwidth_mutation_changes_fingerprint(preset):
+    scaled = scale_memory_bandwidth(preset.accelerator, "GB", 999.0)
+    assert scaled.fingerprint() != preset.accelerator.fingerprint()
+
+
+def test_capacity_mutation_changes_fingerprint(preset):
+    old = preset.accelerator.memory_by_name("GB").instance.size_bits
+    scaled = scale_memory_capacity(preset.accelerator, "GB", old * 2)
+    assert scaled.fingerprint() != preset.accelerator.fingerprint()
+
+
+def test_name_mutation_changes_fingerprint(preset):
+    renamed = dataclasses.replace(preset.accelerator, name="other")
+    assert renamed.fingerprint() != preset.accelerator.fingerprint()
+
+
+def test_different_mappings_disagree(preset):
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=50, samples=30),
+    )
+    seen = {m.fingerprint() for m in mapper.mappings(dense_layer(16, 32, 64))}
+    assert len(seen) > 1  # distinct mappings hash apart
+
+
+def test_options_mutation_changes_fingerprint():
+    base = ModelOptions()
+    field = dataclasses.fields(ModelOptions)[0].name
+    flipped = dataclasses.replace(base, **{field: not getattr(base, field)})
+    assert stable_fingerprint(flipped) != stable_fingerprint(base)
+
+
+# --------------------------------------------------------------------- #
+# Canonicalization details
+# --------------------------------------------------------------------- #
+
+def test_dict_insertion_order_is_canonicalized():
+    assert stable_fingerprint({"a": 1, "b": 2}) == stable_fingerprint(
+        {"b": 2, "a": 1}
+    )
+
+
+def test_set_order_is_canonicalized():
+    assert canonical_payload({3, 1, 2}) == canonical_payload({2, 3, 1})
+
+
+def test_fingerprint_is_memoized(preset):
+    acc = preset.accelerator
+    assert acc.fingerprint() is acc.fingerprint()
