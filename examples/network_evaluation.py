@@ -29,7 +29,7 @@ def main() -> None:
     # One engine for all three networks: repeated layer shapes (residual
     # stacks, attention heads) are served from its cache, and the stats
     # printed at the end cover the whole session.
-    engine = EvaluationEngine(preset.accelerator)
+    engine = EvaluationEngine.from_preset(preset)
     evaluator = NetworkEvaluator(
         preset,
         mapper_config=MapperConfig(max_enumerated=120, samples=80),

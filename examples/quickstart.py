@@ -36,8 +36,8 @@ def main() -> None:
     # 3. Engine + mapping: one cached evaluation path for the whole run.
     #    The mapper routes every candidate through the engine's LRU cache;
     #    a process-pool variant is one argument away
-    #    (EvaluationEngine(accelerator, executor="process")).
-    engine = EvaluationEngine(accelerator)
+    #    (EvaluationEngine.from_preset(preset, workers=4)).
+    engine = EvaluationEngine.from_preset(preset)
     mapper = TemporalMapper(
         accelerator, preset.spatial_unrolling,
         MapperConfig(max_enumerated=300, samples=300),

@@ -8,7 +8,14 @@ description layer, an energy model, a ZigZag-style mapper and architecture
 search, and an event-driven cycle-level reference simulator used in place
 of the authors' (unavailable) taped-out chip for validation.
 
-Quickstart::
+Quickstart — the single-entry facade (:mod:`repro.api`)::
+
+    from repro import api
+
+    report = api.evaluate("case-study", "64,128,1200")
+    print(report.summary())
+
+or, driving the machinery directly::
 
     from repro import (
         EvaluationEngine, case_study_accelerator, dense_layer, TemporalMapper,
@@ -16,7 +23,7 @@ Quickstart::
 
     preset = case_study_accelerator()
     layer = dense_layer(64, 128, 1200)
-    engine = EvaluationEngine(preset.accelerator)
+    engine = EvaluationEngine.from_preset(preset)
     mapper = TemporalMapper(
         preset.accelerator, preset.spatial_unrolling, engine=engine
     )
@@ -32,8 +39,10 @@ pure 3-step kernel remains directly usable via
 :class:`~repro.core.model.LatencyModel` for single evaluations.
 """
 
+from repro import api
 from repro.analysis.network import NetworkEvaluator
 from repro.analysis.summary import generate_report
+from repro.api import evaluate, evaluate_network, search
 from repro.core import (
     BwUnawareModel,
     LatencyModel,
@@ -88,11 +97,15 @@ __all__ = [
     "TemporalMapper",
     "TemporalMapping",
     "UpgradeAdvisor",
+    "api",
     "build_accelerator",
     "case_study_accelerator",
     "dense_layer",
+    "evaluate",
+    "evaluate_network",
     "generate_report",
     "im2col",
     "inhouse_accelerator",
+    "search",
     "shared_lb_accelerator",
 ]

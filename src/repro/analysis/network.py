@@ -20,6 +20,8 @@ from repro.energy.energy_model import EnergyReport
 from repro.engine import EvaluationEngine
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import Mapping, MappingError
+from repro.observability.metrics import current_metrics
+from repro.observability.tracer import current_tracer
 from repro.workload.im2col import im2col
 from repro.workload.layer import LayerSpec
 
@@ -134,31 +136,56 @@ class NetworkEvaluator:
 
     def evaluate(self, layers: Sequence[LayerSpec]) -> NetworkResult:
         """Evaluate ``layers`` back to back."""
-        results: List[LayerResult] = []
-        skipped: List[str] = []
-        for layer in layers:
-            lowered = im2col(layer) if self.apply_im2col else layer
-            try:
-                best = self.mapper.best_mapping(lowered)
-            except MappingError:
-                skipped.append(layer.name or str(layer.layer_type))
-                continue
-            energy = (
-                self.engine.evaluate_energy(best.mapping)
-                if self.with_energy
-                else None
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with tracer.span(
+            "network.evaluate",
+            accelerator=self.preset.accelerator.name,
+            layers=len(layers),
+        ) as span:
+            results: List[LayerResult] = []
+            skipped: List[str] = []
+            for layer in layers:
+                lowered = im2col(layer) if self.apply_im2col else layer
+                with tracer.span(
+                    "network.layer", layer=layer.name or str(layer.layer_type)
+                ) as layer_span:
+                    metrics.counter(
+                        "repro_network_layers_total",
+                        "Network layers submitted for evaluation.",
+                    ).inc()
+                    try:
+                        best = self.mapper.best_mapping(lowered)
+                    except MappingError:
+                        skipped.append(layer.name or str(layer.layer_type))
+                        layer_span.set("mappable", False)
+                        continue
+                    energy = (
+                        self.engine.evaluate_energy(best.mapping)
+                        if self.with_energy
+                        else None
+                    )
+                    if tracer.enabled:
+                        layer_span.set_many(
+                            mappable=True,
+                            cycles=best.report.total_cycles,
+                            utilization=best.report.utilization,
+                        )
+                    results.append(
+                        LayerResult(
+                            layer=lowered, mapping=best.mapping,
+                            report=best.report, energy=energy,
+                        )
+                    )
+            result = NetworkResult(
+                accelerator_name=self.preset.accelerator.name,
+                layers=tuple(results),
+                skipped=tuple(skipped),
             )
-            results.append(
-                LayerResult(
-                    layer=lowered, mapping=best.mapping,
-                    report=best.report, energy=energy,
-                )
-            )
-        return NetworkResult(
-            accelerator_name=self.preset.accelerator.name,
-            layers=tuple(results),
-            skipped=tuple(skipped),
-        )
+            if tracer.enabled:
+                span.set("total_cycles", result.total_cycles)
+                span.set("skipped", len(result.skipped))
+        return result
 
     def layer_table(self, result: NetworkResult) -> List[Dict[str, float]]:
         """Flat per-layer rows for CSV export."""

@@ -1,0 +1,185 @@
+"""The single-entry public API of the reproduction.
+
+Three verbs cover the common flows without touching the underlying
+machinery (:class:`~repro.engine.EvaluationEngine`,
+:class:`~repro.dse.mapper.TemporalMapper`,
+:class:`~repro.analysis.network.NetworkEvaluator`):
+
+* :func:`evaluate` — latency of one layer (best-found mapping, or a
+  mapping you supply) on one machine;
+* :func:`search` — the ranked temporal-mapping candidates of a layer;
+* :func:`evaluate_network` — a whole network, layer by layer.
+
+All three accept either a :class:`~repro.hardware.presets.Preset` (an
+accelerator with its native spatial unrolling) or a bare
+:class:`~repro.hardware.accelerator.Accelerator`, and a layer given as a
+:class:`~repro.workload.layer.LayerSpec`, a ``"B,K,C"`` string, or a
+``(B, K, C)`` tuple. Pass ``engine=`` to share one cache/executor across
+calls; otherwise each call builds a throwaway serial engine via
+:meth:`EvaluationEngine.from_preset`.
+
+Quickstart::
+
+    from repro import api
+
+    report = api.evaluate("case-study", "64,128,1200")
+    print(report.summary())
+
+Observability composes through the ambient context::
+
+    from repro.observability import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        api.evaluate("case-study", "64,128,1200")
+    print(len(tracer.records), "spans")
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.report import LatencyReport
+from repro.dse.mapper import MapperConfig, MappingSearchResult, TemporalMapper
+from repro.engine import EvaluationEngine
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.presets import (
+    Preset,
+    case_study_accelerator,
+    inhouse_accelerator,
+)
+from repro.mapping.mapping import Mapping
+from repro.workload.generator import dense_layer
+from repro.workload.layer import LayerSpec
+
+AcceleratorLike = Union[Preset, Accelerator, str]
+LayerLike = Union[LayerSpec, str, Tuple[int, int, int]]
+
+__all__ = ["evaluate", "search", "evaluate_network"]
+
+
+# --------------------------------------------------------------------- #
+# Input coercion
+# --------------------------------------------------------------------- #
+
+def _as_preset(accelerator: AcceleratorLike) -> Preset:
+    """Accept a Preset, a bare Accelerator, or a named preset string."""
+    if isinstance(accelerator, Preset):
+        return accelerator
+    if isinstance(accelerator, Accelerator):
+        # No native unrolling known: purely temporal mapping.
+        return Preset(accelerator=accelerator, spatial_unrolling={})
+    if isinstance(accelerator, str):
+        names = {
+            "case-study": case_study_accelerator,
+            "case_study": case_study_accelerator,
+            "inhouse": inhouse_accelerator,
+        }
+        if accelerator in names:
+            return names[accelerator]()
+        raise ValueError(
+            f"unknown accelerator preset {accelerator!r}; "
+            f"expected one of {sorted(set(names))} or a Preset/Accelerator"
+        )
+    raise TypeError(
+        f"accelerator must be a Preset, Accelerator or preset name, "
+        f"not {type(accelerator).__name__}"
+    )
+
+
+def _as_layer(layer: LayerLike) -> LayerSpec:
+    """Accept a LayerSpec, a ``"B,K,C"`` string, or a (B, K, C) tuple."""
+    if isinstance(layer, LayerSpec):
+        return layer
+    if isinstance(layer, str):
+        parts = [int(p) for p in layer.split(",")]
+    else:
+        parts = [int(p) for p in layer]
+    if len(parts) != 3:
+        raise ValueError(f"layer shorthand must be B,K,C — got {layer!r}")
+    return dense_layer(*parts)
+
+
+def _engine_for(
+    preset: Preset, engine: Optional[EvaluationEngine]
+) -> EvaluationEngine:
+    if engine is None:
+        return EvaluationEngine.from_preset(preset)
+    return engine
+
+
+# --------------------------------------------------------------------- #
+# The three verbs
+# --------------------------------------------------------------------- #
+
+def evaluate(
+    accelerator: AcceleratorLike,
+    layer: LayerLike,
+    mapping: Optional[Mapping] = None,
+    *,
+    engine: Optional[EvaluationEngine] = None,
+    config: Optional[MapperConfig] = None,
+    validate: bool = True,
+) -> LatencyReport:
+    """Latency of ``layer`` on ``accelerator`` (the paper's 3-step model).
+
+    With ``mapping=None`` (the default) the mapper searches the temporal
+    space under the preset's spatial unrolling and the best mapping's
+    report is returned; pass an explicit :class:`Mapping` to evaluate it
+    as-is. ``config`` tunes the search budget, ``engine`` shares a cache
+    and executor across calls.
+    """
+    preset = _as_preset(accelerator)
+    engine = _engine_for(preset, engine)
+    if mapping is not None:
+        return engine.evaluate(mapping, validate=validate)
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        config or MapperConfig(),
+        engine=engine,
+    )
+    return mapper.best_mapping(_as_layer(layer)).report
+
+
+def search(
+    accelerator: AcceleratorLike,
+    layer: LayerLike,
+    *,
+    engine: Optional[EvaluationEngine] = None,
+    config: Optional[MapperConfig] = None,
+    top: Optional[int] = None,
+) -> List[MappingSearchResult]:
+    """Ranked temporal-mapping candidates of ``layer``, best first."""
+    preset = _as_preset(accelerator)
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        config or MapperConfig(),
+        engine=_engine_for(preset, engine),
+    )
+    results = mapper.search(_as_layer(layer))
+    return results[:top] if top is not None else results
+
+
+def evaluate_network(
+    accelerator: AcceleratorLike,
+    layers: Sequence[LayerLike],
+    *,
+    engine: Optional[EvaluationEngine] = None,
+    config: Optional[MapperConfig] = None,
+    apply_im2col: bool = True,
+    with_energy: bool = False,
+):
+    """Evaluate ``layers`` back to back; returns a ``NetworkResult``."""
+    from repro.analysis.network import NetworkEvaluator
+
+    preset = _as_preset(accelerator)
+    evaluator = NetworkEvaluator(
+        preset,
+        mapper_config=config,
+        apply_im2col=apply_im2col,
+        with_energy=with_energy,
+        engine=_engine_for(preset, engine),
+    )
+    return evaluator.evaluate([_as_layer(layer) for layer in layers])

@@ -3,9 +3,15 @@
 Examples::
 
     repro-latency evaluate --layer 64,128,1200 --gb-bw 128
+    repro-latency evaluate --layer 64,128,1200 --trace --trace-out t.json
     repro-latency simulate --layer 64,128,1200
     repro-latency search --layer 64,128,1200 --samples 500 --top 5
-    repro-latency validate --limit 4
+    repro-latency validate --limit 4 --metrics
+
+Every subcommand shares one option set (chip selection, mapper budget,
+engine workers, observability) declared once on a parent parser;
+:func:`build_engine_from_args` turns the parsed options into the
+:class:`~repro.engine.EvaluationEngine` all flows evaluate through.
 """
 
 from __future__ import annotations
@@ -17,6 +23,16 @@ from typing import List, Optional
 from repro.dse.mapper import MapperConfig, TemporalMapper
 from repro.engine import EvaluationEngine
 from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
+from repro.observability import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    Tracer,
+    current_metrics,
+    use_metrics,
+    use_tracer,
+    write_chrome_trace,
+)
 from repro.simulator.engine import CycleSimulator
 from repro.simulator.result import accuracy
 from repro.workload.generator import dense_layer
@@ -32,7 +48,7 @@ def _parse_layer(text: str):
 
 
 def _preset(args: argparse.Namespace):
-    if getattr(args, "arch", None):
+    if args.arch:
         from repro.hardware.serde import load_preset
 
         return load_preset(args.arch)
@@ -41,13 +57,15 @@ def _preset(args: argparse.Namespace):
     return case_study_accelerator(gb_read_bw=args.gb_bw)
 
 
-def _engine(preset, args: argparse.Namespace) -> EvaluationEngine:
-    workers = getattr(args, "workers", 0)
-    return EvaluationEngine(
-        preset.accelerator,
-        executor="process" if workers else "serial",
-        max_workers=workers or None,
-    )
+def build_engine_from_args(preset, args: argparse.Namespace) -> EvaluationEngine:
+    """The engine every CLI flow evaluates through (one place, not nine).
+
+    Honors ``--workers`` (process fan-out) and is the hook point for
+    future engine-shaping flags; subcommand handlers must route all
+    evaluations through the returned engine so ``--stats``/``--metrics``
+    see the whole run.
+    """
+    return EvaluationEngine.from_preset(preset, workers=args.workers)
 
 
 def _mapper(preset, args: argparse.Namespace) -> TemporalMapper:
@@ -56,21 +74,38 @@ def _mapper(preset, args: argparse.Namespace) -> TemporalMapper:
         preset.accelerator,
         preset.spatial_unrolling,
         config,
-        engine=_engine(preset, args),
+        engine=build_engine_from_args(preset, args),
     )
 
-
 def _finish(engine: EvaluationEngine, args: argparse.Namespace) -> int:
-    if getattr(args, "stats", False):
+    if args.stats:
         print(engine.stats.summary())
+    current_metrics().ingest("repro_engine", engine.stats.snapshot())
     engine.close()
     return 0
+
+
+def _traced_report(mapper: TemporalMapper, best):
+    """Re-emit the winning mapping's span tree after a search.
+
+    A search traces every candidate; the *last* ``model.evaluate`` span
+    would otherwise belong to an arbitrary loser. One extra kernel run
+    (cache-bypassing, validation off) appends the winner's spans last, so
+    trace consumers — ``reconcile_ss_overall`` above all — read the same
+    numbers the report prints.
+    """
+    from repro.core.model import LatencyModel
+
+    model = LatencyModel(mapper.accelerator, mapper.engine.options)
+    model.evaluate(best.mapping, validate=False)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     preset = _preset(args)
     mapper = _mapper(preset, args)
     best = mapper.best_mapping(args.layer)
+    if _ambient_tracer_enabled():
+        _traced_report(mapper, best)
     print(best.mapping.describe())
     print(best.report.summary())
     energy = mapper.engine.evaluate_energy(best.mapping)
@@ -139,7 +174,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
         preset,
         mapper_config=_MC(max_enumerated=args.enumerate, samples=args.samples),
         with_energy=True,
-        engine=_engine(preset, args),
+        engine=build_engine_from_args(preset, args),
     )
     result = evaluator.evaluate(layers)
     print(result.summary())
@@ -154,7 +189,9 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
     preset = _preset(args)
     analyzer = SensitivityAnalyzer(
-        preset.accelerator, preset.spatial_unrolling, engine=_engine(preset, args)
+        preset.accelerator,
+        preset.spatial_unrolling,
+        engine=build_engine_from_args(preset, args),
     )
     bandwidths = [float(b) for b in args.bandwidths.split(",")]
     curve = analyzer.bandwidth_sweep(args.layer, args.memory, bandwidths)
@@ -219,6 +256,45 @@ def _cmd_export_arch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _common_options() -> argparse.ArgumentParser:
+    """The options every subcommand shares, declared exactly once."""
+    common = argparse.ArgumentParser(add_help=False)
+    machine = common.add_argument_group("machine")
+    machine.add_argument("--chip", choices=("case-study", "inhouse"),
+                         default="case-study")
+    machine.add_argument("--arch", default=None,
+                         help="JSON accelerator description (overrides --chip)")
+    machine.add_argument("--gb-bw", type=float, default=128.0,
+                         help="GB read/write bandwidth in bits/cycle "
+                              "(case-study chip)")
+    search = common.add_argument_group("search budget")
+    search.add_argument("--enumerate", type=int, default=500,
+                        help="exhaustive enumeration cap for the mapper")
+    search.add_argument("--samples", type=int, default=400,
+                        help="sampled loop orders above the cap")
+    search.add_argument("--top", type=int, default=5)
+    search.add_argument("--limit", type=int, default=6,
+                        help="layer-count limit (validate / network)")
+    engine = common.add_argument_group("engine")
+    engine.add_argument("--workers", type=int, default=0,
+                        help="evaluate mapper batches on this many worker "
+                             "processes (0 = in-process serial)")
+    obs = common.add_argument_group("observability")
+    obs.add_argument("--stats", action="store_true",
+                     help="print engine statistics (evaluations, cache "
+                          "hit rate, phase timings) on exit")
+    obs.add_argument("--trace", action="store_true",
+                     help="record hierarchical spans for the whole run")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the spans as Chrome trace-event JSON "
+                          "(open in chrome://tracing or Perfetto); "
+                          "implies --trace")
+    obs.add_argument("--metrics", action="store_true",
+                     help="collect a metrics registry and print it in "
+                          "Prometheus text format on exit")
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-latency argument parser."""
     parser = argparse.ArgumentParser(
@@ -226,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Uniform intra-layer latency model for DNN accelerators "
         "(DATE 2022 reproduction).",
     )
+    common = _common_options()
     sub = parser.add_subparsers(dest="command", required=True)
     for name, func, needs_layer in (
         ("evaluate", _cmd_evaluate, True),
@@ -238,29 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
         ("advise", _cmd_advise, True),
         ("export-arch", _cmd_export_arch, False),
     ):
-        p = sub.add_parser(name)
+        p = sub.add_parser(name, parents=[common])
         p.set_defaults(func=func)
         if needs_layer:
             p.add_argument("--layer", type=_parse_layer, required=True,
                            help="Dense layer as B,K,C")
-        p.add_argument("--chip", choices=("case-study", "inhouse"), default="case-study")
-        p.add_argument("--arch", default=None,
-                       help="JSON accelerator description (overrides --chip)")
-        p.add_argument("--gb-bw", type=float, default=128.0,
-                       help="GB read/write bandwidth in bits/cycle (case-study chip)")
-        p.add_argument("--enumerate", type=int, default=500,
-                       help="exhaustive enumeration cap for the mapper")
-        p.add_argument("--samples", type=int, default=400,
-                       help="sampled loop orders above the cap")
-        p.add_argument("--top", type=int, default=5)
-        p.add_argument("--limit", type=int, default=6,
-                       help="layer-count limit (validate / network)")
-        p.add_argument("--workers", type=int, default=0,
-                       help="evaluate mapper batches on this many worker "
-                            "processes (0 = in-process serial)")
-        p.add_argument("--stats", action="store_true",
-                       help="print engine statistics (evaluations, cache "
-                            "hit rate, phase timings) on exit")
         if name == "network":
             p.add_argument("--network",
                            choices=("handtracking", "resnet18", "transformer"),
@@ -282,10 +341,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _ambient_tracer_enabled() -> bool:
+    from repro.observability import current_tracer
+
+    return current_tracer().enabled
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point."""
+    """Entry point: parse, install observability, dispatch, export."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    want_trace = getattr(args, "trace", False) or getattr(args, "trace_out", None)
+    tracer = Tracer() if want_trace else NULL_TRACER
+    registry = MetricsRegistry() if getattr(args, "metrics", False) else NULL_METRICS
+
+    with use_tracer(tracer), use_metrics(registry):
+        code = args.func(args)
+
+    if tracer.enabled:
+        if args.trace_out:
+            write_chrome_trace(tracer.records, args.trace_out)
+            print(f"trace: {len(tracer.records)} spans -> {args.trace_out}")
+        else:
+            _print_span_summary(tracer)
+    if registry.enabled:
+        sys.stdout.write(registry.to_prometheus())
+    return code
+
+
+def _print_span_summary(tracer: Tracer) -> None:
+    """`--trace` without `--trace-out`: per-span-name counts and time."""
+    totals: dict = {}
+    for record in tracer.records:
+        count, micros = totals.get(record.name, (0, 0.0))
+        totals[record.name] = (count + 1, micros + record.duration_us)
+    print(f"trace: {len(tracer.records)} spans")
+    for name in sorted(totals):
+        count, micros = totals[name]
+        print(f"  {name:24s} x{count:<6d} {micros / 1e3:10.2f} ms")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -163,6 +163,35 @@ class DTL:
         """Step-2 grouping key: (memory name, port name)."""
         return (self.memory, self.port)
 
+    def span_attributes(self) -> dict:
+        """The Step-1 attribution payload of this endpoint's trace span.
+
+        Everything a stall post-mortem needs to see per DTL: the MUW
+        parameters (period ``P``, allowed span ``X_REQ``, start ``S``,
+        repeats ``Z``), the bandwidth pair, and the resulting per-DTL
+        stall/slack ``SS_u`` — before any Step-2 combination.
+        """
+        t = self.transfer
+        return {
+            "memory": self.memory,
+            "port": self.port,
+            "endpoint": self.endpoint.value,
+            "operand": str(t.operand),
+            "kind": t.kind.value,
+            "served_memory": t.served_memory,
+            "served_level": t.served_level,
+            "data_bits": t.data_bits,
+            "period": t.period,
+            "repeats": t.repeats,
+            "x_req": t.x_req,
+            "window_start": t.window_start,
+            "x_real": self.x_real,
+            "req_bw": self.req_bw,
+            "real_bw": self.real_bw,
+            "muw_u": self.muw_u,
+            "ss_u": self.ss_u,
+        }
+
     def describe(self) -> str:
         """One-line summary for reports."""
         return (

@@ -26,6 +26,7 @@ from repro.core.step2 import combine_all_ports, served_memory_stalls
 from repro.core.step3 import integrate_stalls
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import Mapping, MappingError, check_capacity, utilization_scenario
+from repro.observability.tracer import current_tracer
 
 
 class LatencyModel:
@@ -72,29 +73,45 @@ class LatencyModel:
         array_size = self.accelerator.mac_array.size
         horizon = float(mapping.spatial_cycles)
 
-        dtls = tuple(build_dtls(self.accelerator, mapping, self.options))
-        ports = combine_all_ports(dtls, horizon, self.options.combine_rule)
-        served = tuple(served_memory_stalls(dtls, ports, self.options.served_rule))
-        integration = integrate_stalls(served, self.accelerator.stall_overlap)
+        tracer = current_tracer()
+        with tracer.span("model.evaluate") as span:
+            dtls = tuple(build_dtls(self.accelerator, mapping, self.options))
+            ports = combine_all_ports(dtls, horizon, self.options.combine_rule)
+            served = tuple(served_memory_stalls(dtls, ports, self.options.served_rule))
+            integration = integrate_stalls(served, self.accelerator.stall_overlap)
 
-        preload = preload_cycles(self.accelerator, mapping)
-        offload = offload_cycles(self.accelerator, mapping)
-        scenario = utilization_scenario(mapping, array_size, integration.ss_overall)
+            preload = preload_cycles(self.accelerator, mapping)
+            offload = offload_cycles(self.accelerator, mapping)
+            scenario = utilization_scenario(mapping, array_size, integration.ss_overall)
 
-        return LatencyReport(
-            layer_name=mapping.layer.name or str(mapping.layer.layer_type),
-            accelerator_name=self.accelerator.name,
-            cc_ideal=mapping.ideal_cycles(array_size),
-            cc_spatial=mapping.spatial_cycles,
-            ss_overall=integration.ss_overall,
-            preload=preload,
-            offload=offload,
-            scenario=scenario,
-            dtls=dtls,
-            port_combinations=ports,
-            served_stalls=served,
-            integration=integration,
-        )
+            report = LatencyReport(
+                layer_name=mapping.layer.name or str(mapping.layer.layer_type),
+                accelerator_name=self.accelerator.name,
+                cc_ideal=mapping.ideal_cycles(array_size),
+                cc_spatial=mapping.spatial_cycles,
+                ss_overall=integration.ss_overall,
+                preload=preload,
+                offload=offload,
+                scenario=scenario,
+                dtls=dtls,
+                port_combinations=ports,
+                served_stalls=served,
+                integration=integration,
+            )
+            if tracer.enabled:
+                span.set_many(
+                    layer=report.layer_name,
+                    accelerator=report.accelerator_name,
+                    scenario=report.scenario,
+                    cc_ideal=report.cc_ideal,
+                    cc_spatial=report.cc_spatial,
+                    ss_overall=report.ss_overall,
+                    preload=report.preload,
+                    offload=report.offload,
+                    total_cycles=report.total_cycles,
+                    utilization=report.utilization,
+                )
+        return report
 
     def check(self, mapping: Mapping) -> None:
         """Raise :class:`MappingError` if ``mapping`` is infeasible here."""

@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.step2 import ServedMemoryStall
 from repro.hardware.accelerator import StallOverlapConfig
+from repro.observability.tracer import current_tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,20 +54,36 @@ def integrate_stalls(
         gid = overlap.group_of(stall.memory)
         groups.setdefault(gid, []).append(stall)
 
-    group_stalls: List[Tuple[int, float]] = []
-    dominant: List[ServedMemoryStall] = []
-    total = 0.0
-    for gid in sorted(groups):
-        members = groups[gid]
-        worst = max(members, key=lambda s: s.ss)
-        contribution = max(0.0, worst.ss)
-        group_stalls.append((gid, contribution))
-        total += contribution
-        if contribution > 0:
-            dominant.append(worst)
+    tracer = current_tracer()
+    with tracer.span("model.step3") as span:
+        group_stalls: List[Tuple[int, float]] = []
+        dominant: List[ServedMemoryStall] = []
+        total = 0.0
+        for gid in sorted(groups):
+            members = groups[gid]
+            worst = max(members, key=lambda s: s.ss)
+            contribution = max(0.0, worst.ss)
+            group_stalls.append((gid, contribution))
+            total += contribution
+            if contribution > 0:
+                dominant.append(worst)
+            if tracer.enabled:
+                tracer.event(
+                    "step3.group",
+                    group=gid,
+                    members=len(members),
+                    dominant_memory=worst.memory,
+                    dominant_operand=str(worst.operand),
+                    ss_group_raw=worst.ss,
+                    ss_group=contribution,
+                )
+        ss_overall = max(0.0, total)
+        if tracer.enabled:
+            span.set("groups", len(groups))
+            span.set("ss_overall", ss_overall)
 
     return StallIntegration(
-        ss_overall=max(0.0, total),
+        ss_overall=ss_overall,
         group_stalls=tuple(group_stalls),
         dominant=tuple(sorted(dominant, key=lambda s: -s.ss)),
     )

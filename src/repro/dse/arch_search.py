@@ -18,6 +18,8 @@ from repro.engine import EvaluationEngine
 from repro.hardware.pool import MemoryCandidate, MemoryPool, searched_memory_names
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import MappingError
+from repro.observability.metrics import current_metrics
+from repro.observability.tracer import current_tracer
 from repro.workload.layer import LayerSpec
 
 
@@ -104,11 +106,22 @@ class ArchSearch:
 
     def evaluate(self, layer: LayerSpec) -> List[ArchPoint]:
         """Evaluate the whole sweep on ``layer``; unmappable designs skipped."""
-        points: List[ArchPoint] = []
-        for label, gb_bw, cand, preset in self.design_points():
-            point = self.evaluate_one(layer, label, gb_bw, cand, preset)
-            if point is not None:
-                points.append(point)
+        tracer = current_tracer()
+        with tracer.span(
+            "arch_search.sweep", layer=layer.name or str(layer.layer_type)
+        ) as span:
+            points: List[ArchPoint] = []
+            skipped = 0
+            for label, gb_bw, cand, preset in self.design_points():
+                point = self.evaluate_one(layer, label, gb_bw, cand, preset)
+                if point is not None:
+                    points.append(point)
+                else:
+                    skipped += 1
+            if tracer.enabled:
+                span.set("design_points", len(points) + skipped)
+                span.set("mappable", len(points))
+                span.set("unmappable", skipped)
         return points
 
     def evaluate_one(
@@ -120,6 +133,33 @@ class ArchSearch:
         preset: Preset,
     ) -> Optional[ArchPoint]:
         """Best-mapping latency and area of one design point."""
+        accelerator = preset.accelerator
+        tracer = current_tracer()
+        current_metrics().counter(
+            "repro_arch_points_total", "Architecture design points evaluated."
+        ).inc()
+        with tracer.span(
+            "arch_search.point",
+            array=label,
+            gb_bandwidth=gb_bw,
+            accelerator=accelerator.name,
+        ) as span:
+            point = self._evaluate_point(layer, label, gb_bw, cand, preset)
+            if tracer.enabled:
+                span.set("mappable", point is not None)
+                if point is not None:
+                    span.set("latency", point.latency)
+                    span.set("area_mm2", point.area_mm2)
+        return point
+
+    def _evaluate_point(
+        self,
+        layer: LayerSpec,
+        label: str,
+        gb_bw: float,
+        cand: MemoryCandidate,
+        preset: Preset,
+    ) -> Optional[ArchPoint]:
         accelerator = preset.accelerator
         mapper = TemporalMapper(
             accelerator,

@@ -43,6 +43,8 @@ from repro.mapping.loop import Loop
 from repro.mapping.mapping import Mapping, MappingError
 from repro.mapping.spatial import SpatialMapping
 from repro.mapping.temporal import TemporalMapping
+from repro.observability.metrics import current_metrics
+from repro.observability.tracer import current_tracer
 from repro.workload.dims import ALL_DIMS, LoopDim
 from repro.workload.layer import LayerSpec
 from repro.workload.operand import Operand
@@ -340,18 +342,38 @@ class TemporalMapper:
 
     def search(self, layer: LayerSpec) -> List[MappingSearchResult]:
         """Evaluate the mapping space; return the top results, best first."""
-        key = self._search_key("search", layer)
-        if self.engine.use_cache:
-            cached = self.engine.cache.get(key)
-            if cached is not None:
-                self.engine.stats.cache_hits += 1
-                return list(cached)
-        results = list(self._evaluated(layer))
-        results.sort(key=lambda r: r.objective)
-        results = results[: self.config.keep_top]
-        if self.engine.use_cache:
-            self.engine.cache.put(key, tuple(results))
-        return results
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with tracer.span(
+            "mapper.search",
+            layer=layer.name or str(layer.layer_type),
+            objective=self.config.objective,
+        ) as span:
+            metrics.counter(
+                "repro_mapper_searches_total", "Mapper search() calls."
+            ).inc()
+            key = self._search_key("search", layer)
+            if self.engine.use_cache:
+                cached = self.engine.cache.get(key)
+                if cached is not None:
+                    self.engine.stats.cache_hits += 1
+                    span.set("cache_hit", True)
+                    return list(cached)
+            results = list(self._evaluated(layer))
+            metrics.counter(
+                "repro_mapper_candidates_total",
+                "Feasible mapping candidates scored by the mapper.",
+            ).inc(len(results))
+            results.sort(key=lambda r: r.objective)
+            results = results[: self.config.keep_top]
+            if tracer.enabled:
+                span.set("cache_hit", False)
+                span.set("candidates", len(results))
+                if results:
+                    span.set("best_objective", results[0].objective)
+            if self.engine.use_cache:
+                self.engine.cache.put(key, tuple(results))
+            return results
 
     def best_mapping_verified(
         self, layer: LayerSpec, shortlist: int = 5
@@ -384,21 +406,42 @@ class TemporalMapper:
 
     def best_mapping(self, layer: LayerSpec) -> MappingSearchResult:
         """The best mapping found (raises if none fits)."""
-        key = self._search_key("best_mapping", layer)
-        if self.engine.use_cache:
-            cached = self.engine.cache.get(key)
-            if cached is not None:
-                self.engine.stats.cache_hits += 1
-                return cached
-        best: Optional[MappingSearchResult] = None
-        for result in self._evaluated(layer):
-            if best is None or result.objective < best.objective:
-                best = result
-        if best is None:
-            raise MappingError(
-                f"no valid temporal mapping of {layer.describe()} on "
-                f"{self.accelerator.name} with spatial {self.spatial}"
-            )
-        if self.engine.use_cache:
-            self.engine.cache.put(key, best)
-        return best
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with tracer.span(
+            "mapper.best_mapping",
+            layer=layer.name or str(layer.layer_type),
+            objective=self.config.objective,
+        ) as span:
+            metrics.counter(
+                "repro_mapper_searches_total", "Mapper search() calls."
+            ).inc()
+            key = self._search_key("best_mapping", layer)
+            if self.engine.use_cache:
+                cached = self.engine.cache.get(key)
+                if cached is not None:
+                    self.engine.stats.cache_hits += 1
+                    span.set("cache_hit", True)
+                    return cached
+            best: Optional[MappingSearchResult] = None
+            candidates = 0
+            for result in self._evaluated(layer):
+                candidates += 1
+                if best is None or result.objective < best.objective:
+                    best = result
+            metrics.counter(
+                "repro_mapper_candidates_total",
+                "Feasible mapping candidates scored by the mapper.",
+            ).inc(candidates)
+            if best is None:
+                raise MappingError(
+                    f"no valid temporal mapping of {layer.describe()} on "
+                    f"{self.accelerator.name} with spatial {self.spatial}"
+                )
+            if tracer.enabled:
+                span.set("cache_hit", False)
+                span.set("candidates", candidates)
+                span.set("best_objective", best.objective)
+            if self.engine.use_cache:
+                self.engine.cache.put(key, best)
+            return best

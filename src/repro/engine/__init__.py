@@ -10,7 +10,7 @@ story and ``docs/API.md`` ("Evaluation engine") for usage.
 from repro.engine.cache import EvaluationCache
 from repro.engine.evaluation import Evaluation, EvaluationEngine
 from repro.engine.executors import ProcessBackend, SerialBackend, make_backend
-from repro.engine.stats import EngineStats
+from repro.observability.stats import EngineStats
 
 __all__ = [
     "Evaluation",

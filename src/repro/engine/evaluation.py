@@ -14,17 +14,25 @@ kernel deliberately does not have:
 * **batch fan-out** (:meth:`evaluate_many`) over a pluggable executor
   (serial or process-pool), with chunking that keeps results byte-identical
   to serial evaluation;
-* an :class:`~repro.engine.stats.EngineStats` **instrumentation surface**
-  (evaluations run, hits/misses, wall time per phase).
+* an :class:`~repro.observability.stats.EngineStats` **instrumentation
+  surface** (evaluations run, hits/misses, wall time per phase), plus
+  **observability hooks**: spans on the ambient
+  :class:`~repro.observability.Tracer` (worker-produced span records are
+  merged order-preserving after a process-pool batch) and counters /
+  histograms on the ambient :class:`~repro.observability.MetricsRegistry`.
+  Both default to no-ops and cost nothing when disabled.
 
 Engines are cheap; :meth:`derive` builds one for another machine or
 options while *sharing* the cache, stats and executor — the idiom for
 architecture sweeps where every design point is a different accelerator.
+:meth:`from_preset` is the one canonical constructor shorthand (CLI,
+examples and :mod:`repro.api` all use it).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Iterable, List, Optional, Union
 
 from repro.core.model import LatencyModel
@@ -33,10 +41,12 @@ from repro.core.step1 import ModelOptions
 from repro.energy.energy_model import EnergyModel, EnergyReport
 from repro.engine.cache import EvaluationCache
 from repro.engine.executors import Backend, ChunkPayload, make_backend
-from repro.engine.stats import EngineStats
 from repro.fingerprint import stable_fingerprint
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import Mapping
+from repro.observability.metrics import current_metrics
+from repro.observability.stats import EngineStats
+from repro.observability.tracer import current_tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,7 +86,7 @@ class EvaluationEngine:
 
     Examples
     --------
-    >>> engine = EvaluationEngine(preset.accelerator)     # doctest: +SKIP
+    >>> engine = EvaluationEngine.from_preset(preset)     # doctest: +SKIP
     >>> report = engine.evaluate(mapping)                 # doctest: +SKIP
     >>> engine.stats.hit_rate                             # doctest: +SKIP
     """
@@ -109,8 +119,35 @@ class EvaluationEngine:
         self._options_fp = stable_fingerprint(self.options)
 
     # ------------------------------------------------------------------ #
-    # Derivation / lifecycle
+    # Construction / derivation / lifecycle
     # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_preset(
+        cls,
+        preset,
+        options: Optional[ModelOptions] = None,
+        *,
+        workers: int = 0,
+        **kwargs,
+    ) -> "EvaluationEngine":
+        """The canonical engine for a preset (or bare accelerator).
+
+        Centralizes the construction boilerplate every entry point used
+        to repeat: ``workers > 0`` selects the process-pool executor with
+        that many workers, ``workers == 0`` the in-process serial one.
+        Extra keyword arguments pass through to the constructor
+        (``use_cache=``, ``cache=``, ``chunk_size=``, ...).
+
+        ``preset`` may be a :class:`~repro.hardware.presets.Preset` or a
+        bare :class:`~repro.hardware.accelerator.Accelerator`.
+        """
+        accelerator = getattr(preset, "accelerator", preset)
+        if "executor" not in kwargs:
+            kwargs["executor"] = "process" if workers else "serial"
+        if workers and "max_workers" not in kwargs:
+            kwargs["max_workers"] = workers
+        return cls(accelerator, options, **kwargs)
 
     def derive(
         self,
@@ -182,24 +219,52 @@ class EvaluationEngine:
         """Latency of ``mapping``, served from the cache when possible."""
         if validate:
             self._model.check(mapping)
-        with self.stats.phase("evaluate"):
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with self.stats.phase("evaluate"), tracer.span("engine.evaluate") as span:
+            t0 = time.perf_counter() if metrics.enabled else 0.0
             if not self.use_cache:
                 self.stats.evaluations += 1
-                return self._model.evaluate(mapping, validate=False)
+                report = self._model.evaluate(mapping, validate=False)
+                self._observe_single(metrics, span, t0, cache_hit=None)
+                return report
             key = self._latency_key(mapping)
             report = self.cache.get(key)
             if report is not None:
                 self.stats.cache_hits += 1
+                self._observe_single(metrics, span, t0, cache_hit=True)
                 return report
             self.stats.cache_misses += 1
             self.stats.evaluations += 1
             report = self._model.evaluate(mapping, validate=False)
             self.cache.put(key, report)
+            self._observe_single(metrics, span, t0, cache_hit=False)
             return report
+
+    def _observe_single(self, metrics, span, t0: float, cache_hit) -> None:
+        """Metrics/span bookkeeping of one :meth:`evaluate` call."""
+        if cache_hit is not None:
+            span.set("cache_hit", cache_hit)
+        if not metrics.enabled:
+            return
+        metrics.counter(
+            "repro_engine_requests_total", "engine.evaluate calls"
+        ).inc()
+        if cache_hit:
+            metrics.counter(
+                "repro_engine_cache_hits_total", "evaluations served from cache"
+            ).inc()
+        else:
+            metrics.counter(
+                "repro_engine_evaluations_total", "latency kernels run"
+            ).inc()
+        metrics.histogram(
+            "repro_engine_evaluate_seconds", "engine.evaluate latency"
+        ).observe(time.perf_counter() - t0)
 
     def evaluate_energy(self, mapping: Mapping) -> EnergyReport:
         """Dynamic energy of ``mapping``, served from the cache when possible."""
-        with self.stats.phase("energy"):
+        with self.stats.phase("energy"), current_tracer().span("engine.energy"):
             if not self.use_cache:
                 self.stats.energy_evaluations += 1
                 return self._energy_model.evaluate(mapping)
@@ -231,10 +296,17 @@ class EvaluationEngine:
         entry ``i`` is an :class:`Evaluation`, or ``None`` when mapping
         ``i`` raised :class:`MappingError` (infeasible under ``validate``
         or inconsistent with the machine's memory depth).
+
+        When a tracer is ambient, every chunk's spans (mapping candidates
+        with their full step1/2/3 anatomy) are collected — in the worker
+        for the process backend — and merged under this batch's span in
+        chunk order, each chunk on its own export track.
         """
         mappings = list(mappings)
         results: List[Optional[Evaluation]] = [None] * len(mappings)
-        with self.stats.phase("batch"):
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with self.stats.phase("batch"), tracer.span("engine.batch") as span:
             self.stats.batches += 1
             pending: List[int] = []
             if self.use_cache:
@@ -253,6 +325,17 @@ class EvaluationEngine:
                         pending.append(i)
             else:
                 pending = list(range(len(mappings)))
+            if tracer.enabled:
+                span.set("mappings", len(mappings))
+                span.set("cache_hits", len(mappings) - len(pending))
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_engine_batches_total", "evaluate_many calls"
+                ).inc()
+                metrics.counter(
+                    "repro_engine_cache_hits_total",
+                    "evaluations served from cache",
+                ).inc(len(mappings) - len(pending))
             if not pending:
                 return results
 
@@ -267,10 +350,15 @@ class EvaluationEngine:
                     tuple(mappings[i] for i in chunk),
                     validate,
                     with_energy,
+                    tracer.enabled,
                 )
                 for chunk in chunks
             ]
-            for chunk, outcomes in zip(chunks, self._backend.map_chunks(payloads)):
+            t0 = time.perf_counter() if metrics.enabled else 0.0
+            for chunk_index, (chunk, (outcomes, records)) in enumerate(
+                zip(chunks, self._backend.map_chunks(payloads))
+            ):
+                tracer.merge(records, track=chunk_index + 1)
                 for i, outcome in zip(chunk, outcomes):
                     if outcome is None:
                         self.stats.errors += 1
@@ -284,4 +372,17 @@ class EvaluationEngine:
                         if with_energy and energy is not None:
                             self.cache.put(self._energy_key(mappings[i]), energy)
                     results[i] = Evaluation(mappings[i], report, energy)
+            if metrics.enabled:
+                elapsed = time.perf_counter() - t0
+                metrics.counter(
+                    "repro_engine_evaluations_total", "latency kernels run"
+                ).inc(len(pending))
+                metrics.histogram(
+                    "repro_engine_batch_seconds", "evaluate_many miss latency"
+                ).observe(elapsed)
+                if elapsed > 0:
+                    metrics.gauge(
+                        "repro_engine_evaluations_per_second",
+                        "kernel throughput of the last batch",
+                    ).set(len(pending) / elapsed)
         return results

@@ -2,9 +2,19 @@
 
 The engine splits a batch of mappings into chunks and hands each chunk to
 a backend as a self-contained payload ``(accelerator, options, mappings,
-validate, with_energy)``. Chunks are dispatched and reassembled in list
-order, so the serial and parallel backends produce byte-identical result
-sequences — worker scheduling can never reorder or change the numbers.
+validate, with_energy, trace)``. Chunks are dispatched and reassembled in
+list order, so the serial and parallel backends produce byte-identical
+result sequences — worker scheduling can never reorder or change the
+numbers.
+
+Tracing survives the fan-out: when the payload's ``trace`` flag is set,
+:func:`evaluate_chunk` runs under a chunk-local
+:class:`~repro.observability.Tracer` and returns its serializable span
+records alongside the results. The engine merges them back — in chunk
+order — under its batch span, so a process-pool run reconstructs the same
+span tree a serial run builds in place (modulo timestamps). Both backends
+take the same path, which is what makes that equality structural rather
+than coincidental.
 """
 
 from __future__ import annotations
@@ -19,14 +29,19 @@ from repro.core.step1 import ModelOptions
 from repro.energy.energy_model import EnergyModel, EnergyReport
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import Mapping, MappingError
+from repro.observability.span import SpanRecord
+from repro.observability.tracer import Tracer, use_tracer
 
 #: One chunk of work shipped to a backend (picklable end to end).
 ChunkPayload = Tuple[
-    Accelerator, ModelOptions, Tuple[Mapping, ...], bool, bool
+    Accelerator, ModelOptions, Tuple[Mapping, ...], bool, bool, bool
 ]
 #: Per-mapping outcome: (latency report, optional energy report), or None
 #: when the mapping raised MappingError.
-ChunkResult = List[Optional[Tuple[LatencyReport, Optional[EnergyReport]]]]
+ChunkOutcomes = List[Optional[Tuple[LatencyReport, Optional[EnergyReport]]]]
+#: What a backend returns per chunk: the outcomes plus the chunk-local
+#: span records (empty unless the payload requested tracing).
+ChunkResult = Tuple[ChunkOutcomes, List[SpanRecord]]
 
 
 def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
@@ -34,19 +49,28 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
 
     Module-level (not a closure) so process pools can pickle it.
     """
-    accelerator, options, mappings, validate, with_energy = payload
+    accelerator, options, mappings, validate, with_energy, trace = payload
     model = LatencyModel(accelerator, options)
     energy_model = EnergyModel(accelerator) if with_energy else None
-    out: ChunkResult = []
-    for mapping in mappings:
-        try:
-            report = model.evaluate(mapping, validate=validate)
-        except MappingError:
-            out.append(None)
-            continue
-        energy = energy_model.evaluate(mapping) if energy_model else None
-        out.append((report, energy))
-    return out
+    out: ChunkOutcomes = []
+    tracer = Tracer() if trace else None
+
+    def run() -> None:
+        for mapping in mappings:
+            try:
+                report = model.evaluate(mapping, validate=validate)
+            except MappingError:
+                out.append(None)
+                continue
+            energy = energy_model.evaluate(mapping) if energy_model else None
+            out.append((report, energy))
+
+    if tracer is None:
+        run()
+        return out, []
+    with use_tracer(tracer):
+        run()
+    return out, tracer.records
 
 
 class SerialBackend:

@@ -1,0 +1,296 @@
+"""The metrics registry: counters, gauges and histograms with JSON and
+Prometheus-text exporters — zero dependencies, process-local.
+
+Like the tracer, metrics have an ambient instance (:func:`current_metrics`)
+that defaults to a no-op registry, so the instrumented hot path pays one
+contextvar read and a no-op method call when metrics are off. Install a
+real registry with :func:`use_metrics` (the CLI's ``--metrics`` does).
+
+Instrument names follow Prometheus conventions (``repro_engine_
+evaluations_total``, ``repro_engine_evaluate_seconds``); the text
+exporter emits standard ``# HELP``/``# TYPE`` framing with cumulative
+histogram buckets, and the JSON exporter adds the percentile view
+(p50/p90/p99) a dashboard wants.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds, in seconds: 1 us .. 30 s.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Observation distribution with cumulative buckets and percentiles."""
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "sum",
+                 "_observations")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self._observations: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        index = bisect.bisect_left(self.buckets, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+        self._observations.append(value)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of all observations, 0.0 if empty."""
+        if not self._observations:
+            return 0.0
+        ordered = sorted(self._observations)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``le`` buckets (cumulative, +Inf last)."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for upper, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((upper, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    One registry typically covers a whole run (the CLI creates one per
+    invocation); names are unique across kinds, and re-requesting a name
+    returns the existing instrument so call sites need no coordination.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------- #
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name, help)
+        return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name, help)
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, help, buckets)
+        return inst
+
+    def ingest(self, prefix: str, values: Mapping[str, float]) -> None:
+        """Set one gauge per entry of a flat numeric snapshot.
+
+        The bridge from legacy snapshot surfaces —
+        ``registry.ingest("repro_engine", engine.stats.snapshot())`` turns
+        every :class:`~repro.observability.stats.EngineStats` field into a
+        ``<prefix>_<field>`` gauge.
+        """
+        for key, value in values.items():
+            self.gauge(f"{prefix}_{key}").set(float(value))
+
+    # -- exporters ------------------------------------------------------- #
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Nested plain-dict view (the JSON exporter's payload)."""
+        data: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name in sorted(self._counters):
+            data["counters"][name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            data["gauges"][name] = self._gauges[name].value
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            data["histograms"][name] = {
+                "count": h.count,
+                "sum": h.sum,
+                "p50": h.percentile(50),
+                "p90": h.percentile(90),
+                "p99": h.percentile(99),
+            }
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The registry as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            c = self._counters[name]
+            if c.help:
+                lines.append(f"# HELP {name} {c.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(c.value)}")
+        for name in sorted(self._gauges):
+            g = self._gauges[name]
+            if g.help:
+                lines.append(f"# HELP {name} {g.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(g.value)}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            if h.help:
+                lines.append(f"# HELP {name} {h.help}")
+            lines.append(f"# TYPE {name} histogram")
+            for upper, cumulative in h.cumulative_buckets():
+                le = "+Inf" if upper == float("inf") else _fmt(upper)
+                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{name}_sum {_fmt(h.sum)}")
+            lines.append(f"{name}_count {h.count}")
+        return "\n".join(lines) + "\n"
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def ingest(self, prefix: str, values: Mapping[str, float]) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        return "\n"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting: integers without a trailing ``.0``."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+_current_metrics: ContextVar = ContextVar("repro_metrics", default=NULL_METRICS)
+
+
+def current_metrics():
+    """The ambient registry (a no-op unless one is installed)."""
+    return _current_metrics.get()
+
+
+@contextmanager
+def use_metrics(registry) -> Iterator[None]:
+    """Install ``registry`` as the ambient metrics sink for the block."""
+    token = _current_metrics.set(registry)
+    try:
+        yield
+    finally:
+        _current_metrics.reset(token)

@@ -1,0 +1,91 @@
+"""Engine instrumentation counters (canonical home since the
+observability redesign; ``repro.engine.stats`` is a deprecated alias)."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Counters and phase timings accumulated by an evaluation engine.
+
+    One instance can be shared by several engines (``engine.derive(...)``
+    does so), which is how a whole DSE sweep reports a single evaluation
+    budget: evaluations actually run, hits and misses on the shared cache,
+    and wall time per phase (``"evaluate"``, ``"energy"``, ``"batch"``).
+
+    For counters with history, percentiles, and Prometheus export, feed a
+    :class:`~repro.observability.metrics.MetricsRegistry` with
+    ``registry.ingest("repro_engine", stats.snapshot())``.
+    """
+
+    evaluations: int = 0          # latency-model kernels actually run
+    energy_evaluations: int = 0   # energy-model kernels actually run
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0              # evaluate_many calls
+    errors: int = 0               # mappings that raised MappingError in a batch
+    phase_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def requests(self) -> int:
+        """Cache lookups performed (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups answered from the cache."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall time of the enclosed block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def reset(self) -> None:
+        """Zero every counter and timing."""
+        self.evaluations = 0
+        self.energy_evaluations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.errors = 0
+        self.phase_seconds = {}
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat numeric view for JSON/CSV export."""
+        data: Dict[str, float] = {
+            "evaluations": float(self.evaluations),
+            "energy_evaluations": float(self.energy_evaluations),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "hit_rate": self.hit_rate,
+            "batches": float(self.batches),
+            "errors": float(self.errors),
+        }
+        for name, seconds in sorted(self.phase_seconds.items()):
+            data[f"seconds_{name}"] = seconds
+        return data
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        phases = ", ".join(
+            f"{name} {seconds * 1e3:.1f} ms"
+            for name, seconds in sorted(self.phase_seconds.items())
+        )
+        return (
+            f"engine: {self.evaluations} evaluations, "
+            f"{self.cache_hits}/{self.requests} cache hits "
+            f"({self.hit_rate:.1%}){'; ' + phases if phases else ''}"
+        )

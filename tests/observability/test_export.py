@@ -1,0 +1,78 @@
+"""Chrome trace-event export: document structure and file roundtrip."""
+
+import json
+
+from repro.observability import (
+    Tracer,
+    chrome_trace,
+    load_chrome_trace,
+    reconcile_ss_overall,
+    write_chrome_trace,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("model.evaluate", layer="L") as span:
+        with tracer.span("model.step3") as step3:
+            tracer.event("step3.group", group=0, ss_group_raw=-3.0, ss_group=0.0)
+            tracer.event("step3.group", group=1, ss_group_raw=7.0, ss_group=7.0)
+            step3.set("ss_overall", 7.0)
+        span.set("ss_overall", 7.0)
+    return tracer
+
+
+def test_chrome_trace_document_structure():
+    doc = chrome_trace(_sample_tracer().records, process_name="unit")
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert events[0]["ph"] == "M"
+    assert events[0]["args"]["name"] == "unit"
+    spans = [e for e in events if e["ph"] == "X"]
+    assert [e["name"] for e in spans] == [
+        "model.evaluate", "model.step3", "step3.group", "step3.group",
+    ]
+    for event in spans:
+        assert event["dur"] >= 0
+        assert {"ts", "pid", "tid", "args"} <= set(event)
+    assert spans[2]["args"]["ss_group_raw"] == -3.0
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    path = str(tmp_path / "trace.json")
+    tracer = _sample_tracer()
+    write_chrome_trace(tracer.records, path)
+
+    with open(path) as handle:
+        json.load(handle)  # the file is valid JSON
+
+    back = load_chrome_trace(path)
+    assert [r.name for r in back] == [r.name for r in tracer.records]
+    assert [r.attributes for r in back] == [r.attributes for r in tracer.records]
+    assert all(r.parent_id is None for r in back)
+
+
+def test_reconcile_from_flat_file_records(tmp_path):
+    """Flat Chrome-loaded records reconcile via record-order adjacency."""
+    path = str(tmp_path / "trace.json")
+    write_chrome_trace(_sample_tracer().records, path)
+    assert reconcile_ss_overall(load_chrome_trace(path)) == 7.0
+
+
+def test_reconcile_uses_last_step3_span():
+    tracer = Tracer()
+    for raw in (5.0, 11.0):
+        with tracer.span("model.evaluate"):
+            with tracer.span("model.step3"):
+                tracer.event(
+                    "step3.group", group=0, ss_group_raw=raw, ss_group=raw
+                )
+    assert reconcile_ss_overall(tracer.records) == 11.0
+
+
+def test_clamping_matches_step3_semantics():
+    tracer = Tracer()
+    with tracer.span("model.step3"):
+        tracer.event("step3.group", group=0, ss_group_raw=-9.0, ss_group=0.0)
+        tracer.event("step3.group", group=1, ss_group_raw=-1.0, ss_group=0.0)
+    assert reconcile_ss_overall(tracer.records) == 0.0

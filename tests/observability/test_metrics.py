@@ -1,0 +1,100 @@
+"""Metrics registry semantics and exporter golden files."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """A deterministic registry the golden files snapshot."""
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Evaluation requests.").inc(3)
+    registry.counter("repro_requests_total").inc(2)
+    registry.gauge("repro_cache_hit_ratio", "Cache hit ratio.").set(0.25)
+    hist = registry.histogram(
+        "repro_evaluate_seconds", "Kernel latency.", buckets=(0.001, 0.01, 0.1)
+    )
+    for value in (0.0005, 0.005, 0.05, 0.5):
+        hist.observe(value)
+    registry.ingest("repro_engine", {"evaluations": 4, "hit_rate": 0.25})
+    return registry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z") is registry.histogram("z")
+
+
+def test_histogram_percentiles_and_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 20.0, 3.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == 25.5
+    # nearest-rank on the sorted observations [0.5, 2.0, 3.0, 20.0]
+    assert hist.percentile(0) == 0.5
+    assert hist.percentile(50) == 3.0
+    assert hist.percentile(100) == 20.0
+    assert hist.cumulative_buckets() == [(1.0, 1), (10.0, 3), (float("inf"), 4)]
+
+
+def test_json_exporter_matches_golden():
+    got = build_reference_registry().to_json()
+    expected = (GOLDEN / "metrics.json").read_text().rstrip("\n")
+    assert got == expected
+
+
+def test_prometheus_exporter_matches_golden():
+    got = build_reference_registry().to_prometheus()
+    expected = (GOLDEN / "metrics.prom").read_text()
+    assert got == expected
+
+
+def test_json_snapshot_roundtrips():
+    data = json.loads(build_reference_registry().to_json())
+    assert data["counters"]["repro_requests_total"] == 5
+    assert data["gauges"]["repro_cache_hit_ratio"] == 0.25
+    assert data["histograms"]["repro_evaluate_seconds"]["count"] == 4
+
+
+def test_null_registry_is_inert_and_ambient_by_default():
+    assert current_metrics() is NULL_METRICS
+    null = NullMetricsRegistry()
+    null.counter("c").inc()
+    null.gauge("g").set(1.0)
+    null.histogram("h").observe(2.0)
+    null.ingest("p", {"a": 1.0})
+    assert null.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_use_metrics_scopes_installation():
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        assert current_metrics() is registry
+        current_metrics().counter("seen").inc()
+    assert current_metrics() is NULL_METRICS
+    assert registry.counter("seen").value == 1

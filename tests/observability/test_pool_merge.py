@@ -1,0 +1,82 @@
+"""Spans must survive process-pool fan-out: serial and parallel runs of
+the same batch produce the same merged span tree modulo timestamps."""
+
+import pytest
+
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.engine import EvaluationEngine
+from repro.hardware.presets import case_study_accelerator
+from repro.observability import Tracer, find_spans, tree_shape, use_tracer
+from repro.workload.generator import dense_layer
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return case_study_accelerator()
+
+
+@pytest.fixture(scope="module")
+def mappings(preset):
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=60, samples=40),
+    )
+    return list(mapper.mappings(dense_layer(16, 32, 64)))[:24]
+
+
+def _traced_batch(engine, mappings):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        outcomes = engine.evaluate_many(mappings, validate=False)
+    return outcomes, tracer
+
+
+def test_process_pool_merges_same_tree_as_serial(preset, mappings):
+    serial = EvaluationEngine(preset.accelerator, use_cache=False, chunk_size=8)
+    _, serial_tracer = _traced_batch(serial, mappings)
+    with EvaluationEngine(
+        preset.accelerator,
+        use_cache=False,
+        executor="process",
+        max_workers=2,
+        chunk_size=8,
+    ) as parallel:
+        _, parallel_tracer = _traced_batch(parallel, mappings)
+
+    assert serial_tracer.shape() == parallel_tracer.shape()
+    assert len(serial_tracer.records) == len(parallel_tracer.records)
+
+
+def test_chunk_order_is_preserved(preset, mappings):
+    """Merged evaluation spans appear in submission order."""
+    serial = EvaluationEngine(preset.accelerator, use_cache=False, chunk_size=8)
+    outcomes, tracer = _traced_batch(serial, mappings)
+    evals = find_spans(tracer.records, "model.evaluate")
+    assert len(evals) == len([o for o in outcomes if o is not None])
+    reported = [o.report.total_cycles for o in outcomes if o is not None]
+    traced = [s.attributes["total_cycles"] for s in evals]
+    assert traced == reported
+
+
+def test_worker_spans_land_on_chunk_tracks(preset, mappings):
+    serial = EvaluationEngine(preset.accelerator, use_cache=False, chunk_size=8)
+    _, tracer = _traced_batch(serial, mappings)
+    batch = find_spans(tracer.records, "engine.batch")
+    assert len(batch) == 1 and batch[0].track == 0
+    tracks = {r.track for r in tracer.records if r.name == "model.evaluate"}
+    # three chunks of 8 from 24 mappings -> lanes 1..3
+    assert tracks == {1, 2, 3}
+
+
+def test_untraced_batch_ships_no_records(preset, mappings):
+    """Without an ambient tracer the chunk payloads carry no span lists."""
+    from repro.engine.executors import evaluate_chunk
+
+    engine = EvaluationEngine(preset.accelerator, use_cache=False)
+    payload = (
+        engine.accelerator, engine.options, tuple(mappings[:2]),
+        False, False, False,
+    )
+    _, records = evaluate_chunk(payload)
+    assert records == []

@@ -1,0 +1,114 @@
+"""The repro.api facade, its re-exports, and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.report import LatencyReport
+from repro.dse.mapper import MapperConfig
+from repro.engine import EvaluationEngine
+from repro.hardware.presets import case_study_accelerator
+from repro.workload.generator import dense_layer
+
+FAST = MapperConfig(max_enumerated=40, samples=30)
+
+
+def test_evaluate_accepts_preset_and_string_layer():
+    report = api.evaluate("case-study", "16,32,64", config=FAST)
+    assert isinstance(report, LatencyReport)
+    assert report.total_cycles > 0
+
+
+def test_evaluate_accepts_tuple_layer_and_preset_object():
+    preset = case_study_accelerator()
+    a = api.evaluate(preset, (16, 32, 64), config=FAST)
+    b = api.evaluate(preset, dense_layer(16, 32, 64), config=FAST)
+    assert a.total_cycles == b.total_cycles
+
+
+def test_evaluate_with_explicit_mapping():
+    preset = case_study_accelerator()
+    results = api.search(preset, "16,32,64", config=FAST, top=1)
+    mapping = results[0].mapping
+    report = api.evaluate(preset, "16,32,64", mapping)
+    assert report.total_cycles == results[0].report.total_cycles
+
+
+def test_evaluate_shares_a_caller_engine():
+    preset = case_study_accelerator()
+    engine = EvaluationEngine.from_preset(preset)
+    api.evaluate(preset, "16,32,64", config=FAST, engine=engine)
+    assert engine.stats.evaluations > 0
+    before = engine.stats.evaluations
+    api.evaluate(preset, "16,32,64", config=FAST, engine=engine)
+    assert engine.stats.evaluations == before  # whole search memoized
+
+
+def test_search_returns_ranked_results():
+    results = api.search("case-study", "16,32,64", config=FAST, top=3)
+    assert 1 <= len(results) <= 3
+    objectives = [r.objective for r in results]
+    assert objectives == sorted(objectives)
+
+
+def test_evaluate_network_sums_layers():
+    result = api.evaluate_network(
+        "case-study", ["16,32,64", (16, 32, 64)], config=FAST
+    )
+    assert len(result.layers) == 2
+    assert result.total_cycles == sum(r.cycles for r in result.layers)
+
+
+def test_bad_inputs_raise():
+    with pytest.raises(ValueError):
+        api.evaluate("warp-drive", "16,32,64")
+    with pytest.raises(TypeError):
+        api.evaluate(42, "16,32,64")
+    with pytest.raises(ValueError):
+        api.evaluate("case-study", "16,32")
+
+
+def test_top_level_reexports():
+    assert repro.evaluate is api.evaluate
+    assert repro.search is api.search
+    assert repro.evaluate_network is api.evaluate_network
+    assert repro.api is api
+    for name in ("api", "evaluate", "search", "evaluate_network"):
+        assert name in repro.__all__
+
+
+def test_from_preset_builds_serial_and_process_engines():
+    preset = case_study_accelerator()
+    serial = EvaluationEngine.from_preset(preset)
+    assert serial.accelerator is preset.accelerator
+    assert not serial.parallel
+    with EvaluationEngine.from_preset(preset, workers=2) as parallel:
+        assert parallel.parallel
+    bare = EvaluationEngine.from_preset(preset.accelerator)
+    assert bare.accelerator is preset.accelerator
+
+
+def test_engine_stats_import_path_deprecated():
+    import importlib
+
+    import repro.engine.stats as shim
+
+    importlib.reload(shim)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        stats_cls = shim.EngineStats
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )
+    from repro.observability.stats import EngineStats
+
+    assert stats_cls is EngineStats
+
+
+def test_engine_reexport_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro.engine import EngineStats  # noqa: F401
+        from repro.observability import EngineStats as obs  # noqa: F401

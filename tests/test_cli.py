@@ -90,3 +90,75 @@ def test_export_and_load_arch(capsys, tmp_path):
                "--enumerate", "20", "--samples", "15"])
     assert rc == 0
     assert "case-study-16x16" in capsys.readouterr().out
+
+
+def test_trace_out_reconciles_with_printed_report(capsys, tmp_path):
+    import json
+    import re
+
+    from repro.observability import load_chrome_trace, reconcile_ss_overall
+
+    path = str(tmp_path / "t.json")
+    rc = main(["evaluate", "--layer", "16,32,60", "--enumerate", "30",
+               "--samples", "20", "--trace", "--trace-out", path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"-> {path}" in out
+
+    with open(path) as handle:
+        doc = json.load(handle)  # valid Chrome trace-event JSON
+    assert doc["traceEvents"][0]["ph"] == "M"
+
+    printed = float(re.search(r"SS_overall\s*=\s*([\d.]+)", out).group(1))
+    records = load_chrome_trace(path)
+    assert reconcile_ss_overall(records) == printed
+
+
+def test_trace_without_file_prints_summary(capsys):
+    rc = main(["evaluate", "--layer", "16,32,60", "--enumerate", "30",
+               "--samples", "20", "--trace"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    assert "model.evaluate" in out and "step1.dtl" in out
+
+
+def test_metrics_flag_prints_prometheus_text(capsys):
+    rc = main(["evaluate", "--layer", "16,32,60", "--enumerate", "30",
+               "--samples", "20", "--metrics"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_engine_evaluations_total counter" in out
+    assert "# TYPE repro_engine_evaluations gauge" in out
+    assert "repro_mapper_searches_total 1" in out
+
+
+def test_common_flags_shared_across_subcommands():
+    parser = build_parser()
+    for command, extra in (
+        ("evaluate", ["--layer", "8,16,32"]),
+        ("search", ["--layer", "8,16,32"]),
+        ("validate", []),
+        ("network", []),
+    ):
+        args = parser.parse_args(
+            [command, *extra, "--workers", "2", "--trace", "--metrics",
+             "--gb-bw", "256"]
+        )
+        assert args.workers == 2
+        assert args.trace and args.metrics
+        assert args.gb_bw == 256.0
+        assert args.trace_out is None
+
+
+def test_build_engine_from_args_honors_workers():
+    from repro.cli import build_engine_from_args, _preset
+
+    parser = build_parser()
+    args = parser.parse_args(["evaluate", "--layer", "8,16,32"])
+    engine = build_engine_from_args(_preset(args), args)
+    assert not engine.parallel
+    args = parser.parse_args(["evaluate", "--layer", "8,16,32",
+                              "--workers", "2"])
+    with build_engine_from_args(_preset(args), args) as engine:
+        assert engine.parallel
