@@ -13,18 +13,61 @@ where crossovers fall).
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from typing import Any, Dict
 
 import pytest
 
 from repro.dse.mapper import MapperConfig, TemporalMapper
 from repro.hardware.presets import Preset, case_study_accelerator, inhouse_accelerator
+from repro.observability.ledger import RunLedger, RunRecord, git_sha
 from repro.workload.generator import dense_layer
 
 
 def full_mode() -> bool:
     """Whether paper-scale sweeps were requested (REPRO_FULL=1)."""
     return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+def emit_bench_artifact(name: str, payload: Dict[str, Any]) -> str:
+    """Write ``BENCH_{name}.json`` under ``$BENCH_DIR`` and ledger the run.
+
+    Every bench routes its result payload through here so the numbers
+    land twice: as the per-commit JSON artifact CI uploads, and as one
+    ``kind="bench"`` row appended to ``$BENCH_DIR/bench_ledger.sqlite``
+    — the same append-only store the engine writes evaluation rows to,
+    so ``repro-latency diff`` can gate bench trajectories against a
+    committed baseline. Returns the JSON artifact path.
+    """
+    bench_dir = os.environ.get("BENCH_DIR", ".")
+    out = os.path.join(bench_dir, f"BENCH_{name}.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    extra = {
+        k: float(v)
+        for k, v in _flatten(payload).items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+    record = RunRecord(
+        kind="bench", label=name, ts=time.time(), git_sha=git_sha(), extra=extra
+    )
+    with RunLedger(os.path.join(bench_dir, "bench_ledger.sqlite")) as ledger:
+        ledger.append(record)
+    return out
+
+
+def _flatten(payload: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{name}."))
+        else:
+            flat[name] = value
+    return flat
 
 
 @pytest.fixture(scope="session")

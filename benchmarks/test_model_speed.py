@@ -8,8 +8,6 @@ jobs (~ cycles). This bench measures both runtimes across a 64x range of
 layer sizes and asserts the scaling separation.
 """
 
-import json
-import os
 import time
 
 import pytest
@@ -20,7 +18,7 @@ from repro.engine import EvaluationEngine
 from repro.simulator.engine import CycleSimulator
 from repro.workload.generator import dense_layer
 
-from benchmarks.conftest import make_mapper
+from benchmarks.conftest import emit_bench_artifact, make_mapper
 
 
 def _timed(fn, repeat=3):
@@ -117,9 +115,7 @@ def test_emit_engine_bench_artifact(case_preset, tmp_path_factory):
         "hit_vs_eval_speedup": cold_s / hit_s if hit_s else None,
         "stats": warm.stats.snapshot(),
     }
-    out = os.path.join(os.environ.get("BENCH_DIR", "."), "BENCH_engine.json")
-    with open(out, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    out = emit_bench_artifact("engine", payload)
     print(f"\nengine bench written to {out}: "
           f"eval {payload['uncached_eval_us']:.0f} us, "
           f"hit {payload['cache_hit_us']:.1f} us")

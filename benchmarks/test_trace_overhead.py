@@ -15,11 +15,9 @@ commit via ``BENCH_observability.json``:
   the model's work.
 """
 
-import json
-import os
 import time
 
-from conftest import make_mapper
+from conftest import emit_bench_artifact, make_mapper
 from repro.core.model import LatencyModel
 from repro.observability import Tracer, use_tracer
 from repro.workload.generator import dense_layer
@@ -99,11 +97,7 @@ def test_disabled_tracing_overhead_under_5_percent(case_preset):
         "enabled_slowdown_x": enabled_ratio,
         "spans_per_pass": spans,
     }
-    out = os.path.join(
-        os.environ.get("BENCH_DIR", "."), "BENCH_observability.json"
-    )
-    with open(out, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    out = emit_bench_artifact("observability", payload)
     print(f"\nobservability bench written to {out}: "
           f"disabled {payload['disabled_us_per_eval']:.0f} us/eval "
           f"(+{payload['disabled_overhead_pct']:.2f}%), "

@@ -25,6 +25,7 @@ import dataclasses
 from typing import Sequence, Tuple
 
 from repro.analysis.network import LayerResult, NetworkResult
+from repro.observability.tracer import current_tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,25 +71,49 @@ def _absorbable_cycles(result: LayerResult) -> float:
 
 
 def estimate_pipeline(results: Sequence[LayerResult]) -> PipelinedEstimate:
-    """Estimate the overlapped latency of ``results`` run back to back."""
+    """Estimate the overlapped latency of ``results`` run back to back.
+
+    Traced as one ``pipeline.estimate`` span with a ``pipeline.layer``
+    event per overlapped boundary (absorbable window, hidden preload /
+    offload), so cross-layer attribution lands in the same trace as the
+    per-layer stall anatomy.
+    """
     if not results:
         return PipelinedEstimate(0.0, 0.0, 0.0, ())
 
-    sequential = sum(r.report.total_cycles for r in results)
-    hidden_per_layer = [0.0] * len(results)
-    for i in range(1, len(results)):
-        producer = results[i - 1]
-        consumer = results[i]
-        window = _absorbable_cycles(producer)
-        hidden_preload = min(consumer.report.preload, window)
-        # Offload of the producer can ride the same window as the
-        # consumer's preload only on disjoint directions; be conservative
-        # and hide at most half of it.
-        hidden_offload = min(producer.report.offload * 0.5, max(
-            0.0, window - hidden_preload
-        ))
-        hidden_per_layer[i] = hidden_preload + hidden_offload
-    hidden = sum(hidden_per_layer)
+    tracer = current_tracer()
+    with tracer.span("pipeline.estimate") as span:
+        sequential = sum(r.report.total_cycles for r in results)
+        hidden_per_layer = [0.0] * len(results)
+        for i in range(1, len(results)):
+            producer = results[i - 1]
+            consumer = results[i]
+            window = _absorbable_cycles(producer)
+            hidden_preload = min(consumer.report.preload, window)
+            # Offload of the producer can ride the same window as the
+            # consumer's preload only on disjoint directions; be conservative
+            # and hide at most half of it.
+            hidden_offload = min(producer.report.offload * 0.5, max(
+                0.0, window - hidden_preload
+            ))
+            hidden_per_layer[i] = hidden_preload + hidden_offload
+            if tracer.enabled:
+                tracer.event(
+                    "pipeline.layer",
+                    index=i,
+                    layer=consumer.report.layer_name,
+                    window=window,
+                    hidden_preload=hidden_preload,
+                    hidden_offload=hidden_offload,
+                )
+        hidden = sum(hidden_per_layer)
+        if tracer.enabled:
+            span.set_many(
+                layers=len(results),
+                sequential_cycles=sequential,
+                pipelined_cycles=sequential - hidden,
+                hidden_cycles=hidden,
+            )
     return PipelinedEstimate(
         sequential_cycles=sequential,
         pipelined_cycles=sequential - hidden,

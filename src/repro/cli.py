@@ -7,17 +7,25 @@ Examples::
     repro-latency simulate --layer 64,128,1200
     repro-latency search --layer 64,128,1200 --samples 500 --top 5
     repro-latency validate --limit 4 --metrics
+    repro-latency evaluate --layer 64,128,1200 --ledger runs.sqlite
+    repro-latency report --layer 64,128,1200 --html report.html
+    repro-latency diff baseline.jsonl runs.sqlite --rel-tol 1e-6
 
 Every subcommand shares one option set (chip selection, mapper budget,
 engine workers, observability) declared once on a parent parser;
 :func:`build_engine_from_args` turns the parsed options into the
 :class:`~repro.engine.EvaluationEngine` all flows evaluate through.
+``--ledger PATH`` makes any run append its evaluations to a persistent
+:class:`~repro.observability.RunLedger`; ``diff`` compares two ledger
+snapshots (or two git SHAs inside one ledger) and exits non-zero when a
+latency-model output drifts beyond tolerance — the CI regression gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.dse.mapper import MapperConfig, TemporalMapper
@@ -25,10 +33,14 @@ from repro.engine import EvaluationEngine
 from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
 from repro.observability import (
     MetricsRegistry,
+    NULL_LEDGER,
     NULL_METRICS,
     NULL_TRACER,
+    RunLedger,
     Tracer,
+    current_ledger,
     current_metrics,
+    use_ledger,
     use_metrics,
     use_tracer,
     write_chrome_trace,
@@ -233,6 +245,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.dse.mapper import MapperConfig as _MC
 
     preset = _preset(args)
+    if args.html:
+        return _cmd_report_html(preset, args)
     config = ReportConfig(
         mapper_config=_MC(max_enumerated=args.enumerate, samples=args.samples),
         simulate=args.with_simulator,
@@ -245,6 +259,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_report_html(preset, args: argparse.Namespace) -> int:
+    """`report --html`: traced evaluation -> self-contained HTML file.
+
+    Reuses the ambient tracer when ``--trace`` installed one (so
+    ``--trace-out`` still gets the same spans); otherwise runs under a
+    local tracer. The winner is re-traced last (see
+    :func:`_traced_report`) so the report's stall waterfall reconciles
+    with the printed numbers, and the ambient ledger — populated by this
+    very run when ``--ledger`` is given — supplies the trajectory.
+    """
+    from repro.observability import current_tracer, write_report
+
+    ambient = current_tracer()
+    tracer = ambient if ambient.enabled else Tracer()
+    scope = nullcontext() if ambient.enabled else use_tracer(tracer)
+    mapper = _mapper(preset, args)
+    with scope:
+        best = mapper.best_mapping(args.layer)
+        _traced_report(mapper, best)
+        if args.with_simulator:
+            CycleSimulator(preset.accelerator, best.mapping).run()
+    print(best.report.summary())
+    ledger = current_ledger()
+    write_report(
+        args.html,
+        tracer.records,
+        ledger.records(),
+        title=f"{args.layer.describe()} on {preset.accelerator.name}",
+    )
+    print(f"HTML report written to {args.html}")
+    return _finish(mapper.engine, args)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two ledger snapshots; non-zero exit on model drift."""
+    from repro.observability.ledger import diff_records, load_snapshot
+
+    if args.candidate is None and not (args.baseline_sha or args.candidate_sha):
+        print("diff: need a CANDIDATE snapshot or --baseline-sha/--candidate-sha "
+              "filters to compare within one ledger", file=sys.stderr)
+        return 2
+    baseline = load_snapshot(args.baseline, sha=args.baseline_sha)
+    candidate_path = args.candidate or args.baseline
+    candidate = load_snapshot(candidate_path, sha=args.candidate_sha)
+    print(f"baseline : {len(baseline)} record(s) from {args.baseline}"
+          + (f" @ {args.baseline_sha}" if args.baseline_sha else ""))
+    print(f"candidate: {len(candidate)} record(s) from {candidate_path}"
+          + (f" @ {args.candidate_sha}" if args.candidate_sha else ""))
+    diff = diff_records(
+        baseline,
+        candidate,
+        rel_tol=args.rel_tol,
+        abs_tol=args.abs_tol,
+        strict_keys=args.strict_keys,
+    )
+    print(diff.describe(changed_only=not args.show_all))
+    if diff.clean:
+        return 0
+    if args.warn_only:
+        print("diff: drift detected, but --warn-only requested -> exit 0")
+        return 0
+    return 1
 
 
 def _cmd_export_arch(args: argparse.Namespace) -> int:
@@ -292,6 +370,11 @@ def _common_options() -> argparse.ArgumentParser:
     obs.add_argument("--metrics", action="store_true",
                      help="collect a metrics registry and print it in "
                           "Prometheus text format on exit")
+    obs.add_argument("--ledger", default=None, metavar="FILE",
+                     help="append every evaluation of this run to a "
+                          "persistent SQLite run ledger (created/migrated "
+                          "on first use; diff snapshots with "
+                          "'repro-latency diff')")
     return common
 
 
@@ -334,10 +417,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated bits/cycle values")
         if name == "report":
             p.add_argument("--out", default=None, help="write markdown here")
+            p.add_argument("--html", default=None, metavar="FILE",
+                           help="render a self-contained HTML report "
+                                "(stall waterfall, CC breakdown, ledger "
+                                "trajectory) instead of markdown")
             p.add_argument("--with-simulator", action="store_true",
                            help="include a simulator cross-check section")
         if name == "export-arch":
             p.add_argument("--out", required=True, help="output JSON path")
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two run-ledger snapshots (SQLite or JSONL); "
+             "non-zero exit when a latency-model output drifts",
+    )
+    diff.set_defaults(func=_cmd_diff)
+    diff.add_argument("baseline", help="baseline snapshot (.sqlite or .jsonl)")
+    diff.add_argument("candidate", nargs="?", default=None,
+                      help="candidate snapshot; omit to compare two SHAs "
+                           "inside the baseline ledger")
+    diff.add_argument("--baseline-sha", default=None,
+                      help="only baseline records from this git SHA")
+    diff.add_argument("--candidate-sha", default=None,
+                      help="only candidate records from this git SHA")
+    diff.add_argument("--rel-tol", type=float, default=1e-9,
+                      help="relative drift tolerance per metric")
+    diff.add_argument("--abs-tol", type=float, default=1e-6,
+                      help="absolute drift tolerance (guards zero-baseline "
+                           "metrics)")
+    diff.add_argument("--strict-keys", action="store_true",
+                      help="a key missing from the candidate fails the gate")
+    diff.add_argument("--warn-only", action="store_true",
+                      help="report drift but always exit 0 (CI soft gate)")
+    diff.add_argument("--show-all", action="store_true",
+                      help="print unchanged metrics too")
     return parser
 
 
@@ -353,9 +466,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     want_trace = getattr(args, "trace", False) or getattr(args, "trace_out", None)
     tracer = Tracer() if want_trace else NULL_TRACER
     registry = MetricsRegistry() if getattr(args, "metrics", False) else NULL_METRICS
+    ledger_path = getattr(args, "ledger", None)
+    ledger = RunLedger(ledger_path) if ledger_path else NULL_LEDGER
 
-    with use_tracer(tracer), use_metrics(registry):
-        code = args.func(args)
+    try:
+        with use_tracer(tracer), use_metrics(registry), use_ledger(ledger):
+            code = args.func(args)
+        if ledger.enabled:
+            print(f"ledger: {len(ledger)} record(s) in {ledger_path}")
+    finally:
+        ledger.close()
 
     if tracer.enabled:
         if args.trace_out:

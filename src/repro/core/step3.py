@@ -72,6 +72,9 @@ def integrate_stalls(
                     "step3.group",
                     group=gid,
                     members=len(members),
+                    member_memories=",".join(
+                        sorted({s.memory for s in members})
+                    ),
                     dominant_memory=worst.memory,
                     dominant_operand=str(worst.operand),
                     ss_group_raw=worst.ss,

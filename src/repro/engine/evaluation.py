@@ -18,9 +18,12 @@ kernel deliberately does not have:
   surface** (evaluations run, hits/misses, wall time per phase), plus
   **observability hooks**: spans on the ambient
   :class:`~repro.observability.Tracer` (worker-produced span records are
-  merged order-preserving after a process-pool batch) and counters /
-  histograms on the ambient :class:`~repro.observability.MetricsRegistry`.
-  Both default to no-ops and cost nothing when disabled.
+  merged order-preserving after a process-pool batch), counters /
+  histograms on the ambient :class:`~repro.observability.MetricsRegistry`,
+  and one durable :class:`~repro.observability.RunRecord` per evaluation
+  on the ambient :class:`~repro.observability.RunLedger` (kernel wall
+  times are measured where the kernel ran, even in pool workers).
+  All default to no-ops and cost nothing when disabled.
 
 Engines are cheap; :meth:`derive` builds one for another machine or
 options while *sharing* the cache, stats and executor — the idiom for
@@ -44,6 +47,11 @@ from repro.engine.executors import Backend, ChunkPayload, make_backend
 from repro.fingerprint import stable_fingerprint
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import Mapping
+from repro.observability.ledger import (
+    RunRecord,
+    current_ledger,
+    record_from_report,
+)
 from repro.observability.metrics import current_metrics
 from repro.observability.stats import EngineStats
 from repro.observability.tracer import current_tracer
@@ -221,24 +229,29 @@ class EvaluationEngine:
             self._model.check(mapping)
         tracer = current_tracer()
         metrics = current_metrics()
+        ledger = current_ledger()
+        timed = metrics.enabled or ledger.enabled
         with self.stats.phase("evaluate"), tracer.span("engine.evaluate") as span:
-            t0 = time.perf_counter() if metrics.enabled else 0.0
+            t0 = time.perf_counter() if timed else 0.0
             if not self.use_cache:
                 self.stats.evaluations += 1
                 report = self._model.evaluate(mapping, validate=False)
                 self._observe_single(metrics, span, t0, cache_hit=None)
+                self._ledger_single(ledger, mapping, report, t0, cache_hit=None)
                 return report
             key = self._latency_key(mapping)
             report = self.cache.get(key)
             if report is not None:
                 self.stats.cache_hits += 1
                 self._observe_single(metrics, span, t0, cache_hit=True)
+                self._ledger_single(ledger, mapping, report, t0, cache_hit=True)
                 return report
             self.stats.cache_misses += 1
             self.stats.evaluations += 1
             report = self._model.evaluate(mapping, validate=False)
             self.cache.put(key, report)
             self._observe_single(metrics, span, t0, cache_hit=False)
+            self._ledger_single(ledger, mapping, report, t0, cache_hit=False)
             return report
 
     def _observe_single(self, metrics, span, t0: float, cache_hit) -> None:
@@ -261,6 +274,29 @@ class EvaluationEngine:
         metrics.histogram(
             "repro_engine_evaluate_seconds", "engine.evaluate latency"
         ).observe(time.perf_counter() - t0)
+
+    def _ledger_single(self, ledger, mapping, report, t0: float, cache_hit) -> None:
+        """Ledger row of one :meth:`evaluate` call (no-op when disabled)."""
+        if not ledger.enabled:
+            return
+        ledger.append(self._ledger_record(
+            mapping, report,
+            cache_hit=cache_hit,
+            wall_time_s=time.perf_counter() - t0,
+        ))
+
+    def _ledger_record(
+        self, mapping: Mapping, report: LatencyReport, *, cache_hit, wall_time_s: float
+    ) -> RunRecord:
+        """One evaluation as a ledger row, fingerprinted for this engine."""
+        return record_from_report(
+            report,
+            accelerator_fp=self._accel_fp,
+            mapping_fp=mapping.fingerprint(),
+            options_fp=self._options_fp,
+            cache_hit=cache_hit,
+            wall_time_s=wall_time_s,
+        )
 
     def evaluate_energy(self, mapping: Mapping) -> EnergyReport:
         """Dynamic energy of ``mapping``, served from the cache when possible."""
@@ -306,6 +342,8 @@ class EvaluationEngine:
         results: List[Optional[Evaluation]] = [None] * len(mappings)
         tracer = current_tracer()
         metrics = current_metrics()
+        ledger = current_ledger()
+        ledger_rows: List[RunRecord] = []
         with self.stats.phase("batch"), tracer.span("engine.batch") as span:
             self.stats.batches += 1
             pending: List[int] = []
@@ -320,6 +358,11 @@ class EvaluationEngine:
                     if report is not None and (not with_energy or energy is not None):
                         self.stats.cache_hits += 1
                         results[i] = Evaluation(mapping, report, energy)
+                        if ledger.enabled:
+                            ledger_rows.append(self._ledger_record(
+                                mapping, report,
+                                cache_hit=True, wall_time_s=0.0,
+                            ))
                     else:
                         self.stats.cache_misses += 1
                         pending.append(i)
@@ -337,6 +380,7 @@ class EvaluationEngine:
                     "evaluations served from cache",
                 ).inc(len(mappings) - len(pending))
             if not pending:
+                ledger.append_many(ledger_rows)
                 return results
 
             chunks = [
@@ -363,7 +407,7 @@ class EvaluationEngine:
                     if outcome is None:
                         self.stats.errors += 1
                         continue
-                    report, energy = outcome
+                    report, energy, wall_s = outcome
                     self.stats.evaluations += 1
                     if with_energy:
                         self.stats.energy_evaluations += 1
@@ -372,6 +416,11 @@ class EvaluationEngine:
                         if with_energy and energy is not None:
                             self.cache.put(self._energy_key(mappings[i]), energy)
                     results[i] = Evaluation(mappings[i], report, energy)
+                    if ledger.enabled:
+                        ledger_rows.append(self._ledger_record(
+                            mappings[i], report,
+                            cache_hit=False, wall_time_s=wall_s,
+                        ))
             if metrics.enabled:
                 elapsed = time.perf_counter() - t0
                 metrics.counter(
@@ -385,4 +434,5 @@ class EvaluationEngine:
                         "repro_engine_evaluations_per_second",
                         "kernel throughput of the last batch",
                     ).set(len(pending) / elapsed)
+            ledger.append_many(ledger_rows)
         return results

@@ -20,6 +20,7 @@ than coincidental.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -36,9 +37,13 @@ from repro.observability.tracer import Tracer, use_tracer
 ChunkPayload = Tuple[
     Accelerator, ModelOptions, Tuple[Mapping, ...], bool, bool, bool
 ]
-#: Per-mapping outcome: (latency report, optional energy report), or None
-#: when the mapping raised MappingError.
-ChunkOutcomes = List[Optional[Tuple[LatencyReport, Optional[EnergyReport]]]]
+#: Per-mapping outcome: (latency report, optional energy report, kernel
+#: wall seconds — measured where the kernel ran, so process-pool runs
+#: ledger honest per-evaluation times), or None when the mapping raised
+#: MappingError.
+ChunkOutcomes = List[
+    Optional[Tuple[LatencyReport, Optional[EnergyReport], float]]
+]
 #: What a backend returns per chunk: the outcomes plus the chunk-local
 #: span records (empty unless the payload requested tracing).
 ChunkResult = Tuple[ChunkOutcomes, List[SpanRecord]]
@@ -57,13 +62,14 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
 
     def run() -> None:
         for mapping in mappings:
+            t0 = time.perf_counter()
             try:
                 report = model.evaluate(mapping, validate=validate)
             except MappingError:
                 out.append(None)
                 continue
             energy = energy_model.evaluate(mapping) if energy_model else None
-            out.append((report, energy))
+            out.append((report, energy, time.perf_counter() - t0))
 
     if tracer is None:
         run()

@@ -23,5 +23,8 @@ def __getattr__(name: str):
         )
         from repro.observability.stats import EngineStats
 
+        # Cache the resolved attribute so the module-level __getattr__ (and
+        # therefore the warning) fires at most once per process.
+        globals()["EngineStats"] = EngineStats
         return EngineStats
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,7 +1,7 @@
-"""repro.observability — hierarchical tracing, metrics, and stall
-attribution for the whole evaluation path.
+"""repro.observability — hierarchical tracing, metrics, stall
+attribution and a persistent run ledger for the whole evaluation path.
 
-Zero-dependency substrate with three pieces (see ``docs/OBSERVABILITY.md``):
+Zero-dependency substrate with four pieces (see ``docs/OBSERVABILITY.md``):
 
 * :class:`Tracer` — hierarchical spans over the evaluation tree
   (network -> layer -> mapping candidate -> step1/2/3 -> per-DTL) carrying
@@ -15,8 +15,15 @@ Zero-dependency substrate with three pieces (see ``docs/OBSERVABILITY.md``):
   ratio, evaluations per second, mapper samples, per-phase latency
   percentiles) with JSON and Prometheus-text exporters.
 * exporters — Chrome trace-event JSON (:func:`chrome_trace` /
-  :func:`write_chrome_trace`) and span-level reconciliation
-  (:func:`reconcile_ss_overall`).
+  :func:`write_chrome_trace`), span-level reconciliation
+  (:func:`reconcile_ss_overall`), and self-contained HTML run reports
+  (:func:`render_report` — stall waterfall, CC breakdown, ledger
+  trajectory).
+* :class:`RunLedger` — append-only, schema-versioned SQLite store of
+  every evaluation and bench result (fingerprints, CC decomposition,
+  per-unit-memory ``SS_comb``, git SHA), with JSONL snapshots and
+  :func:`diff_records` as a CI regression gate. Ambient like the
+  tracer: :func:`use_ledger` / :func:`current_ledger`, no-op default.
 
 Everything is off by default: the ambient tracer and registry are no-op
 singletons, and the disabled path allocates nothing (the tracing-overhead
@@ -40,6 +47,22 @@ from repro.observability.export import (
     reconcile_ss_overall,
     write_chrome_trace,
 )
+from repro.observability.ledger import (
+    LedgerDiff,
+    LedgerSchemaError,
+    MetricDelta,
+    NULL_LEDGER,
+    NullLedger,
+    RunLedger,
+    RunRecord,
+    SCHEMA_VERSION,
+    current_ledger,
+    diff_records,
+    git_sha,
+    load_snapshot,
+    record_from_report,
+    use_ledger,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -56,6 +79,11 @@ from repro.observability.span import (
     span_tree,
     tree_shape,
 )
+from repro.observability.report import (
+    render_report,
+    stall_waterfall,
+    write_report,
+)
 from repro.observability.stats import EngineStats
 from repro.observability.tracer import (
     NULL_TRACER,
@@ -71,25 +99,42 @@ __all__ = [
     "EngineStats",
     "Gauge",
     "Histogram",
+    "LedgerDiff",
+    "LedgerSchemaError",
+    "MetricDelta",
     "MetricsRegistry",
+    "NULL_LEDGER",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NullLedger",
     "NullMetricsRegistry",
     "NullTracer",
+    "RunLedger",
+    "RunRecord",
+    "SCHEMA_VERSION",
     "Span",
     "SpanNode",
     "SpanRecord",
     "Tracer",
     "chrome_trace",
+    "current_ledger",
     "current_metrics",
     "current_tracer",
+    "diff_records",
     "find_spans",
+    "git_sha",
     "load_chrome_trace",
+    "load_snapshot",
     "per_dtl_stalls",
     "reconcile_ss_overall",
+    "record_from_report",
+    "render_report",
     "span_tree",
+    "stall_waterfall",
     "tree_shape",
+    "use_ledger",
     "use_metrics",
     "use_tracer",
     "write_chrome_trace",
+    "write_report",
 ]

@@ -1,0 +1,470 @@
+"""Self-contained HTML run reports: stall attribution + ledger trajectory.
+
+:func:`render_report` turns one run's span records plus the run ledger
+into a single dependency-free HTML file (inline CSS bars and inline SVG
+sparklines — nothing to fetch, nothing to install):
+
+* **stall waterfall** — per-unit-memory ``SS_comb`` bars grouped by
+  Step-3 overlap group, derived from the *last* ``model.evaluate`` span's
+  subtree exactly like :func:`~repro.observability.export.
+  reconcile_ss_overall`, so the waterfall total always reconciles with
+  the printed ``SS_overall``;
+* **CC breakdown** — the Fig. 7(b)-style preload / ideal / spatial /
+  temporal / offload stack;
+* **utilization table** — ``U``, ``U_spatial``, ``U_temp``;
+* **bench trajectory** — sparklines of ``total_cycles`` / ``ss_overall``
+  (and bench ``extra`` metrics) across ledger entries, the perf
+  trajectory per commit;
+* **simulator cross-check** — shown when the trace holds
+  ``simulator.run`` spans (the simulator subsystem is instrumented too).
+
+The numeric payload is embedded as ``<script type="application/json"
+id="repro-report-data">`` so tests (and downstream tooling) can read the
+exact numbers back out of the HTML without scraping markup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import html
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.observability.export import find_spans, reconcile_ss_overall
+from repro.observability.ledger import RunRecord
+from repro.observability.span import SpanRecord, span_tree
+
+#: The HTML id of the embedded JSON payload.
+DATA_ELEMENT_ID = "repro-report-data"
+
+
+@dataclasses.dataclass(frozen=True)
+class WaterfallRow:
+    """One unit memory's Step-2 stall, placed in its Step-3 group."""
+
+    group: int
+    operand: str
+    memory: str
+    level: int
+    ss: float
+    dominant: bool
+
+    @property
+    def label(self) -> str:
+        return f"{self.operand}@{self.memory}/L{self.level}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Waterfall:
+    """The per-level stall waterfall of one evaluation.
+
+    ``group_contributions`` are the clamped Step-3 per-group stalls; by
+    Step 3's construction their sum equals ``ss_overall`` — the same
+    identity :func:`~repro.observability.export.reconcile_ss_overall`
+    replays, which is what makes the rendered waterfall checkable
+    against the trace it came from.
+    """
+
+    rows: Tuple[WaterfallRow, ...]
+    group_contributions: Tuple[Tuple[int, float], ...]
+    ss_overall: float
+
+    @property
+    def total(self) -> float:
+        return sum(ss for _, ss in self.group_contributions)
+
+
+def stall_waterfall(records: Sequence[SpanRecord]) -> Optional[Waterfall]:
+    """Build the waterfall from the last ``model.evaluate`` span's subtree.
+
+    Uses parent links when present (live tracer records) and falls back
+    to record-order adjacency for flat records re-read from a Chrome
+    trace file — the same dual path as ``reconcile_ss_overall``, and the
+    two agree by construction: both read the last ``model.step3`` span's
+    groups.
+    """
+    step3_spans = find_spans(records, "model.step3")
+    if not step3_spans:
+        return None
+    step3 = step3_spans[-1]
+    groups: List[Tuple[int, float]] = []
+    dominant_of: Dict[int, str] = {}
+    group_of_memory: Dict[str, int] = {}
+    for record in _children_of(records, step3, "step3.group"):
+        gid = int(record.attributes["group"])
+        groups.append((gid, float(record.attributes["ss_group"])))
+        dominant_of[gid] = str(record.attributes.get("dominant_memory", ""))
+        for memory in str(record.attributes.get("member_memories", "")).split(","):
+            if memory:
+                group_of_memory[memory] = gid
+        group_of_memory.setdefault(dominant_of[gid], gid)
+    served = _served_spans_of(records, step3)
+    rows: List[WaterfallRow] = []
+    for record in served:
+        memory = str(record.attributes["memory"])
+        gid = group_of_memory.get(memory, -1)
+        rows.append(
+            WaterfallRow(
+                group=gid,
+                operand=str(record.attributes["operand"]),
+                memory=memory,
+                level=int(record.attributes["level"]),
+                ss=float(record.attributes["ss"]),
+                dominant=(dominant_of.get(gid) == memory),
+            )
+        )
+    ss_overall = float(step3.attributes.get("ss_overall", sum(s for _, s in groups)))
+    return Waterfall(tuple(rows), tuple(groups), ss_overall)
+
+
+def _children_of(
+    records: Sequence[SpanRecord], parent: SpanRecord, name: str
+) -> List[SpanRecord]:
+    """``name``-children of ``parent``: parent links or flat adjacency."""
+    if any(r.parent_id is not None for r in records):
+        return [
+            r
+            for r in records
+            if r.name == name and r.parent_id == parent.span_id
+        ]
+    ordered = list(records)
+    at = ordered.index(parent)
+    out: List[SpanRecord] = []
+    for record in ordered[at + 1 :]:
+        if record.name == name:
+            out.append(record)
+        elif not record.name.startswith(name.split(".")[0] + "."):
+            break
+    return out
+
+
+def _served_spans_of(
+    records: Sequence[SpanRecord], step3: SpanRecord
+) -> List[SpanRecord]:
+    """The ``step2.served`` spans of the same evaluation as ``step3``.
+
+    With parent links, walk up to the enclosing ``model.evaluate`` and
+    collect its subtree; flat records scan backwards from the step3 span
+    to the previous ``model.evaluate`` boundary.
+    """
+    if any(r.parent_id is not None for r in records):
+        by_id = {r.span_id: r for r in records}
+        node = step3
+        while node.parent_id is not None and node.name != "model.evaluate":
+            node = by_id[node.parent_id]
+        for root in span_tree(records):
+            for candidate in root.find("model.evaluate"):
+                if candidate.record is node:
+                    return [
+                        n.record for n in candidate.find("step2.served")
+                    ]
+        return [r for r in records if r.name == "step2.served"]
+    ordered = list(records)
+    at = ordered.index(step3)
+    start = 0
+    for i in range(at, -1, -1):
+        if ordered[i].name == "model.evaluate":
+            start = i
+            break
+    return [r for r in ordered[start:at] if r.name == "step2.served"]
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+
+_CSS = """
+body { font: 14px/1.45 -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+td, th { padding: .25rem .7rem; border-bottom: 1px solid #e0e0ea;
+         text-align: right; }
+td:first-child, th:first-child { text-align: left; }
+.bar { height: .85rem; background: #5b8dd9; display: inline-block;
+       border-radius: 2px; vertical-align: middle; }
+.bar.dominant { background: #d97b5b; }
+.bar.zero { background: #c9cfdd; }
+.seg { height: 1.1rem; display: inline-block; }
+.muted { color: #777f92; font-size: .85rem; }
+.mono { font-family: ui-monospace, monospace; font-size: .85rem; }
+svg.spark { vertical-align: middle; }
+"""
+
+_CC_SEGMENTS = (
+    ("preload", "#8fa8c9"),
+    ("ideal", "#5b8dd9"),
+    ("spatial_stall", "#e0b25b"),
+    ("temporal_stall", "#d97b5b"),
+    ("offload", "#9b8fc9"),
+)
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _sparkline(values: Sequence[float], width: int = 220, height: int = 36) -> str:
+    """An inline SVG polyline over ``values`` (min-max normalized)."""
+    if not values:
+        return "<span class='muted'>no entries</span>"
+    if len(values) == 1:
+        values = list(values) * 2
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / (len(values) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 4 - (v - lo) / span * (height - 8):.1f}"
+        for i, v in enumerate(values)
+    )
+    last = values[-1]
+    return (
+        f"<svg class='spark' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<polyline fill='none' stroke='#5b8dd9' stroke-width='1.5' "
+        f"points='{points}'/></svg> "
+        f"<span class='mono'>{last:g}</span>"
+    )
+
+
+def _waterfall_html(waterfall: Waterfall) -> str:
+    peak = max((abs(r.ss) for r in waterfall.rows), default=0.0) or 1.0
+    rows: List[str] = []
+    for row in sorted(waterfall.rows, key=lambda r: (r.group, -r.ss)):
+        width = max(2, int(abs(max(row.ss, 0.0)) / peak * 260))
+        cls = "bar dominant" if row.dominant else ("bar" if row.ss > 0 else "bar zero")
+        rows.append(
+            f"<tr><td>{_esc(row.label)}</td><td>g{row.group}</td>"
+            f"<td>{row.ss:,.1f}</td>"
+            f"<td style='text-align:left'><span class='{cls}' "
+            f"style='width:{width}px'></span></td></tr>"
+        )
+    groups = ", ".join(
+        f"g{gid}: {ss:,.1f}" for gid, ss in waterfall.group_contributions
+    )
+    return (
+        "<table><tr><th>unit memory</th><th>group</th><th>SS_comb (cc)</th>"
+        "<th style='text-align:left'>stall</th></tr>"
+        + "".join(rows)
+        + "</table>"
+        + f"<p class='muted'>group contributions (clamped): {groups or '—'} "
+        f"&nbsp;→&nbsp; SS_overall = {waterfall.ss_overall:,.1f} cc</p>"
+    )
+
+
+def _cc_breakdown_html(summary: Dict[str, float]) -> str:
+    total = sum(max(0.0, summary.get(name, 0.0)) for name, _ in _CC_SEGMENTS) or 1.0
+    segments, legend = [], []
+    for name, color in _CC_SEGMENTS:
+        value = max(0.0, summary.get(name, 0.0))
+        width = value / total * 560
+        if width >= 0.5:
+            segments.append(
+                f"<span class='seg' title='{_esc(name)}: {value:,.1f}' "
+                f"style='width:{width:.1f}px;background:{color}'></span>"
+            )
+        legend.append(
+            f"<td>{_esc(name)}</td><td>{value:,.1f}</td>"
+            f"<td>{value / total:.1%}</td>"
+        )
+    rows = "".join(f"<tr>{cells}</tr>" for cells in legend)
+    return (
+        f"<div>{''.join(segments)}</div>"
+        f"<table><tr><th>component</th><th>cycles</th><th>share</th></tr>"
+        f"{rows}</table>"
+    )
+
+
+def _evaluation_summary(records: Sequence[SpanRecord]) -> Dict[str, float]:
+    """Model-domain numbers of the last ``model.evaluate`` span."""
+    evaluates = find_spans(records, "model.evaluate")
+    if not evaluates:
+        return {}
+    attrs = dict(evaluates[-1].attributes)
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        out[key] = value
+    if "cc_spatial" in out and "cc_ideal" in out:
+        out["spatial_stall"] = float(out["cc_spatial"]) - float(out["cc_ideal"])
+    if "ss_overall" in out:
+        out["temporal_stall"] = float(out["ss_overall"])
+    if "cc_ideal" in out:
+        out["ideal"] = float(out["cc_ideal"])
+    return out
+
+
+def _simulator_html(records: Sequence[SpanRecord]) -> str:
+    runs = find_spans(records, "simulator.run")
+    if not runs:
+        return ""
+    rows = []
+    for run in runs:
+        a = run.attributes
+        rows.append(
+            "<tr>"
+            + "".join(
+                f"<td>{_esc(a.get(k, '—'))}</td>"
+                for k in (
+                    "total_cycles",
+                    "compute_cycles",
+                    "preload_cycles",
+                    "stall_cycles",
+                    "drain_tail_cycles",
+                    "jobs_completed",
+                    "events",
+                )
+            )
+            + "</tr>"
+        )
+    return (
+        "<h2>Simulator cross-check</h2>"
+        "<table><tr><th>total</th><th>compute</th><th>preload</th>"
+        "<th>stall</th><th>drain tail</th><th>jobs</th><th>events</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _trajectory_html(entries: Sequence[RunRecord]) -> str:
+    if not entries:
+        return "<p class='muted'>ledger empty — run with --ledger to accumulate history</p>"
+    blocks: List[str] = []
+    evaluations = [e for e in entries if e.kind == "evaluation"]
+    if evaluations:
+        for metric in ("total_cycles", "ss_overall", "utilization"):
+            values = [float(getattr(e, metric)) for e in evaluations]
+            blocks.append(
+                f"<tr><td>{metric}</td><td style='text-align:left'>"
+                f"{_sparkline(values)}</td><td>{len(values)}</td></tr>"
+            )
+    benches = [e for e in entries if e.kind == "bench"]
+    series: Dict[str, List[float]] = {}
+    for bench in benches:
+        for key, value in bench.extra.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                series.setdefault(f"{bench.label}:{key}", []).append(float(value))
+    for name in sorted(series):
+        blocks.append(
+            f"<tr><td>{_esc(name)}</td><td style='text-align:left'>"
+            f"{_sparkline(series[name])}</td><td>{len(series[name])}</td></tr>"
+        )
+    return (
+        "<table><tr><th>metric</th><th style='text-align:left'>trajectory"
+        "</th><th>entries</th></tr>" + "".join(blocks) + "</table>"
+    )
+
+
+def render_report(
+    records: Sequence[SpanRecord],
+    ledger_entries: Sequence[RunRecord] = (),
+    *,
+    title: str = "repro run report",
+) -> str:
+    """One self-contained HTML document for a traced run + its ledger.
+
+    ``records`` is a span list (live tracer records or a re-read Chrome
+    trace); ``ledger_entries`` the history to chart. The embedded JSON
+    payload (id ``repro-report-data``) carries the waterfall rows, group
+    contributions, the reconciled ``ss_overall`` and the CC summary.
+    """
+    waterfall = stall_waterfall(records)
+    summary = _evaluation_summary(records)
+    reconciled = reconcile_ss_overall(records)
+    payload: Dict[str, Any] = {
+        "title": title,
+        "summary": summary,
+        "reconciled_ss_overall": reconciled,
+        "ledger_entries": len(ledger_entries),
+        "waterfall": None,
+    }
+    if waterfall is not None:
+        payload["waterfall"] = {
+            "rows": [dataclasses.asdict(r) for r in waterfall.rows],
+            "group_contributions": list(waterfall.group_contributions),
+            "ss_overall": waterfall.ss_overall,
+            "total": waterfall.total,
+        }
+
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    if summary:
+        parts.append(
+            "<p class='muted'>layer "
+            f"<span class='mono'>{_esc(summary.get('layer', '?'))}</span> on "
+            f"<span class='mono'>{_esc(summary.get('accelerator', '?'))}</span>"
+            f", scenario {_esc(summary.get('scenario', '?'))}</p>"
+        )
+        parts.append("<h2>CC breakdown</h2>")
+        parts.append(_cc_breakdown_html(summary))
+        parts.append("<h2>Utilization</h2><table>")
+        parts.append("<tr><th>U</th><th>U_spatial</th><th>U_temporal</th></tr>")
+        u = float(summary.get("utilization", 0.0))
+        cc_ideal = float(summary.get("cc_ideal", 0.0))
+        cc_spatial = float(summary.get("cc_spatial", 0.0)) or 1.0
+        ss = float(summary.get("ss_overall", 0.0))
+        u_spatial = cc_ideal / cc_spatial
+        u_temporal = cc_spatial / (cc_spatial + ss)
+        parts.append(
+            f"<tr><td>{u:.1%}</td><td>{u_spatial:.1%}</td>"
+            f"<td>{u_temporal:.1%}</td></tr></table>"
+        )
+    if waterfall is not None:
+        parts.append("<h2>Stall waterfall (per unit memory)</h2>")
+        parts.append(_waterfall_html(waterfall))
+        if reconciled is not None:
+            ok = abs(waterfall.total - reconciled) < 1e-6
+            parts.append(
+                f"<p class='muted'>reconcile_ss_overall(trace) = "
+                f"{reconciled:,.1f} cc — "
+                f"{'matches the waterfall total' if ok else 'MISMATCH'}</p>"
+            )
+    parts.append(_simulator_html(records))
+    parts.append("<h2>Ledger trajectory</h2>")
+    parts.append(_trajectory_html(ledger_entries))
+    parts.append(
+        f"<script type='application/json' id='{DATA_ELEMENT_ID}'>"
+        + json.dumps(payload)
+        + "</script>"
+    )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report(
+    path: str,
+    records: Sequence[SpanRecord],
+    ledger_entries: Sequence[RunRecord] = (),
+    *,
+    title: str = "repro run report",
+) -> None:
+    """Write :func:`render_report` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(render_report(records, ledger_entries, title=title))
+
+
+def read_report_data(path: str) -> Dict[str, Any]:
+    """Read the embedded JSON payload back out of a written report.
+
+    The round-trip tests (and any downstream tooling) use this instead
+    of scraping markup.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    marker = f"id='{DATA_ELEMENT_ID}'>"
+    start = text.index(marker) + len(marker)
+    end = text.index("</script>", start)
+    return json.loads(text[start:end])
+
+
+__all__ = [
+    "DATA_ELEMENT_ID",
+    "Waterfall",
+    "WaterfallRow",
+    "read_report_data",
+    "render_report",
+    "stall_waterfall",
+    "write_report",
+]

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import Mapping
+from repro.observability.tracer import current_tracer
 from repro.simulator.result import SimulationResult
 from repro.simulator.streams import JobStream, PortKey, TransferJob, build_streams
 from repro.simulator.trace import TraceRecorder
@@ -110,7 +111,31 @@ class CycleSimulator:
     # ------------------------------------------------------------------ #
 
     def run(self) -> SimulationResult:
-        """Execute the layer and return the measured timing."""
+        """Execute the layer and return the measured timing.
+
+        Runs under a ``simulator.run`` span on the ambient tracer (one
+        per simulation, carrying the measured timing decomposition), so
+        simulator-validated runs show up in traces and HTML reports
+        alongside the analytical model's spans.
+        """
+        tracer = current_tracer()
+        with tracer.span("simulator.run") as span:
+            result = self._execute()
+            if tracer.enabled:
+                span.set_many(
+                    accelerator=self.accelerator.name,
+                    layer=self.mapping.layer.name or "?",
+                    total_cycles=result.total_cycles,
+                    compute_cycles=result.compute_cycles,
+                    preload_cycles=result.preload_cycles,
+                    stall_cycles=result.stall_cycles,
+                    drain_tail_cycles=result.drain_tail_cycles,
+                    jobs_completed=result.jobs_completed,
+                    events=result.events,
+                )
+        return result
+
+    def _execute(self) -> SimulationResult:
         total_cc = self.mapping.temporal.total_cycles
         states = [_StreamState(s) for s in build_streams(self.accelerator, self.mapping)]
         completed_upto: Dict[str, int] = {st.stream.name: -1 for st in states}

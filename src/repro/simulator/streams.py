@@ -38,6 +38,7 @@ from repro.hardware.port import EndpointKind
 from repro.mapping.footprint import operand_footprint_elements
 from repro.mapping.loop import Loop, loops_product
 from repro.mapping.mapping import Mapping
+from repro.observability.tracer import current_tracer
 from repro.workload.operand import Operand
 
 PortKey = Tuple[str, str]
@@ -123,10 +124,33 @@ def _mixed_radix_digits(index: int, sizes: Sequence[int]) -> List[int]:
 
 
 def build_streams(accelerator: Accelerator, mapping: Mapping) -> List[JobStream]:
-    """All job streams of ``mapping`` on ``accelerator``."""
-    streams: List[JobStream] = []
-    streams.extend(_refill_streams(accelerator, mapping))
-    streams.extend(_output_streams(accelerator, mapping))
+    """All job streams of ``mapping`` on ``accelerator``.
+
+    Traced as one ``simulator.build_streams`` span with a
+    ``simulator.stream`` event per lowered stream (kind, level, period,
+    allowed window, job count, traffic), so a trace shows what the
+    simulator is about to contend over before any event executes.
+    """
+    tracer = current_tracer()
+    with tracer.span("simulator.build_streams") as span:
+        streams: List[JobStream] = []
+        streams.extend(_refill_streams(accelerator, mapping))
+        streams.extend(_output_streams(accelerator, mapping))
+        if tracer.enabled:
+            span.set("streams", len(streams))
+            span.set("jobs", sum(len(s) for s in streams))
+            for stream in streams:
+                tracer.event(
+                    "simulator.stream",
+                    stream=stream.name,
+                    kind=stream.kind,
+                    operand=str(stream.operand),
+                    level=stream.level,
+                    period=stream.period,
+                    x_req=stream.x_req,
+                    jobs=len(stream),
+                    total_bits=stream.total_bits,
+                )
     return streams
 
 

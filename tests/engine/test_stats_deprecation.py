@@ -1,0 +1,44 @@
+"""The ``repro.engine.stats`` alias module: warns exactly once, same object."""
+
+import importlib
+import sys
+import warnings
+
+
+def _fresh_module():
+    sys.modules.pop("repro.engine.stats", None)
+    return importlib.import_module("repro.engine.stats")
+
+
+def test_deprecation_warning_fires_exactly_once_per_process():
+    module = _fresh_module()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = module.EngineStats
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "repro.engine.stats is deprecated" in str(deprecations[0].message)
+        # Second access hits the cached attribute: no second warning.
+        second = module.EngineStats
+        assert first is second
+        assert len([w for w in caught if w.category is DeprecationWarning]) == 1
+
+
+def test_alias_reexports_canonical_class():
+    from repro.engine import EngineStats as engine_cls
+    from repro.observability.stats import EngineStats as canonical
+
+    module = _fresh_module()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        aliased = module.EngineStats
+    assert aliased is canonical
+    assert engine_cls is canonical
+
+
+def test_unknown_attribute_still_raises():
+    import pytest
+
+    module = _fresh_module()
+    with pytest.raises(AttributeError):
+        module.no_such_name

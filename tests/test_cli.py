@@ -133,6 +133,77 @@ def test_metrics_flag_prints_prometheus_text(capsys):
     assert "repro_mapper_searches_total 1" in out
 
 
+def test_ledger_flag_appends_records(capsys, tmp_path):
+    from repro.observability.ledger import RunLedger
+
+    path = str(tmp_path / "runs.sqlite")
+    rc = main(["evaluate", "--layer", "16,32,60", "--enumerate", "30",
+               "--samples", "20", "--ledger", path])
+    assert rc == 0
+    assert "ledger:" in capsys.readouterr().out
+    with RunLedger(path) as ledger:
+        rows = ledger.records()
+    assert rows
+    assert all(r.kind == "evaluation" and r.mapping_fp for r in rows)
+    # The winning mapping's re-evaluation is the last row; it carries the
+    # full CC decomposition.
+    assert rows[-1].total_cycles > 0 and rows[-1].ss_comb
+
+
+def test_report_html_waterfall_reconciles_with_trace(capsys, tmp_path):
+    from repro.observability import load_chrome_trace, reconcile_ss_overall
+    from repro.observability.report import read_report_data
+
+    html = str(tmp_path / "report.html")
+    trace = str(tmp_path / "t.json")
+    rc = main(["report", "--layer", "16,32,60", "--enumerate", "30",
+               "--samples", "20", "--html", html, "--trace-out", trace,
+               "--ledger", str(tmp_path / "runs.sqlite")])
+    assert rc == 0
+    data = read_report_data(html)
+    reconciled = reconcile_ss_overall(load_chrome_trace(trace))
+    assert data["waterfall"]["total"] == reconciled
+    assert data["reconciled_ss_overall"] == reconciled
+    assert data["ledger_entries"] > 0
+
+
+def test_diff_command_gates_on_drift(capsys, tmp_path):
+    import json
+
+    from repro.observability.ledger import RunLedger
+
+    a = str(tmp_path / "a.sqlite")
+    b = str(tmp_path / "b.sqlite")
+    common = ["--layer", "16,32,60", "--enumerate", "30", "--samples", "20"]
+    assert main(["evaluate", *common, "--ledger", a]) == 0
+    assert main(["evaluate", *common, "--ledger", b]) == 0
+    capsys.readouterr()
+
+    # Identical runs diff clean.
+    assert main(["diff", a, b]) == 0
+    assert "diff: clean" in capsys.readouterr().out
+
+    # An injected SS_overall perturbation must fail the gate ...
+    with RunLedger(b) as ledger:
+        rows = ledger.records()
+    rows[-1].ss_overall += 5.0
+    perturbed = tmp_path / "perturbed.jsonl"
+    with open(perturbed, "w") as handle:
+        for row in rows:
+            handle.write(json.dumps({"v": 2, **row.as_dict()}) + "\n")
+    assert main(["diff", a, str(perturbed)]) == 1
+    out = capsys.readouterr().out
+    assert "ss_overall" in out and "DRIFT" in out
+
+    # ... unless the run is warn-only or the tolerance allows it.
+    assert main(["diff", a, str(perturbed), "--warn-only"]) == 0
+    assert main(["diff", a, str(perturbed), "--abs-tol", "10"]) == 0
+
+
+def test_diff_requires_a_candidate():
+    assert main(["diff", "nonexistent.sqlite"]) == 2
+
+
 def test_common_flags_shared_across_subcommands():
     parser = build_parser()
     for command, extra in (
