@@ -10,6 +10,7 @@ Examples::
     repro-latency evaluate --layer 64,128,1200 --ledger runs.sqlite
     repro-latency report --layer 64,128,1200 --html report.html
     repro-latency diff baseline.jsonl runs.sqlite --rel-tol 1e-6
+    repro-latency verify --examples 200 --seed 0
 
 Every subcommand shares one option set (chip selection, mapper budget,
 engine workers, observability) declared once on a parent parser;
@@ -325,6 +326,42 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Property-based differential verification (model vs simulator)."""
+    import pathlib
+
+    from repro.verify import run_verification
+    from repro.verify.runner import write_artifacts
+
+    summary = run_verification(
+        examples=args.examples,
+        seed=args.seed,
+        corpus_dir=pathlib.Path(args.corpus) if args.corpus else None,
+        corpus_only=args.corpus_only,
+        shrink=not args.no_shrink,
+        progress=print,
+    )
+    total = len(summary.violations) + len(summary.corpus_violations)
+    print(
+        f"verify: seed={summary.seed} "
+        f"{summary.cases_checked} generated + {summary.corpus_cases} corpus "
+        f"case(s), {total} violation(s) in {summary.wall_time_s:.1f}s"
+    )
+    written = write_artifacts(
+        summary,
+        report_path=pathlib.Path(args.report) if args.report else None,
+        artifact_dir=pathlib.Path(args.artifacts) if args.artifacts else None,
+    )
+    for path in written:
+        print(f"  wrote {path}")
+    if summary.ok:
+        return 0
+    for failure in summary.failures:
+        print()
+        print(failure.describe())
+    return 1
+
+
 def _cmd_export_arch(args: argparse.Namespace) -> int:
     from repro.hardware.serde import save_preset
 
@@ -425,6 +462,38 @@ def build_parser() -> argparse.ArgumentParser:
                            help="include a simulator cross-check section")
         if name == "export-arch":
             p.add_argument("--out", required=True, help="output JSON path")
+
+    # Standalone like `diff` — sharing the parent parser would also share
+    # its --ledger action object, and overriding the default here would
+    # leak the override into every other subcommand.
+    verify = sub.add_parser(
+        "verify",
+        help="property-based differential verification: random machines "
+             "and mappings, model-vs-simulator oracle, shrunk "
+             "counterexamples; non-zero exit on any violation",
+    )
+    verify.set_defaults(func=_cmd_verify)
+    verify.add_argument("--ledger", default="verify-ledger.sqlite",
+                        metavar="FILE",
+                        help="run ledger receiving one kind=\"verify\" row "
+                             "per run (a verification is a regression "
+                             "gate, so it is recorded by default)")
+    verify.add_argument("--examples", type=int, default=200,
+                        help="number of generated cases to check")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="generator seed (same seed -> same cases)")
+    verify.add_argument("--corpus", default="tests/verify/corpus",
+                        help="regression-corpus directory to replay "
+                             "(missing directory -> zero corpus cases)")
+    verify.add_argument("--corpus-only", action="store_true",
+                        help="replay the corpus only; generate nothing")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="skip counterexample minimisation on failure")
+    verify.add_argument("--report", default=None, metavar="FILE",
+                        help="write a JSON run report here")
+    verify.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write shrunk counterexamples (corpus-ready "
+                             "JSON + text report) into this directory")
 
     diff = sub.add_parser(
         "diff",

@@ -13,6 +13,17 @@ contribution is clamped at zero before summing so that one group's slack
 never cancels another group's stall — the same no-cancellation philosophy
 as Eq. (2) — and the final ``SS_overall`` is clamped at zero per the paper
 ("if calculated SS_overall <= 0, we take zero").
+
+One refinement on top of the printed rule: the cross-group sum never
+charges the same *physical port* twice. A port shared by several unit
+memories (a single-ported global buffer serving W, I and O) produces one
+``SS_comb`` that Step 2 hands to every served memory; if the overlap
+config then places those memories in different groups, summing the copies
+would bill one port's busy time once per group. The cycle-level simulator
+confirms the stall is paid once (the port can only be busy once), so each
+group only contributes a port's stall *in excess* of what earlier groups
+already charged to that port. Groups limited by disjoint ports are
+unaffected.
 """
 
 from __future__ import annotations
@@ -58,11 +69,23 @@ def integrate_stalls(
     with tracer.span("model.step3") as span:
         group_stalls: List[Tuple[int, float]] = []
         dominant: List[ServedMemoryStall] = []
+        charged: Dict[Tuple[str, str], float] = {}
         total = 0.0
         for gid in sorted(groups):
             members = groups[gid]
-            worst = max(members, key=lambda s: s.ss)
-            contribution = max(0.0, worst.ss)
+            # A member's effective stall discounts what earlier groups
+            # already billed to its limiting physical port.
+            worst = max(
+                members,
+                key=lambda s: s.ss - charged.get(s.limiting_port, 0.0),
+            )
+            contribution = max(
+                0.0, worst.ss - charged.get(worst.limiting_port, 0.0)
+            )
+            if contribution > 0:
+                charged[worst.limiting_port] = (
+                    charged.get(worst.limiting_port, 0.0) + contribution
+                )
             group_stalls.append((gid, contribution))
             total += contribution
             if contribution > 0:

@@ -171,6 +171,46 @@ def record_from_report(
     )
 
 
+def record_from_verification(
+    *,
+    seed: int,
+    examples: int,
+    cases_checked: int,
+    violations: int,
+    corpus_cases: int,
+    corpus_violations: int,
+    shrunk: int,
+    wall_time_s: float = 0.0,
+    git_sha_value: Optional[str] = None,
+) -> RunRecord:
+    """Build a ledger row for one ``repro verify`` run.
+
+    Verification runs share the ledger with evaluations and benches (one
+    row per run, ``kind="verify"``), so the run history shows when the
+    property suite was last green and how many counterexamples each
+    regression hunt produced.
+    """
+    return RunRecord(
+        kind="verify",
+        label=f"seed={seed}",
+        ts=time.time(),
+        git_sha=git_sha_value if git_sha_value is not None else git_sha(),
+        accelerator="generated",
+        layer=f"{examples} examples",
+        total_cycles=0.0,
+        wall_time_s=wall_time_s,
+        extra={
+            "seed": float(seed),
+            "examples": float(examples),
+            "cases_checked": float(cases_checked),
+            "violations": float(violations),
+            "corpus_cases": float(corpus_cases),
+            "corpus_violations": float(corpus_violations),
+            "shrunk": float(shrunk),
+        },
+    )
+
+
 _GIT_SHA_CACHE: Optional[str] = None
 
 

@@ -54,3 +54,23 @@ def accuracy(model_cycles: float, simulated_cycles: float) -> float:
     if simulated_cycles <= 0:
         raise ValueError("simulated cycle count must be positive")
     return 1.0 - abs(model_cycles - simulated_cycles) / simulated_cycles
+
+
+def within_band(
+    model_cycles: float,
+    simulated_cycles: float,
+    rel_band: float = 2.5,
+    abs_slack: float = 16.0,
+) -> bool:
+    """Whether the analytical CC sits inside the differential tolerance band.
+
+    The band is multiplicative either way (``sim/rel <= model <= sim*rel``)
+    plus an additive ``abs_slack`` that forgives integer boundary effects
+    on tiny layers. This is the oracle both the legacy random-machine test
+    and :mod:`repro.verify.properties` apply to model-vs-simulator pairs.
+    """
+    if rel_band < 1.0:
+        raise ValueError("rel_band must be >= 1")
+    upper = simulated_cycles * rel_band + abs_slack
+    lower = simulated_cycles / rel_band - abs_slack
+    return lower <= model_cycles <= upper

@@ -8,7 +8,10 @@ exported for downstream users who want hand-computable fixtures:
   verified by hand;
 * :func:`make_mapping` — build a :class:`~repro.mapping.mapping.Mapping`
   from explicit per-operand, per-level loop lists;
-* :func:`loops` — terse loop-list construction from ("K", 4)-style pairs.
+* :func:`loops` — terse loop-list construction from ("K", 4)-style pairs;
+* :func:`random_accelerator`, :func:`random_layer`, :func:`sample_cases` —
+  re-exported from :mod:`repro.verify.generators`: constrained, seeded
+  random machines / layers / valid mappings for property-based tests.
 """
 
 from __future__ import annotations
@@ -23,9 +26,29 @@ from repro.mapping.loop import Loop
 from repro.mapping.mapping import Mapping
 from repro.mapping.spatial import SpatialMapping
 from repro.mapping.temporal import TemporalMapping
+from repro.verify.generators import (
+    Case,
+    GeneratorConfig,
+    iter_cases,
+    random_accelerator,
+    random_layer,
+    sample_cases,
+)
 from repro.workload.dims import LoopDim
 from repro.workload.layer import LayerSpec
 from repro.workload.operand import Operand
+
+__all__ = [
+    "Case",
+    "GeneratorConfig",
+    "iter_cases",
+    "loops",
+    "make_mapping",
+    "random_accelerator",
+    "random_layer",
+    "sample_cases",
+    "toy_accelerator",
+]
 
 
 def toy_accelerator(

@@ -1,0 +1,62 @@
+"""Property-based differential verification of the latency model.
+
+The subsystem has four parts, mirroring a classic property-based testing
+pipeline but specialised to the paper's 3-step stall model:
+
+* :mod:`repro.verify.generators` — constrained, seeded generators for
+  random accelerators, layers and valid mappings (always evaluable);
+* :mod:`repro.verify.properties` — differential and metamorphic oracles
+  (model vs. cycle simulator, Table I ReqBW algebra, Eq. (1)/(2) stall
+  combination laws, bandwidth monotonicity, clamping invariants);
+* :mod:`repro.verify.shrink` — greedy minimisation of a failing
+  (accelerator, mapping, layer) triple to a hand-checkable counterexample;
+* :mod:`repro.verify.corpus` — a persisted regression corpus of shrunk
+  failures that CI replays deterministically.
+
+:mod:`repro.verify.runner` ties the parts together behind
+``repro verify --examples N --seed S`` (see :mod:`repro.cli`).
+"""
+
+from repro.verify.corpus import (
+    CorpusCase,
+    case_from_dict,
+    case_to_dict,
+    load_corpus,
+    save_case,
+)
+from repro.verify.generators import (
+    Case,
+    GeneratorConfig,
+    random_accelerator,
+    random_layer,
+    sample_cases,
+)
+from repro.verify.properties import (
+    PROPERTIES,
+    Tolerance,
+    Violation,
+    check_case,
+)
+from repro.verify.runner import VerificationSummary, run_verification
+from repro.verify.shrink import case_size, shrink_case
+
+__all__ = [
+    "Case",
+    "CorpusCase",
+    "GeneratorConfig",
+    "PROPERTIES",
+    "Tolerance",
+    "VerificationSummary",
+    "Violation",
+    "case_from_dict",
+    "case_size",
+    "case_to_dict",
+    "check_case",
+    "load_corpus",
+    "random_accelerator",
+    "random_layer",
+    "run_verification",
+    "sample_cases",
+    "save_case",
+    "shrink_case",
+]

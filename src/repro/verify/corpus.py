@@ -1,0 +1,191 @@
+"""The persisted regression corpus of shrunk verification failures.
+
+Every counterexample the harness shrinks is serialized to one JSON file —
+accelerator via :mod:`repro.hardware.serde`, layer and mapping via the
+schemas here, plus the content fingerprints at save time — and committed
+under ``tests/verify/corpus/``. CI replays the whole directory on every
+run: a corpus case that starts violating again is a regression, caught
+deterministically and without any random search.
+
+A corpus file carries a mandatory ``comment`` explaining *why* the case is
+interesting (what it once broke, or what tolerance edge it sits on), so
+the directory doubles as a catalogue of the model's known hard corners.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.serde import (
+    SerdeError,
+    accelerator_from_dict,
+    accelerator_to_dict,
+)
+from repro.mapping.loop import Loop
+from repro.mapping.mapping import Mapping
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping
+from repro.verify.generators import Case
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerSpec, LayerType, Precision
+from repro.workload.operand import Operand
+
+SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusCase:
+    """One committed regression case plus its provenance metadata."""
+
+    case: Case
+    comment: str
+    properties: Tuple[str, ...]
+    path: Optional[pathlib.Path] = None
+
+
+# --------------------------------------------------------------------------- #
+# Layer / mapping schemas
+
+
+def _layer_to_dict(layer: LayerSpec) -> Dict:
+    return {
+        "layer_type": layer.layer_type.value,
+        "dims": {dim.value: size for dim, size in layer.dims.items() if size > 1},
+        "stride_x": layer.stride_x,
+        "stride_y": layer.stride_y,
+        "dilation_x": layer.dilation_x,
+        "dilation_y": layer.dilation_y,
+        "precision": {
+            "w": layer.precision.w,
+            "i": layer.precision.i,
+            "o_final": layer.precision.o_final,
+            "o_partial": layer.precision.o_partial,
+        },
+        "name": layer.name,
+    }
+
+
+def _layer_from_dict(data: Dict) -> LayerSpec:
+    return LayerSpec(
+        layer_type=LayerType(data["layer_type"]),
+        dims={LoopDim(d): int(s) for d, s in data["dims"].items()},
+        stride_x=int(data.get("stride_x", 1)),
+        stride_y=int(data.get("stride_y", 1)),
+        dilation_x=int(data.get("dilation_x", 1)),
+        dilation_y=int(data.get("dilation_y", 1)),
+        precision=Precision(**data["precision"]),
+        name=data.get("name"),
+    )
+
+
+def _mapping_to_dict(mapping: Mapping) -> Dict:
+    return {
+        "spatial": {dim.value: f for dim, f in mapping.spatial.unrolling.items()},
+        "loops": [[loop.dim.value, loop.size] for loop in mapping.temporal.loops],
+        "cuts": {
+            op.value: list(cut) for op, cut in mapping.temporal.cuts.items()
+        },
+    }
+
+
+def _mapping_from_dict(data: Dict, layer: LayerSpec) -> Mapping:
+    temporal = TemporalMapping(
+        loops=tuple(Loop(LoopDim(d), int(s)) for d, s in data["loops"]),
+        cuts={Operand(op): tuple(cut) for op, cut in data["cuts"].items()},
+    )
+    spatial = SpatialMapping({LoopDim(d): int(f) for d, f in data["spatial"].items()})
+    return Mapping(layer, spatial, temporal)
+
+
+# --------------------------------------------------------------------------- #
+# Case files
+
+
+def case_to_dict(
+    case: Case, comment: str = "", properties: Sequence[str] = ()
+) -> Dict:
+    """Serialize one case (plus provenance) to a JSON-ready dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "case_id": case.case_id,
+        "comment": comment,
+        "properties": list(properties),
+        "accelerator": accelerator_to_dict(case.accelerator),
+        "layer": _layer_to_dict(case.layer),
+        "mapping": _mapping_to_dict(case.mapping),
+        "fingerprints": {
+            "accelerator": case.accelerator.fingerprint(),
+            "mapping": case.mapping.fingerprint(),
+        },
+    }
+
+
+def case_from_dict(data: Dict, path: Optional[pathlib.Path] = None) -> CorpusCase:
+    """Restore a corpus case, verifying the recorded fingerprints.
+
+    A fingerprint mismatch means the serde schemas (or the fingerprint
+    inputs) drifted since the case was saved — the corpus file must be
+    regenerated, not silently reinterpreted.
+    """
+    if data.get("schema") != SCHEMA_VERSION:
+        raise SerdeError(
+            f"corpus case {path or '?'}: unsupported schema {data.get('schema')!r}"
+        )
+    accelerator = accelerator_from_dict(data["accelerator"])
+    layer = _layer_from_dict(data["layer"])
+    mapping = _mapping_from_dict(data["mapping"], layer)
+    case = Case(
+        accelerator=accelerator,
+        spatial=tuple(sorted(mapping.spatial.unrolling.items())),
+        layer=layer,
+        mapping=mapping,
+        case_id=str(data["case_id"]),
+    )
+    recorded = data.get("fingerprints", {})
+    actual = {
+        "accelerator": accelerator.fingerprint(),
+        "mapping": mapping.fingerprint(),
+    }
+    for key, want in recorded.items():
+        if actual.get(key) != want:
+            raise SerdeError(
+                f"corpus case {path or case.case_id}: {key} fingerprint drifted "
+                f"(recorded {want[:12]}…, recomputed {actual.get(key, '')[:12]}…); "
+                "regenerate the corpus file"
+            )
+    return CorpusCase(
+        case=case,
+        comment=str(data.get("comment", "")),
+        properties=tuple(data.get("properties", ())),
+        path=path,
+    )
+
+
+def save_case(
+    case: Case,
+    directory: pathlib.Path,
+    comment: str,
+    properties: Sequence[str] = (),
+) -> pathlib.Path:
+    """Write one case into the corpus directory (filename from content)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    digest = case.mapping.fingerprint()[:10]
+    path = directory / f"{case.case_id.replace('~', '-')}-{digest}.json"
+    payload = case_to_dict(case, comment=comment, properties=properties)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory: pathlib.Path) -> List[CorpusCase]:
+    """All corpus cases in ``directory`` (sorted by filename; [] if absent)."""
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    out: List[CorpusCase] = []
+    for path in sorted(directory.glob("*.json")):
+        out.append(case_from_dict(json.loads(path.read_text()), path=path))
+    return out

@@ -1,0 +1,353 @@
+"""Constrained, seeded generators for verification cases.
+
+A *case* is one (accelerator, spatial unrolling, layer, mapping) triple
+plus the seed material that produced it. The generators are constrained so
+that every sampled case is evaluable by both the analytical model and the
+cycle simulator:
+
+* hierarchies are built from the same primitives as the presets (per-MAC
+  registers, optional local-buffer middle level — private per operand or
+  shared between W and I — and a global buffer shared by all operands);
+* layer bounds are kept small enough that the simulator finishes in
+  milliseconds, while still exercising double-buffered vs. not, ``r`` vs.
+  ``ir`` top loops, single shared read/write ports (shared-port DTL
+  combination) and multi-level chains of uneven depth;
+* mappings come from the real :class:`~repro.dse.mapper.TemporalMapper`
+  with a tiny search budget, so they satisfy the mapper's validity rules
+  by construction.
+
+Everything is driven by :class:`random.Random` seeded from
+``(seed, index)`` so any single case can be regenerated — and shrunk —
+independently of the rest of the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.hardware.accelerator import Accelerator, StallOverlapConfig
+from repro.hardware.hierarchy import MemoryHierarchy, MemoryLevel, auto_allocate
+from repro.hardware.mac_array import MacArray
+from repro.hardware.memory import MemoryInstance, dual_port, single_rw_port
+from repro.mapping.mapping import Mapping
+from repro.workload.dims import LoopDim
+from repro.workload.generator import dense_layer
+from repro.workload.layer import LayerSpec
+from repro.workload.operand import Operand
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs bounding the sampled design space.
+
+    The defaults keep a single case's simulation in the low-millisecond
+    range (total temporal cycles capped at ``max_total_cycles``) so a
+    200-example CI run stays well under a minute.
+    """
+
+    max_dim: int = 24
+    max_total_cycles: int = 2048
+    mappings_per_machine: int = 2
+    mapper_enumerated: int = 16
+    mapper_samples: int = 8
+    allow_spatial: bool = True
+    allow_middle_level: bool = True
+    allow_shared_lb: bool = True
+    allow_single_port: bool = True
+    allow_sequential_overlap: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    """One generated verification case.
+
+    ``case_id`` ties a case back to its seed material; shrunk descendants
+    keep the ancestor's id with a ``~shrunk`` suffix (see
+    :mod:`repro.verify.shrink`).
+    """
+
+    accelerator: Accelerator
+    spatial: Tuple[Tuple[LoopDim, int], ...]
+    layer: LayerSpec
+    mapping: Mapping
+    case_id: str
+
+    @property
+    def spatial_dict(self) -> Dict[LoopDim, int]:
+        return dict(self.spatial)
+
+    def describe(self) -> str:
+        """One-line summary for reports and shrink logs."""
+        levels = len(self.accelerator.hierarchy.unique_levels())
+        nloops = len(self.mapping.temporal.loops)
+        dims = "x".join(
+            f"{d}{s}" for d, s in sorted(self.layer.dims.items()) if s > 1
+        )
+        return (
+            f"{self.case_id}: {self.accelerator.name} "
+            f"({levels} levels), layer {dims or '1'}, {nloops} loops"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Accelerators
+
+
+def _reg_level(
+    rng: random.Random,
+    name: str,
+    operand: Operand,
+    bits: int,
+    bw: float,
+    double_buffered: bool,
+    instances: int,
+    config: GeneratorConfig,
+) -> MemoryLevel:
+    single = config.allow_single_port and rng.random() < 0.3
+    ports = single_rw_port(bw) if single else dual_port(bw, bw)
+    inst = MemoryInstance(
+        name,
+        bits,
+        ports,
+        double_buffered=double_buffered,
+        instances=instances,
+        read_energy_pj_per_bit=0.01,
+        write_energy_pj_per_bit=0.01,
+    )
+    return auto_allocate(inst, {operand})
+
+
+def random_accelerator(
+    rng: random.Random,
+    config: GeneratorConfig = GeneratorConfig(),
+) -> Tuple[Accelerator, Dict[LoopDim, int]]:
+    """One random machine plus its spatial unrolling.
+
+    Sampled axes: array width (with matching register replication),
+    register word sizes and bandwidths, double buffering per level, a
+    middle local-buffer level (absent / private W+I buffers / one buffer
+    shared by W and I), single-RW vs. dual ports, global-buffer
+    bandwidths, and the stall-overlap partition.
+    """
+    array = rng.choice((1, 1, 2, 4)) if config.allow_spatial else 1
+    spatial: Dict[LoopDim, int] = {LoopDim.K: array} if array > 1 else {}
+
+    reg_bits = rng.choice((8, 16, 32, 64))
+    reg_db = rng.random() < 0.4
+    if reg_db:
+        reg_bits = max(reg_bits, 16)
+    # Innermost ports must feed the MAC array at one element per cycle
+    # (8-bit W/I): the reference simulator does not execute compute-read
+    # streams, so slower-than-element innermost ports would put the model
+    # (which charges compute-edge contention, scenario 3) and the
+    # simulator in different physics. Every machine in the paper feeds
+    # its array at full rate from per-MAC registers.
+    reg_bw = float(rng.choice((8, 16)))
+    o_bits = rng.choice((24, 48, 96))
+    # Output registers drain accumulators; keep their port at least as wide
+    # as one element so generated machines stay in the regime the toy
+    # fixtures occupy (pathologically slow O-regs stall every period).
+    o_bw = float(max(reg_bw, o_bits))
+
+    w_reg = _reg_level(rng, "W-Reg", Operand.W, reg_bits, reg_bw, reg_db, array, config)
+    i_reg = _reg_level(rng, "I-Reg", Operand.I, reg_bits, reg_bw, reg_db, array, config)
+    o_reg = _reg_level(rng, "O-Reg", Operand.O, o_bits, o_bw, False, array, config)
+
+    chains: Dict[Operand, List[MemoryLevel]] = {
+        Operand.W: [w_reg],
+        Operand.I: [i_reg],
+        Operand.O: [o_reg],
+    }
+
+    shape = "flat"
+    if config.allow_middle_level and rng.random() < 0.5:
+        lb_bits = rng.choice((2, 4, 8)) * 1024 * 8
+        lb_db = rng.random() < 0.4
+        lb_bw = float(rng.choice((16, 32, 64)))
+        lb_single = config.allow_single_port and rng.random() < 0.3
+        lb_ports = single_rw_port(lb_bw) if lb_single else dual_port(lb_bw, lb_bw)
+        if config.allow_shared_lb and rng.random() < 0.5:
+            shape = "shared-lb"
+            lb = MemoryInstance(
+                "WI-LB", lb_bits, lb_ports, double_buffered=lb_db,
+                read_energy_pj_per_bit=0.02, write_energy_pj_per_bit=0.02,
+            )
+            lb_level = auto_allocate(lb, {Operand.W, Operand.I})
+            chains[Operand.W].append(lb_level)
+            chains[Operand.I].append(lb_level)
+        else:
+            shape = "split-lb"
+            for op, mname in ((Operand.W, "W-LB"), (Operand.I, "I-LB")):
+                lb = MemoryInstance(
+                    mname, lb_bits, lb_ports, double_buffered=lb_db,
+                    read_energy_pj_per_bit=0.02, write_energy_pj_per_bit=0.02,
+                )
+                chains[op].append(auto_allocate(lb, {op}))
+
+    gb_r = float(rng.choice((4, 16, 64, 128)))
+    gb_w = float(rng.choice((4, 16, 64, 128)))
+    gb_single = config.allow_single_port and rng.random() < 0.25
+    gb_ports = single_rw_port(max(gb_r, gb_w)) if gb_single else dual_port(gb_r, gb_w)
+    gb = MemoryInstance(
+        "GB", 64 * 1024 * 8, gb_ports,
+        read_energy_pj_per_bit=0.05, write_energy_pj_per_bit=0.05,
+    )
+    gb_level = auto_allocate(gb, set(Operand))
+    for op in Operand:
+        chains[op].append(gb_level)
+
+    hierarchy = MemoryHierarchy({op: tuple(lvls) for op, lvls in chains.items()})
+    names = sorted({lvl.name for lvls in chains.values() for lvl in lvls})
+    overlap = _random_overlap(rng, names, config)
+    return (
+        Accelerator(
+            name=f"gen-{shape}",
+            mac_array=MacArray(rows=1, cols=array, macs_per_pe=1, mac_energy_pj=0.1),
+            hierarchy=hierarchy,
+            stall_overlap=overlap,
+        ),
+        spatial,
+    )
+
+
+def _random_overlap(
+    rng: random.Random, names: List[str], config: GeneratorConfig
+) -> StallOverlapConfig:
+    if not config.allow_sequential_overlap:
+        return StallOverlapConfig.all_concurrent()
+    roll = rng.random()
+    if roll < 0.6:
+        return StallOverlapConfig.all_concurrent()
+    if roll < 0.8:
+        return StallOverlapConfig.all_sequential(names)
+    # Random partition into two groups (either may be empty → concurrent).
+    left = frozenset(n for n in names if rng.random() < 0.5)
+    right = frozenset(names) - left
+    groups = tuple(g for g in (left, right) if g)
+    if len(groups) < 2:
+        return StallOverlapConfig.all_concurrent()
+    return StallOverlapConfig(concurrent_groups=groups)
+
+
+# --------------------------------------------------------------------------- #
+# Layers
+
+
+_DIM_CHOICES = (1, 2, 3, 4, 6, 8, 12, 16, 24)
+
+
+def random_layer(
+    rng: random.Random,
+    config: GeneratorConfig = GeneratorConfig(),
+    name: Optional[str] = None,
+) -> LayerSpec:
+    """A small dense layer whose ideal cycle count stays bounded."""
+    bounds = [min(rng.choice(_DIM_CHOICES), config.max_dim) for _ in range(3)]
+    # Keep the temporal space small enough for millisecond simulations.
+    while bounds[0] * bounds[1] * bounds[2] > config.max_total_cycles:
+        bounds[bounds.index(max(bounds))] //= 2
+    b, k, c = (max(1, v) for v in bounds)
+    if b * k * c == 1:
+        k = 2
+    return dense_layer(b, k, c, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# Cases
+
+
+def _mapper_for(
+    accelerator: Accelerator,
+    spatial: Dict[LoopDim, int],
+    config: GeneratorConfig,
+    seed: int,
+) -> TemporalMapper:
+    return TemporalMapper(
+        accelerator,
+        spatial,
+        MapperConfig(
+            max_enumerated=config.mapper_enumerated,
+            samples=config.mapper_samples,
+            seed=seed,
+        ),
+    )
+
+
+def case_mappings(
+    accelerator: Accelerator,
+    spatial: Dict[LoopDim, int],
+    layer: LayerSpec,
+    config: GeneratorConfig = GeneratorConfig(),
+    limit: Optional[int] = None,
+    seed: int = 0,
+) -> List[Mapping]:
+    """The first ``limit`` valid mappings of ``layer`` on the machine.
+
+    Used both when sampling fresh cases and when the shrinker rebuilds a
+    mutated machine; the mapper guarantees allocation validity.
+    """
+    if limit is None:
+        limit = config.mappings_per_machine
+    mapper = _mapper_for(accelerator, spatial, config, seed)
+    out: List[Mapping] = []
+    for mapping in mapper.mappings(layer):
+        out.append(mapping)
+        if len(out) >= limit:
+            break
+    return out
+
+
+def generate_case(
+    seed: int, index: int, config: GeneratorConfig = GeneratorConfig()
+) -> List[Case]:
+    """All cases for one ``(seed, index)`` slot (deterministic).
+
+    One random machine and layer, mapped ``mappings_per_machine`` ways.
+    Resamples the layer a few times if the mapper finds nothing (tiny
+    registers can make even small layers unmappable at zero spatial
+    unrolling — rare but possible).
+    """
+    rng = random.Random(f"repro-verify/{seed}/{index}")
+    accelerator, spatial = random_accelerator(rng, config)
+    for attempt in range(8):
+        layer = random_layer(rng, config, name=f"L{seed}.{index}.{attempt}")
+        mappings = case_mappings(
+            accelerator, spatial, layer, config, seed=seed
+        )
+        if mappings:
+            return [
+                Case(
+                    accelerator=accelerator,
+                    spatial=tuple(sorted(spatial.items())),
+                    layer=layer,
+                    mapping=m,
+                    case_id=f"s{seed}i{index}m{j}",
+                )
+                for j, m in enumerate(mappings)
+            ]
+    return []
+
+
+def iter_cases(
+    seed: int, config: GeneratorConfig = GeneratorConfig()
+) -> Iterator[Case]:
+    """Endless deterministic case stream for ``seed``."""
+    index = 0
+    while True:
+        yield from generate_case(seed, index, config)
+        index += 1
+
+
+def sample_cases(
+    seed: int, count: int, config: GeneratorConfig = GeneratorConfig()
+) -> List[Case]:
+    """The first ``count`` cases of the seeded stream."""
+    out: List[Case] = []
+    for case in iter_cases(seed, config):
+        out.append(case)
+        if len(out) >= count:
+            break
+    return out

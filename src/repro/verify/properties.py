@@ -1,0 +1,451 @@
+"""Differential and metamorphic oracles over one verification case.
+
+Each property is a function ``(case, ctx) -> list[Violation]`` registered
+in :data:`PROPERTIES`. The oracles restate the paper's algebra as checks:
+
+``hard_lower_bounds``
+    Clamping invariants of Section III-D/E: ``SS_overall >= 0``,
+    ``CC >= CC_spatial >= CC_ideal``, non-negative preload/offload, and
+    the simulator's own ``total >= CC_spatial``.
+``model_tracks_simulator``
+    The differential oracle — analytical ``CC`` within a tolerance band
+    of the cycle simulator's measured ``CC`` (Section IV's validation).
+``reqbw_algebra``
+    Table I per-DTL identities: ``ReqBW_u = Mem_DATA / X_REQ``,
+    ``MUW_u = X_REQ * Z``, ``SS_u = (X_REAL - X_REQ) * Z``, the
+    double-buffered keep-out exemption (``X_REQ = Mem_CC``), and
+    ``X_REQ <= Mem_CC``.
+``stall_combination``
+    Eq. (1)/(2) laws per physical port: positive per-DTL stalls are never
+    cancelled by other DTLs' slack, the combined window never exceeds the
+    horizon or the summed per-DTL windows, and the refined rule never
+    undercuts the printed equations.
+``integration_consistency``
+    Step 3 bookkeeping: ``SS_overall`` equals the sum of the per-group
+    contributions, each clamped at zero.
+``bandwidth_monotonicity``
+    Metamorphic: doubling every port bandwidth of any one memory never
+    increases any ``SS_u``, ``SS_overall`` or total latency.
+``serde_roundtrip``
+    The accelerator survives a serde round trip with an identical
+    fingerprint and an identical latency report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import LatencyModel
+from repro.core.report import LatencyReport
+from repro.core.step2 import combine_port
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.serde import accelerator_from_dict, accelerator_to_dict
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.result import SimulationResult, within_band
+from repro.verify.generators import Case
+
+_EPS = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class Tolerance:
+    """Numeric slack for the differential and algebraic oracles.
+
+    ``rel_band`` / ``abs_band`` bound the model-vs-simulator ratio the
+    same way the legacy random-machine test did: the generated space
+    includes port-sharing corners where the analytical combination is a
+    deliberate over- or under-approximation, so the differential oracle
+    is a band, not an equality. The algebraic oracles use ``eps`` only.
+    """
+
+    rel_band: float = 2.5
+    abs_band: float = 16.0
+    eps: float = _EPS
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One failed property on one case."""
+
+    prop: str
+    case_id: str
+    message: str
+    details: Tuple[Tuple[str, float], ...] = ()
+
+    def describe(self) -> str:
+        detail = ", ".join(f"{k}={v:g}" for k, v in self.details)
+        return f"[{self.prop}] {self.case_id}: {self.message}" + (
+            f" ({detail})" if detail else ""
+        )
+
+
+class CaseContext:
+    """Lazily-shared expensive evaluations of one case.
+
+    The model report and the simulation are computed at most once per case
+    however many properties consume them; simulator failures surface as
+    violations (a generated case must be executable by construction).
+    """
+
+    def __init__(self, case: Case, max_events: int = 2_000_000) -> None:
+        self.case = case
+        self.max_events = max_events
+        self._report: Optional[LatencyReport] = None
+        self._sim: Optional[SimulationResult] = None
+        self._sim_error: Optional[str] = None
+
+    @property
+    def report(self) -> LatencyReport:
+        if self._report is None:
+            model = LatencyModel(self.case.accelerator)
+            self._report = model.evaluate(self.case.mapping, validate=False)
+        return self._report
+
+    def simulation(self) -> Tuple[Optional[SimulationResult], Optional[str]]:
+        if self._sim is None and self._sim_error is None:
+            try:
+                self._sim = CycleSimulator(
+                    self.case.accelerator, self.case.mapping,
+                    max_events=self.max_events,
+                ).run()
+            except RuntimeError as exc:  # deadlock / event explosion
+                self._sim_error = str(exc)
+        return self._sim, self._sim_error
+
+
+PropertyFn = Callable[[Case, CaseContext, Tolerance], List[Violation]]
+
+
+def _violation(
+    prop: str, case: Case, message: str, **details: float
+) -> Violation:
+    return Violation(
+        prop=prop,
+        case_id=case.case_id,
+        message=message,
+        details=tuple(sorted(details.items())),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Properties
+
+
+def hard_lower_bounds(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """Clamps and orderings that must hold exactly (Section III-D/E)."""
+    out: List[Violation] = []
+    r = ctx.report
+    eps = tol.eps
+    if r.ss_overall < -eps:
+        out.append(_violation(
+            "hard_lower_bounds", case,
+            "SS_overall must be clamped at zero", ss_overall=r.ss_overall,
+        ))
+    if r.cc_spatial < r.cc_ideal - eps:
+        out.append(_violation(
+            "hard_lower_bounds", case,
+            "CC_spatial below CC_ideal",
+            cc_spatial=float(r.cc_spatial), cc_ideal=r.cc_ideal,
+        ))
+    if r.total_cycles < r.cc_spatial - eps:
+        out.append(_violation(
+            "hard_lower_bounds", case,
+            "model total below CC_spatial",
+            total=r.total_cycles, cc_spatial=float(r.cc_spatial),
+        ))
+    if r.preload < -eps or r.offload < -eps:
+        out.append(_violation(
+            "hard_lower_bounds", case,
+            "negative preload/offload", preload=r.preload, offload=r.offload,
+        ))
+    sim, err = ctx.simulation()
+    if sim is not None and sim.total_cycles < r.cc_spatial - 1e-6:
+        out.append(_violation(
+            "hard_lower_bounds", case,
+            "simulator finished below CC_spatial (lowering bug)",
+            sim_total=sim.total_cycles, cc_spatial=float(r.cc_spatial),
+        ))
+    return out
+
+
+def model_tracks_simulator(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """Differential oracle: analytical CC within the band of measured CC."""
+    sim, err = ctx.simulation()
+    if sim is None:
+        return [_violation(
+            "model_tracks_simulator", case, f"simulator failed: {err}",
+        )]
+    model_cc = ctx.report.total_cycles
+    if not within_band(model_cc, sim.total_cycles, tol.rel_band, tol.abs_band):
+        return [_violation(
+            "model_tracks_simulator", case,
+            "model CC outside the simulator tolerance band",
+            model=model_cc, sim=sim.total_cycles,
+            ratio=model_cc / max(sim.total_cycles, 1.0),
+        )]
+    return []
+
+
+def reqbw_algebra(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """Table I identities on every DTL of the case."""
+    out: List[Violation] = []
+    eps = tol.eps
+    acc = case.accelerator
+    for dtl in ctx.report.dtls:
+        t = dtl.transfer
+        where = f"{dtl.memory}.{dtl.port}[{t.operand}-{t.kind.value}]"
+        if t.x_req > t.period + eps:
+            out.append(_violation(
+                "reqbw_algebra", case,
+                f"{where}: X_REQ exceeds the period",
+                x_req=t.x_req, period=t.period,
+            ))
+        if t.x_req > 0 and abs(t.req_bw * t.x_req - t.data_bits) > eps * max(
+            1.0, t.data_bits
+        ):
+            out.append(_violation(
+                "reqbw_algebra", case,
+                f"{where}: ReqBW_u * X_REQ != Mem_DATA",
+                req_bw=t.req_bw, x_req=t.x_req, data_bits=t.data_bits,
+            ))
+        if abs(dtl.muw_u - t.x_req * t.repeats) > eps * max(1.0, dtl.muw_u):
+            out.append(_violation(
+                "reqbw_algebra", case,
+                f"{where}: MUW_u != X_REQ * Z",
+                muw_u=dtl.muw_u, x_req=t.x_req, repeats=float(t.repeats),
+            ))
+        expect_ss = (dtl.x_real - t.x_req) * t.repeats
+        if abs(dtl.ss_u - expect_ss) > eps * max(1.0, abs(expect_ss)):
+            out.append(_violation(
+                "reqbw_algebra", case,
+                f"{where}: SS_u != (X_REAL - X_REQ) * Z",
+                ss_u=dtl.ss_u, expect=expect_ss,
+            ))
+        served = acc.memory_by_name(t.served_memory)
+        if served.instance.double_buffered and abs(t.x_req - t.period) > eps:
+            out.append(_violation(
+                "reqbw_algebra", case,
+                f"{where}: double-buffered memory must have X_REQ = Mem_CC",
+                x_req=t.x_req, period=t.period,
+            ))
+    return out
+
+
+def stall_combination(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """Eq. (1)/(2) laws on every physical-port combination."""
+    out: List[Violation] = []
+    eps = tol.eps
+    horizon = float(case.mapping.temporal.total_cycles)
+    for key, comb in ctx.report.port_combinations.items():
+        where = f"{comb.memory}.{comb.port}"
+        positives = [d.ss_u for d in comb.dtls if d.ss_u > 0]
+        # Positive stalls pass through undiminished (Eq. (2)): slack from
+        # other DTLs must never cancel a DTL's own stall. (With no positive
+        # DTL, Eq. (1) applies and a negative SS_comb — net slack — is fine.)
+        if positives:
+            positive = sum(positives)
+            if comb.ss_comb < positive - eps * max(1.0, positive):
+                out.append(_violation(
+                    "stall_combination", case,
+                    f"{where}: positive SS_u cancelled by slack (Eq. 2)",
+                    ss_comb=comb.ss_comb, positive=positive,
+                ))
+        # MUW_comb is a union of windows clipped to the horizon. (It may
+        # exceed the summed per-DTL windows: the hyperperiod fast path
+        # extrapolates short streams across the horizon by design.)
+        if comb.muw_comb > horizon + eps * max(1.0, horizon):
+            out.append(_violation(
+                "stall_combination", case,
+                f"{where}: MUW_comb exceeds the horizon",
+                muw_comb=comb.muw_comb, horizon=horizon,
+            ))
+        if comb.muw_comb < -eps:
+            out.append(_violation(
+                "stall_combination", case,
+                f"{where}: negative MUW_comb", muw_comb=comb.muw_comb,
+            ))
+        # The refined rule must dominate the printed equations.
+        paper = combine_port(
+            comb.memory, comb.port, comb.dtls, horizon, rule="paper"
+        )
+        if comb.ss_comb < paper.ss_comb - eps * max(1.0, abs(paper.ss_comb)):
+            out.append(_violation(
+                "stall_combination", case,
+                f"{where}: refined SS_comb undercuts the paper equations",
+                refined=comb.ss_comb, paper=paper.ss_comb,
+            ))
+        # Aggregate busy-time bound: the port needs sum(X_REAL * Z) cycles
+        # but only MUW_comb window cycles exist.
+        busy = sum(d.muw_u + d.ss_u for d in comb.dtls)
+        if comb.ss_comb < busy - comb.muw_comb - eps * max(1.0, abs(busy)):
+            out.append(_violation(
+                "stall_combination", case,
+                f"{where}: SS_comb below the aggregate busy deficit",
+                ss_comb=comb.ss_comb, busy=busy, muw_comb=comb.muw_comb,
+            ))
+    return out
+
+
+def integration_consistency(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """Step-3 bookkeeping: clamped group sums add up to SS_overall."""
+    out: List[Violation] = []
+    integ = ctx.report.integration
+    if integ is None:
+        return out
+    eps = tol.eps
+    total = 0.0
+    for gid, ss in integ.group_stalls:
+        if ss < -eps:
+            out.append(_violation(
+                "integration_consistency", case,
+                f"group {gid} contribution not clamped at zero", group_ss=ss,
+            ))
+        total += max(0.0, ss)
+    if abs(integ.ss_overall - total) > eps * max(1.0, total):
+        out.append(_violation(
+            "integration_consistency", case,
+            "SS_overall != sum of clamped group stalls",
+            ss_overall=integ.ss_overall, group_sum=total,
+        ))
+    served_max = max((s.ss for s in ctx.report.served_stalls), default=0.0)
+    if integ.ss_overall < min(served_max, max(
+        (ss for __, ss in integ.group_stalls), default=0.0
+    )) - eps:
+        out.append(_violation(
+            "integration_consistency", case,
+            "SS_overall below its own largest group",
+            ss_overall=integ.ss_overall, served_max=served_max,
+        ))
+    return out
+
+
+def _scale_ports(accelerator: Accelerator, memory_name: str, factor: float) -> Accelerator:
+    """Copy with every port of ``memory_name`` scaled by ``factor``."""
+    from repro.core.sensitivity import swap_level
+
+    level = accelerator.memory_by_name(memory_name)
+    inst = level.instance
+    ports = tuple(
+        dataclasses.replace(p, bandwidth=p.bandwidth * factor)
+        for p in inst.ports
+    )
+    new_level = dataclasses.replace(
+        level, instance=dataclasses.replace(inst, ports=ports)
+    )
+    return swap_level(accelerator, level, new_level)
+
+
+def bandwidth_monotonicity(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """Doubling one memory's port bandwidth never increases any stall.
+
+    Per-DTL this is a theorem of Table I (``X_REAL`` strictly shrinks, so
+    ``SS_u`` cannot grow); end to end it additionally exercises the
+    refined Eq. (2) busy-time bound, without which a DTL crossing from
+    stall to slack can make the *printed* combination non-monotone.
+    """
+    out: List[Violation] = []
+    eps = tol.eps
+    base = ctx.report
+
+    def dtl_key(d):
+        t = d.transfer
+        return (d.memory, d.port, d.endpoint.value, str(t.operand),
+                t.kind.value, t.served_memory, t.served_level)
+
+    base_ss = {dtl_key(d): d.ss_u for d in base.dtls}
+    for name in case.accelerator.memory_names():
+        boosted = _scale_ports(case.accelerator, name, 2.0)
+        faster = LatencyModel(boosted).evaluate(case.mapping, validate=False)
+        scale = max(1.0, base.total_cycles)
+        if faster.ss_overall > base.ss_overall + eps * scale:
+            out.append(_violation(
+                "bandwidth_monotonicity", case,
+                f"doubling {name} bandwidth raised SS_overall",
+                before=base.ss_overall, after=faster.ss_overall,
+            ))
+        if faster.total_cycles > base.total_cycles + eps * scale:
+            out.append(_violation(
+                "bandwidth_monotonicity", case,
+                f"doubling {name} bandwidth raised total latency",
+                before=base.total_cycles, after=faster.total_cycles,
+            ))
+        for d in faster.dtls:
+            before = base_ss.get(dtl_key(d))
+            if before is not None and d.ss_u > before + eps * max(1.0, abs(before)):
+                out.append(_violation(
+                    "bandwidth_monotonicity", case,
+                    f"doubling {name} bandwidth raised SS_u of "
+                    f"{d.memory}.{d.port}",
+                    before=before, after=d.ss_u,
+                ))
+    return out
+
+
+def serde_roundtrip(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """Serde round trip preserves the fingerprint and the evaluation."""
+    out: List[Violation] = []
+    acc = case.accelerator
+    restored = accelerator_from_dict(accelerator_to_dict(acc))
+    if restored.fingerprint() != acc.fingerprint():
+        out.append(_violation(
+            "serde_roundtrip", case,
+            "accelerator fingerprint changed across serde round trip",
+        ))
+        return out
+    again = LatencyModel(restored).evaluate(case.mapping, validate=False)
+    if abs(again.total_cycles - ctx.report.total_cycles) > tol.eps * max(
+        1.0, ctx.report.total_cycles
+    ):
+        out.append(_violation(
+            "serde_roundtrip", case,
+            "latency changed across serde round trip",
+            before=ctx.report.total_cycles, after=again.total_cycles,
+        ))
+    return out
+
+
+PROPERTIES: Dict[str, PropertyFn] = {
+    "hard_lower_bounds": hard_lower_bounds,
+    "model_tracks_simulator": model_tracks_simulator,
+    "reqbw_algebra": reqbw_algebra,
+    "stall_combination": stall_combination,
+    "integration_consistency": integration_consistency,
+    "bandwidth_monotonicity": bandwidth_monotonicity,
+    "serde_roundtrip": serde_roundtrip,
+}
+
+
+def check_case(
+    case: Case,
+    properties: Optional[Sequence[str]] = None,
+    tolerance: Tolerance = Tolerance(),
+) -> List[Violation]:
+    """Run (a subset of) the property suite on one case."""
+    names = list(properties) if properties is not None else list(PROPERTIES)
+    ctx = CaseContext(case)
+    out: List[Violation] = []
+    for name in names:
+        try:
+            out.extend(PROPERTIES[name](case, ctx, tolerance))
+        except Exception as exc:  # evaluation itself blew up: hard violation
+            out.append(Violation(
+                prop=name,
+                case_id=case.case_id,
+                message=f"property crashed: {type(exc).__name__}: {exc}",
+            ))
+    return out

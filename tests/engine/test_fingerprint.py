@@ -130,3 +130,35 @@ def test_set_order_is_canonicalized():
 def test_fingerprint_is_memoized(preset):
     acc = preset.accelerator
     assert acc.fingerprint() is acc.fingerprint()
+
+
+# --------------------------------------------------------------------- #
+# Property tests over generated machines (repro.verify.generators)
+# --------------------------------------------------------------------- #
+
+GENERATED = __import__(
+    "repro.verify.generators", fromlist=["sample_cases"]
+).sample_cases(seed=91, count=15)
+
+
+@pytest.mark.parametrize("case", GENERATED, ids=lambda c: c.case_id)
+def test_generated_accelerator_survives_serde_with_same_fingerprint(case):
+    from repro.hardware.serde import accelerator_from_dict, accelerator_to_dict
+
+    restored = accelerator_from_dict(accelerator_to_dict(case.accelerator))
+    assert restored.fingerprint() == case.accelerator.fingerprint()
+
+
+@pytest.mark.parametrize("case", GENERATED, ids=lambda c: c.case_id)
+def test_layer_display_name_never_changes_mapping_fingerprint(case):
+    """Cache keys must not depend on the human-facing layer label."""
+    renamed = dataclasses.replace(case.layer, name="renamed-for-display")
+    remapped = dataclasses.replace(case.mapping, layer=renamed)
+    assert remapped.fingerprint() == case.mapping.fingerprint()
+
+
+def test_generated_population_hashes_apart():
+    fps = {c.accelerator.fingerprint() for c in GENERATED}
+    # 15 random machines collapse to far fewer than 15 distinct designs
+    # only if the fingerprint ignores sampled axes.
+    assert len(fps) >= 8

@@ -1,0 +1,40 @@
+"""Shared fixtures for the verification-subsystem tests."""
+
+import pytest
+
+from repro.core.step3 import StallIntegration
+from repro.hardware.accelerator import StallOverlapConfig
+
+
+def clampless_integrate(served, overlap=StallOverlapConfig.all_concurrent()):
+    """``integrate_stalls`` with every zero-clamp removed — the planted bug.
+
+    Group slack cancels other groups' stalls and ``SS_overall`` can go
+    negative; the property suite must catch this and the shrinker must
+    reduce whatever case exposes it to a hand-checkable machine.
+    """
+    groups = {}
+    for stall in served:
+        groups.setdefault(overlap.group_of(stall.memory), []).append(stall)
+    group_stalls = []
+    dominant = []
+    total = 0.0
+    for gid in sorted(groups):
+        worst = max(groups[gid], key=lambda s: s.ss)
+        group_stalls.append((gid, worst.ss))
+        total += worst.ss
+        if worst.ss > 0:
+            dominant.append(worst)
+    return StallIntegration(
+        ss_overall=total,
+        group_stalls=tuple(group_stalls),
+        dominant=tuple(sorted(dominant, key=lambda s: -s.ss)),
+    )
+
+
+@pytest.fixture
+def planted_clamp_bug(monkeypatch):
+    """Swap the buggy Step-3 integration into the latency model."""
+    import repro.core.model as model_mod
+
+    monkeypatch.setattr(model_mod, "integrate_stalls", clampless_integrate)

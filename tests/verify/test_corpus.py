@@ -1,0 +1,75 @@
+"""Corpus serialization: serde round trip plus fingerprint drift detection."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.model import LatencyModel
+from repro.hardware.serde import SerdeError
+from repro.verify.corpus import (
+    case_from_dict,
+    case_to_dict,
+    load_corpus,
+    save_case,
+)
+from repro.verify.generators import sample_cases
+from repro.verify.properties import check_case
+
+COMMITTED_CORPUS = pathlib.Path(__file__).parent / "corpus"
+
+
+def test_case_roundtrip(tmp_path):
+    case = sample_cases(seed=3, count=1)[0]
+    path = save_case(
+        case, tmp_path,
+        comment="roundtrip test",
+        properties=("model_tracks_simulator",),
+    )
+    loaded = load_corpus(tmp_path)
+    assert len(loaded) == 1
+    entry = loaded[0]
+    assert entry.path == path
+    assert entry.comment == "roundtrip test"
+    assert entry.properties == ("model_tracks_simulator",)
+    assert entry.case.case_id == case.case_id
+    assert entry.case.accelerator.fingerprint() == case.accelerator.fingerprint()
+    assert entry.case.mapping.fingerprint() == case.mapping.fingerprint()
+    before = LatencyModel(case.accelerator).evaluate(
+        case.mapping, validate=False
+    )
+    after = LatencyModel(entry.case.accelerator).evaluate(
+        entry.case.mapping, validate=False
+    )
+    assert before.total_cycles == after.total_cycles
+
+
+def test_fingerprint_drift_is_rejected(tmp_path):
+    case = sample_cases(seed=3, count=1)[0]
+    path = save_case(case, tmp_path, comment="drift test")
+    data = json.loads(path.read_text())
+    data["fingerprints"]["accelerator"] = "0" * 64
+    with pytest.raises(SerdeError, match="drifted"):
+        case_from_dict(data, path=path)
+
+
+def test_unsupported_schema_is_rejected():
+    case = sample_cases(seed=3, count=1)[0]
+    data = case_to_dict(case)
+    data["schema"] = 99
+    with pytest.raises(SerdeError, match="schema"):
+        case_from_dict(data)
+
+
+def test_load_corpus_of_missing_directory_is_empty(tmp_path):
+    assert load_corpus(tmp_path / "nope") == []
+
+
+def test_committed_corpus_replays_clean():
+    entries = load_corpus(COMMITTED_CORPUS)
+    assert entries, "the committed corpus must not be empty"
+    for entry in entries:
+        # Every sentinel documents why it is interesting...
+        assert entry.comment, entry.path
+        # ...and passes the suite at the production tolerance.
+        assert not check_case(entry.case), entry.path

@@ -1,0 +1,71 @@
+"""Generator validity: every sampled case is evaluable and deterministic."""
+
+import random
+
+from repro.core.model import LatencyModel
+from repro.simulator.engine import CycleSimulator
+from repro.verify.generators import (
+    GeneratorConfig,
+    random_accelerator,
+    random_layer,
+    sample_cases,
+)
+
+
+def test_sampling_is_deterministic():
+    first = sample_cases(seed=5, count=12)
+    second = sample_cases(seed=5, count=12)
+    assert [c.case_id for c in first] == [c.case_id for c in second]
+    assert [c.accelerator.fingerprint() for c in first] == [
+        c.accelerator.fingerprint() for c in second
+    ]
+    assert [c.mapping.fingerprint() for c in first] == [
+        c.mapping.fingerprint() for c in second
+    ]
+
+
+def test_different_seeds_produce_different_machines():
+    a = sample_cases(seed=5, count=8)
+    b = sample_cases(seed=6, count=8)
+    assert [c.accelerator.fingerprint() for c in a] != [
+        c.accelerator.fingerprint() for c in b
+    ]
+
+
+def test_every_case_evaluates_on_model_and_simulator():
+    for case in sample_cases(seed=11, count=30):
+        report = LatencyModel(case.accelerator).evaluate(
+            case.mapping, validate=False
+        )
+        assert report.total_cycles >= case.mapping.spatial_cycles - 1e-6
+        sim = CycleSimulator(case.accelerator, case.mapping).run()
+        assert sim.total_cycles > 0
+
+
+def test_layer_bounds_stay_in_simulation_budget():
+    config = GeneratorConfig()
+    rng = random.Random("layers")
+    for _ in range(50):
+        layer = random_layer(rng, config)
+        total = 1
+        for size in layer.dims.values():
+            total *= size
+        assert 1 < total <= config.max_total_cycles
+
+
+def test_config_gates_restrict_the_space():
+    config = GeneratorConfig(
+        allow_spatial=False,
+        allow_middle_level=False,
+        allow_single_port=False,
+        allow_sequential_overlap=False,
+    )
+    for i in range(20):
+        rng = random.Random(f"gate/{i}")
+        acc, spatial = random_accelerator(rng, config)
+        assert spatial == {}
+        assert acc.mac_array.cols == 1
+        assert len(acc.hierarchy.unique_levels()) == 4  # 3 regs + GB
+        assert not acc.stall_overlap.concurrent_groups
+        for lvl in acc.hierarchy.unique_levels():
+            assert len(lvl.instance.ports) == 2

@@ -1,0 +1,54 @@
+"""Shrinker: deterministic minimal counterexamples on a planted bug."""
+
+import pytest
+
+from repro.verify.generators import iter_cases
+from repro.verify.properties import check_case
+from repro.verify.shrink import case_size, shrink_case, shrink_report
+from repro.workload.operand import Operand
+
+
+def _first_failure(budget=40):
+    for case in iter_cases(0):
+        violations = check_case(case)
+        if violations:
+            return case, violations
+        budget -= 1
+        if budget <= 0:
+            pytest.fail("planted bug not caught within the case budget")
+
+
+def test_planted_clamp_bug_is_caught_and_shrunk(planted_clamp_bug):
+    case, violations = _first_failure()
+    failing = tuple(sorted({v.prop for v in violations}))
+    assert "hard_lower_bounds" in failing
+    shrunk = shrink_case(case, failing)
+    assert case_size(shrunk) <= case_size(case)
+    # Acceptance floor: the counterexample must be hand-checkable —
+    # at most two memory levels per operand chain and four loops.
+    depth = max(
+        len(shrunk.accelerator.hierarchy.levels(op)) for op in Operand
+    )
+    assert depth <= 2
+    assert len(shrunk.mapping.temporal.loops) <= 4
+    # It must still exhibit (at least one of) the original violations.
+    assert check_case(shrunk, properties=failing)
+    report = shrink_report(case, shrunk, list(failing))
+    assert "violated:" in report and "~shrunk" in report
+
+
+def test_shrinking_is_deterministic(planted_clamp_bug):
+    case, violations = _first_failure()
+    failing = tuple(sorted({v.prop for v in violations}))
+    one = shrink_case(case, failing)
+    two = shrink_case(case, failing)
+    assert one.case_id == two.case_id
+    assert one.accelerator.fingerprint() == two.accelerator.fingerprint()
+    assert one.mapping.fingerprint() == two.mapping.fingerprint()
+
+
+def test_clean_model_yields_no_failures():
+    """Without the planted bug the same stream passes the full suite."""
+    for case in iter_cases(0):
+        assert not check_case(case)
+        break
