@@ -12,6 +12,7 @@ which is an upper bound on a pipelined deployment.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.report import LatencyReport
@@ -20,7 +21,9 @@ from repro.energy.energy_model import EnergyReport
 from repro.engine import EvaluationEngine
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import Mapping, MappingError
+from repro.observability.ledger import current_ledger, record_interruption
 from repro.observability.metrics import current_metrics
+from repro.observability.progress import current_emitter
 from repro.observability.tracer import current_tracer
 from repro.workload.im2col import im2col
 from repro.workload.layer import LayerSpec
@@ -135,9 +138,25 @@ class NetworkEvaluator:
         self.apply_im2col = apply_im2col
 
     def evaluate(self, layers: Sequence[LayerSpec]) -> NetworkResult:
-        """Evaluate ``layers`` back to back."""
+        """Evaluate ``layers`` back to back.
+
+        With an ambient progress emitter the network is a
+        ``unit="layers"`` run — one chunk event per layer (nested mapper
+        runs handle per-evaluation granularity) — and a Ctrl-C between
+        layers leaves a ``kind="interrupted"`` ledger row naming how
+        many layers completed.
+        """
         tracer = current_tracer()
         metrics = current_metrics()
+        emitter = current_emitter()
+        run = None
+        if emitter.enabled:
+            run = emitter.start_run(
+                "network.evaluate",
+                total_units=len(layers),
+                unit="layers",
+                accelerator=self.preset.accelerator.name,
+            )
         with tracer.span(
             "network.evaluate",
             accelerator=self.preset.accelerator.name,
@@ -145,38 +164,69 @@ class NetworkEvaluator:
         ) as span:
             results: List[LayerResult] = []
             skipped: List[str] = []
-            for layer in layers:
-                lowered = im2col(layer) if self.apply_im2col else layer
-                with tracer.span(
-                    "network.layer", layer=layer.name or str(layer.layer_type)
-                ) as layer_span:
-                    metrics.counter(
-                        "repro_network_layers_total",
-                        "Network layers submitted for evaluation.",
-                    ).inc()
-                    try:
-                        best = self.mapper.best_mapping(lowered)
-                    except MappingError:
-                        skipped.append(layer.name or str(layer.layer_type))
-                        layer_span.set("mappable", False)
-                        continue
-                    energy = (
-                        self.engine.evaluate_energy(best.mapping)
-                        if self.with_energy
-                        else None
-                    )
-                    if tracer.enabled:
-                        layer_span.set_many(
-                            mappable=True,
-                            cycles=best.report.total_cycles,
-                            utilization=best.report.utilization,
+            try:
+                for index, layer in enumerate(layers):
+                    lowered = im2col(layer) if self.apply_im2col else layer
+                    layer_t0 = time.perf_counter()
+                    with tracer.span(
+                        "network.layer", layer=layer.name or str(layer.layer_type)
+                    ) as layer_span:
+                        metrics.counter(
+                            "repro_network_layers_total",
+                            "Network layers submitted for evaluation.",
+                        ).inc()
+                        try:
+                            best = self.mapper.best_mapping(lowered)
+                        except MappingError:
+                            skipped.append(layer.name or str(layer.layer_type))
+                            layer_span.set("mappable", False)
+                            if run is not None:
+                                run.advance(
+                                    1, errors=1,
+                                    wall_s=time.perf_counter() - layer_t0,
+                                    index=index,
+                                    note=layer.name or str(layer.layer_type),
+                                )
+                            continue
+                        energy = (
+                            self.engine.evaluate_energy(best.mapping)
+                            if self.with_energy
+                            else None
                         )
-                    results.append(
-                        LayerResult(
-                            layer=lowered, mapping=best.mapping,
-                            report=best.report, energy=energy,
+                        if tracer.enabled:
+                            layer_span.set_many(
+                                mappable=True,
+                                cycles=best.report.total_cycles,
+                                utilization=best.report.utilization,
+                            )
+                        results.append(
+                            LayerResult(
+                                layer=lowered, mapping=best.mapping,
+                                report=best.report, energy=energy,
+                            )
                         )
-                    )
+                        if run is not None:
+                            run.advance(
+                                1,
+                                wall_s=time.perf_counter() - layer_t0,
+                                index=index,
+                                note=layer.name or str(layer.layer_type),
+                            )
+            except KeyboardInterrupt:
+                ledger = current_ledger()
+                if ledger.enabled:
+                    ledger.append(record_interruption(
+                        flow="network.evaluate",
+                        done_units=len(results) + len(skipped),
+                        total_units=len(layers),
+                        unit="layers",
+                        reason="KeyboardInterrupt",
+                    ))
+                if run is not None:
+                    run.interrupt("KeyboardInterrupt")
+                raise
+            if run is not None:
+                run.finish()
             result = NetworkResult(
                 accelerator_name=self.preset.accelerator.name,
                 layers=tuple(results),

@@ -33,19 +33,25 @@ from repro.dse.mapper import MapperConfig, TemporalMapper
 from repro.engine import EvaluationEngine
 from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
 from repro.observability import (
+    JsonlSink,
     MetricsRegistry,
+    MetricsSubscriber,
+    NULL_EMITTER,
     NULL_LEDGER,
     NULL_METRICS,
     NULL_TRACER,
+    ProgressEmitter,
     RunLedger,
     Tracer,
     current_ledger,
     current_metrics,
+    use_emitter,
     use_ledger,
     use_metrics,
     use_tracer,
     write_chrome_trace,
 )
+from repro.observability.progress import console_subscriber
 from repro.simulator.engine import CycleSimulator
 from repro.simulator.result import accuracy
 from repro.workload.generator import dense_layer
@@ -339,7 +345,6 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         corpus_dir=pathlib.Path(args.corpus) if args.corpus else None,
         corpus_only=args.corpus_only,
         shrink=not args.no_shrink,
-        progress=print,
     )
     total = len(summary.violations) + len(summary.corpus_violations)
     print(
@@ -360,6 +365,77 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print()
         print(failure.describe())
     return 1
+
+
+def _cmd_arch_search(args: argparse.Namespace) -> int:
+    """Case-study-3 sweep from the command line (the long-running flow
+    the live event stream exists for — pair with ``--events`` + ``top``)."""
+    from repro.dse.arch_search import ArchSearch, ArchSearchConfig
+    from repro.dse.mapper import MapperConfig as _MC
+    from repro.hardware.pool import MemoryPool
+    from repro.hardware.presets import array_scales
+
+    scales = array_scales()
+    if args.arrays:
+        wanted = [a.strip() for a in args.arrays.split(",")]
+        unknown = [a for a in wanted if a not in scales]
+        if unknown:
+            print(
+                f"arch-search: unknown array label(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(scales)})",
+                file=sys.stderr,
+            )
+            return 2
+        scales = {label: scales[label] for label in wanted}
+    pool = MemoryPool() if args.full_pool else MemoryPool.small()
+    config = ArchSearchConfig(
+        array_scales=scales,
+        pool=pool,
+        gb_bandwidths=tuple(float(b) for b in args.gb_bandwidths.split(",")),
+        mapper_config=_MC(
+            max_enumerated=args.enumerate, samples=args.samples, keep_top=1
+        ),
+    )
+    search = ArchSearch(config)
+    if args.workers:
+        # Seed the engine lineage from the first design point so the
+        # whole sweep shares one process pool (derive() keeps it).
+        first = next(search.design_points(), None)
+        if first is not None:
+            search.engine = EvaluationEngine.from_preset(
+                first[3], config.mapper_config.model_options,
+                workers=args.workers,
+            )
+    print(f"arch-search: {search.space_size()} design point(s) "
+          f"({len(scales)} array(s) x {len(pool)} memory config(s) x "
+          f"{len(config.gb_bandwidths)} bandwidth(s))")
+    points = search.evaluate(args.layer)
+    print(f"mappable: {len(points)} point(s)")
+    for label, best in sorted(ArchSearch.best_per_array(points).items()):
+        print(f"  {label:8s} best {best.latency:12.0f} cc "
+              f"@ {best.area_mm2:7.3f} mm^2  ({best.accelerator_name})")
+    front = ArchSearch.front(points)
+    front.sort(key=lambda p: p.area_mm2)
+    print(f"pareto front: {len(front)} point(s)")
+    for p in front[: args.top]:
+        print(f"  {p.array_label:6s} {p.candidate.label():32s} "
+              f"{p.area_mm2:7.3f} mm^2 -> {p.latency:9.0f} cc")
+    if search.engine is None:
+        return 0
+    return _finish(search.engine, args)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render the live dashboard from an events.jsonl recording."""
+    from repro.observability.top import run_top
+
+    return run_top(
+        args.events_file,
+        follow=args.follow,
+        plain=not args.live,
+        poll_s=args.interval,
+        max_polls=args.max_polls,
+    )
 
 
 def _cmd_export_arch(args: argparse.Namespace) -> int:
@@ -412,6 +488,12 @@ def _common_options() -> argparse.ArgumentParser:
                           "persistent SQLite run ledger (created/migrated "
                           "on first use; diff snapshots with "
                           "'repro-latency diff')")
+    obs.add_argument("--events", default=None, metavar="FILE",
+                     help="stream typed progress events (run lifecycle, "
+                          "per-chunk throughput/ETA, worker heartbeats, "
+                          "best-so-far, cache stats) to this JSONL file; "
+                          "watch it live with 'repro-latency top FILE "
+                          "--follow'")
     return common
 
 
@@ -433,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("sensitivity", _cmd_sensitivity, True),
         ("report", _cmd_report, True),
         ("advise", _cmd_advise, True),
+        ("arch-search", _cmd_arch_search, True),
         ("export-arch", _cmd_export_arch, False),
     ):
         p = sub.add_parser(name, parents=[common])
@@ -460,6 +543,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "trajectory) instead of markdown")
             p.add_argument("--with-simulator", action="store_true",
                            help="include a simulator cross-check section")
+        if name == "arch-search":
+            p.add_argument("--arrays", default=None,
+                           help="comma-separated MAC-array labels to sweep "
+                                "(default: all preset scales)")
+            p.add_argument("--gb-bandwidths", default="128",
+                           help="comma-separated GB bandwidths in bits/cycle")
+            p.add_argument("--full-pool", action="store_true",
+                           help="sweep the full memory pool instead of the "
+                                "reduced smoke pool")
         if name == "export-arch":
             p.add_argument("--out", required=True, help="output JSON path")
 
@@ -494,6 +586,28 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--artifacts", default=None, metavar="DIR",
                         help="write shrunk counterexamples (corpus-ready "
                              "JSON + text report) into this directory")
+    verify.add_argument("--events", default=None, metavar="FILE",
+                        help="stream progress events of the run to this "
+                             "JSONL file (same stream as the search flows)")
+
+    top = sub.add_parser(
+        "top",
+        help="terminal dashboard over a progress-event recording: per-run "
+             "throughput/ETA, worker liveness, best-so-far, cache stats; "
+             "--follow tails a file a live run is still writing",
+    )
+    top.set_defaults(func=_cmd_top)
+    top.add_argument("events_file", metavar="EVENTS",
+                     help="events.jsonl written by a run's --events flag")
+    top.add_argument("--follow", action="store_true",
+                     help="keep tailing the file until every run closes")
+    top.add_argument("--interval", type=float, default=0.5, metavar="S",
+                     help="poll interval in seconds when following")
+    top.add_argument("--max-polls", type=int, default=None, metavar="N",
+                     help="stop following after N polls (smoke runs)")
+    top.add_argument("--live", action="store_true",
+                     help="repaint the screen in place while following "
+                          "(default: append deterministic plain text)")
 
     diff = sub.add_parser(
         "diff",
@@ -530,21 +644,48 @@ def _ambient_tracer_enabled() -> bool:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: parse, install observability, dispatch, export."""
+    """Entry point: parse, install observability, dispatch, export.
+
+    ``--events FILE`` installs a :class:`ProgressEmitter` streaming to a
+    JSONL sink (plus notable-event console lines, and metrics-registry
+    mirroring under ``--metrics``). A ``KeyboardInterrupt`` anywhere in a
+    subcommand exits 130 after the flows have checkpointed: workers
+    drained, partial ledger rows plus a ``kind="interrupted"`` row
+    flushed, and a ``RunInterrupted`` event on the stream.
+    """
     args = build_parser().parse_args(argv)
     want_trace = getattr(args, "trace", False) or getattr(args, "trace_out", None)
     tracer = Tracer() if want_trace else NULL_TRACER
     registry = MetricsRegistry() if getattr(args, "metrics", False) else NULL_METRICS
     ledger_path = getattr(args, "ledger", None)
     ledger = RunLedger(ledger_path) if ledger_path else NULL_LEDGER
+    events_path = getattr(args, "events", None)
+    emitter = NULL_EMITTER
+    if events_path:
+        emitter = ProgressEmitter()
+        emitter.subscribe(JsonlSink(events_path))
+        emitter.subscribe(console_subscriber(print))
+        if registry.enabled:
+            emitter.subscribe(MetricsSubscriber(registry))
 
+    interrupted = False
     try:
-        with use_tracer(tracer), use_metrics(registry), use_ledger(ledger):
+        with use_tracer(tracer), use_metrics(registry), use_ledger(ledger), \
+                use_emitter(emitter):
             code = args.func(args)
+    except KeyboardInterrupt:
+        interrupted = True
+        code = 130
+    finally:
         if ledger.enabled:
             print(f"ledger: {len(ledger)} record(s) in {ledger_path}")
-    finally:
         ledger.close()
+        emitter.close()
+    if interrupted:
+        print("interrupted: partial results checkpointed"
+              + (f"; events in {events_path}" if events_path else "")
+              + (f"; ledger rows in {ledger_path}" if ledger_path else ""),
+              file=sys.stderr)
 
     if tracer.enabled:
         if args.trace_out:

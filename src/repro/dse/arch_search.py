@@ -9,6 +9,7 @@ same sweep can run under the BW-unaware baseline to regenerate Fig. 8(a).
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.baseline import BwUnawareModel
@@ -18,7 +19,9 @@ from repro.engine import EvaluationEngine
 from repro.hardware.pool import MemoryCandidate, MemoryPool, searched_memory_names
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import MappingError
+from repro.observability.ledger import current_ledger, record_interruption
 from repro.observability.metrics import current_metrics
+from repro.observability.progress import current_emitter
 from repro.observability.tracer import current_tracer
 from repro.workload.layer import LayerSpec
 
@@ -104,20 +107,81 @@ class ArchSearch:
                 for cand, preset in self.config.pool.build(k, b, c, gb_read_bw=gb_bw):
                     yield label, gb_bw, cand, preset
 
+    def space_size(self) -> int:
+        """Number of design points the sweep will visit."""
+        return (
+            len(self.config.array_scales)
+            * len(self.config.gb_bandwidths)
+            * len(self.config.pool)
+        )
+
     def evaluate(self, layer: LayerSpec) -> List[ArchPoint]:
-        """Evaluate the whole sweep on ``layer``; unmappable designs skipped."""
+        """Evaluate the whole sweep on ``layer``; unmappable designs skipped.
+
+        With an ambient progress emitter the sweep is one
+        ``unit="points"`` run: each design point becomes a chunk event
+        (with the point's wall time, measured here in the parent), every
+        new lowest-latency design a :class:`BestSoFar`, and a Ctrl-C
+        between points a :class:`RunInterrupted` plus a
+        ``kind="interrupted"`` ledger row recording how many points were
+        covered.
+        """
         tracer = current_tracer()
+        emitter = current_emitter()
+        run = None
+        if emitter.enabled:
+            run = emitter.start_run(
+                "arch_search.sweep",
+                total_units=self.space_size(),
+                unit="points",
+                layer=layer.name or str(layer.layer_type),
+            )
         with tracer.span(
             "arch_search.sweep", layer=layer.name or str(layer.layer_type)
         ) as span:
             points: List[ArchPoint] = []
             skipped = 0
-            for label, gb_bw, cand, preset in self.design_points():
-                point = self.evaluate_one(layer, label, gb_bw, cand, preset)
-                if point is not None:
-                    points.append(point)
-                else:
-                    skipped += 1
+            try:
+                for index, (label, gb_bw, cand, preset) in enumerate(
+                    self.design_points()
+                ):
+                    t0 = time.perf_counter()
+                    point = self.evaluate_one(layer, label, gb_bw, cand, preset)
+                    if point is not None:
+                        points.append(point)
+                    else:
+                        skipped += 1
+                    if run is not None:
+                        run.advance(
+                            1,
+                            errors=0 if point is not None else 1,
+                            wall_s=time.perf_counter() - t0,
+                            index=index,
+                            note=preset.accelerator.name,
+                        )
+                        if point is not None:
+                            run.best(
+                                point.latency,
+                                total_cycles=point.latency,
+                                utilization=point.utilization,
+                                label=point.accelerator_name,
+                            )
+            except KeyboardInterrupt:
+                done = len(points) + skipped
+                ledger = current_ledger()
+                if ledger.enabled:
+                    ledger.append(record_interruption(
+                        flow="arch_search.sweep",
+                        done_units=done,
+                        total_units=self.space_size(),
+                        unit="points",
+                        reason="KeyboardInterrupt",
+                    ))
+                if run is not None:
+                    run.interrupt("KeyboardInterrupt")
+                raise
+            if run is not None:
+                run.finish()
             if tracer.enabled:
                 span.set("design_points", len(points) + skipped)
                 span.set("mappable", len(points))

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import time
 from typing import Iterator, List, Optional, Tuple
 
 from repro.dse.mapper import MapperConfig, MappingSearchResult, TemporalMapper
 from repro.mapping.mapping import Mapping, MappingError
+from repro.observability.progress import current_emitter
 from repro.workload.dims import LoopDim
 from repro.workload.layer import LayerSpec
 
@@ -143,14 +145,47 @@ class LocalSearchMapper:
                 f"{self.mapper.accelerator.name}"
             )
         seeds.sort(key=lambda s: s[0])
+        restarts = seeds[: self.config.restarts]
+        emitter = current_emitter()
+        run = None
+        if emitter.enabled:
+            run = emitter.start_run(
+                "local_search",
+                total_units=len(restarts),
+                unit="climbs",
+                accelerator=self.mapper.accelerator.name,
+                layer=layer.name or str(layer.layer_type),
+            )
         best_outcome: Optional[LocalSearchOutcome] = None
-        for objective, order in seeds[: self.config.restarts]:
-            outcome = self.climb(layer, order)
-            if outcome is None:
-                continue
-            if best_outcome is None or outcome.best.objective < best_outcome.best.objective:
-                best_outcome = dataclasses.replace(
-                    outcome, start_objective=seeds[0][0]
-                )
+        try:
+            for index, (objective, order) in enumerate(restarts):
+                t0 = time.perf_counter()
+                outcome = self.climb(layer, order)
+                if run is not None:
+                    run.advance(
+                        1,
+                        errors=0 if outcome is not None else 1,
+                        wall_s=time.perf_counter() - t0,
+                        index=index,
+                    )
+                if outcome is None:
+                    continue
+                if best_outcome is None or outcome.best.objective < best_outcome.best.objective:
+                    best_outcome = dataclasses.replace(
+                        outcome, start_objective=seeds[0][0]
+                    )
+                    if run is not None:
+                        run.best(
+                            best_outcome.best.objective,
+                            total_cycles=best_outcome.best.report.total_cycles,
+                            utilization=best_outcome.best.report.utilization,
+                            label=layer.name or str(layer.layer_type),
+                        )
+        except KeyboardInterrupt:
+            if run is not None:
+                run.interrupt("KeyboardInterrupt")
+            raise
+        if run is not None:
+            run.finish()
         assert best_outcome is not None
         return best_outcome

@@ -44,6 +44,7 @@ from repro.mapping.mapping import Mapping, MappingError
 from repro.mapping.spatial import SpatialMapping
 from repro.mapping.temporal import TemporalMapping
 from repro.observability.metrics import current_metrics
+from repro.observability.progress import current_emitter
 from repro.observability.tracer import current_tracer
 from repro.workload.dims import ALL_DIMS, LoopDim
 from repro.workload.layer import LayerSpec
@@ -340,6 +341,29 @@ class TemporalMapper:
             ),
         )
 
+    def _progress_run(self, flow: str, layer: LayerSpec):
+        """Open a ``unit="evals"`` progress run sized to this search.
+
+        The engine's ``evaluate_many`` attaches its per-chunk events to
+        this run instead of opening one run per batch, so a whole search
+        accrues into a single progress bar. The total is the loop-order
+        count when the space will be enumerated exhaustively; unknown
+        (no ETA) when the mapper samples, since dedup and allocation
+        failures make the evaluated count unpredictable.
+        """
+        emitter = current_emitter()
+        if not emitter.enabled:
+            return None
+        size = self.space_size(layer)
+        total = size if size <= self.config.max_enumerated else None
+        return emitter.start_run(
+            flow,
+            total_units=total,
+            unit="evals",
+            accelerator=self.accelerator.name,
+            layer=layer.name or str(layer.layer_type),
+        )
+
     def search(self, layer: LayerSpec) -> List[MappingSearchResult]:
         """Evaluate the mapping space; return the top results, best first."""
         tracer = current_tracer()
@@ -359,13 +383,29 @@ class TemporalMapper:
                     self.engine.stats.cache_hits += 1
                     span.set("cache_hit", True)
                     return list(cached)
-            results = list(self._evaluated(layer))
+            run = self._progress_run("mapper.search", layer)
+            try:
+                results = list(self._evaluated(layer))
+            except KeyboardInterrupt:
+                if run is not None:
+                    run.interrupt("KeyboardInterrupt")
+                raise
             metrics.counter(
                 "repro_mapper_candidates_total",
                 "Feasible mapping candidates scored by the mapper.",
             ).inc(len(results))
             results.sort(key=lambda r: r.objective)
             results = results[: self.config.keep_top]
+            if run is not None:
+                if results:
+                    best = results[0]
+                    run.best(
+                        best.objective,
+                        total_cycles=best.report.total_cycles,
+                        utilization=best.report.utilization,
+                        label=layer.name or str(layer.layer_type),
+                    )
+                run.finish()
             if tracer.enabled:
                 span.set("cache_hit", False)
                 span.set("candidates", len(results))
@@ -423,12 +463,27 @@ class TemporalMapper:
                     self.engine.stats.cache_hits += 1
                     span.set("cache_hit", True)
                     return cached
+            run = self._progress_run("mapper.best_mapping", layer)
             best: Optional[MappingSearchResult] = None
             candidates = 0
-            for result in self._evaluated(layer):
-                candidates += 1
-                if best is None or result.objective < best.objective:
-                    best = result
+            try:
+                for result in self._evaluated(layer):
+                    candidates += 1
+                    if best is None or result.objective < best.objective:
+                        best = result
+                        if run is not None:
+                            run.best(
+                                best.objective,
+                                total_cycles=best.report.total_cycles,
+                                utilization=best.report.utilization,
+                                label=layer.name or str(layer.layer_type),
+                            )
+            except KeyboardInterrupt:
+                if run is not None:
+                    run.interrupt("KeyboardInterrupt")
+                raise
+            if run is not None:
+                run.finish()
             metrics.counter(
                 "repro_mapper_candidates_total",
                 "Feasible mapping candidates scored by the mapper.",

@@ -51,8 +51,10 @@ from repro.observability.ledger import (
     RunRecord,
     current_ledger,
     record_from_report,
+    record_interruption,
 )
 from repro.observability.metrics import current_metrics
+from repro.observability.progress import current_emitter
 from repro.observability.stats import EngineStats
 from repro.observability.tracer import current_tracer
 
@@ -337,12 +339,34 @@ class EvaluationEngine:
         with their full step1/2/3 anatomy) are collected — in the worker
         for the process backend — and merged under this batch's span in
         chunk order, each chunk on its own export track.
+
+        When a progress emitter is ambient, the batch accrues into the
+        caller's open ``unit="evals"`` run (a mapper search) or opens its
+        own ``engine.batch`` run, emitting a heartbeat + chunk event as
+        each chunk's :class:`~repro.engine.executors.ChunkTiming` arrives
+        from the worker. Ledger rows are flushed **per chunk** — so a
+        Ctrl-C mid-batch still leaves every completed evaluation plus one
+        ``kind="interrupted"`` checkpoint row before the interrupt
+        propagates to the caller.
         """
         mappings = list(mappings)
         results: List[Optional[Evaluation]] = [None] * len(mappings)
         tracer = current_tracer()
         metrics = current_metrics()
         ledger = current_ledger()
+        emitter = current_emitter()
+        run = None
+        owns_run = False
+        if emitter.enabled:
+            run = emitter.current_run("evals")
+            if run is None:
+                run = emitter.start_run(
+                    "engine.batch",
+                    total_units=len(mappings),
+                    unit="evals",
+                    accelerator=getattr(self.accelerator, "name", ""),
+                )
+                owns_run = True
         ledger_rows: List[RunRecord] = []
         with self.stats.phase("batch"), tracer.span("engine.batch") as span:
             self.stats.batches += 1
@@ -368,9 +392,10 @@ class EvaluationEngine:
                         pending.append(i)
             else:
                 pending = list(range(len(mappings)))
+            hits = len(mappings) - len(pending)
             if tracer.enabled:
                 span.set("mappings", len(mappings))
-                span.set("cache_hits", len(mappings) - len(pending))
+                span.set("cache_hits", hits)
             if metrics.enabled:
                 metrics.counter(
                     "repro_engine_batches_total", "evaluate_many calls"
@@ -378,9 +403,16 @@ class EvaluationEngine:
                 metrics.counter(
                     "repro_engine_cache_hits_total",
                     "evaluations served from cache",
-                ).inc(len(mappings) - len(pending))
+                ).inc(hits)
+            if run is not None:
+                if self.use_cache:
+                    run.cache_stats(hits, len(pending))
+                if hits:
+                    run.advance(hits, note="cache")
             if not pending:
                 ledger.append_many(ledger_rows)
+                if owns_run:
+                    run.finish()
                 return results
 
             chunks = [
@@ -399,28 +431,49 @@ class EvaluationEngine:
                 for chunk in chunks
             ]
             t0 = time.perf_counter() if metrics.enabled else 0.0
-            for chunk_index, (chunk, (outcomes, records)) in enumerate(
-                zip(chunks, self._backend.map_chunks(payloads))
-            ):
-                tracer.merge(records, track=chunk_index + 1)
-                for i, outcome in zip(chunk, outcomes):
-                    if outcome is None:
-                        self.stats.errors += 1
-                        continue
-                    report, energy, wall_s = outcome
-                    self.stats.evaluations += 1
-                    if with_energy:
-                        self.stats.energy_evaluations += 1
-                    if self.use_cache:
-                        self.cache.put(self._latency_key(mappings[i]), report)
-                        if with_energy and energy is not None:
-                            self.cache.put(self._energy_key(mappings[i]), energy)
-                    results[i] = Evaluation(mappings[i], report, energy)
-                    if ledger.enabled:
-                        ledger_rows.append(self._ledger_record(
-                            mappings[i], report,
-                            cache_hit=False, wall_time_s=wall_s,
-                        ))
+            try:
+                for chunk_index, (chunk, (outcomes, records, timing)) in enumerate(
+                    zip(chunks, self._backend.map_chunks(payloads))
+                ):
+                    tracer.merge(records, track=chunk_index + 1)
+                    for i, outcome in zip(chunk, outcomes):
+                        if outcome is None:
+                            self.stats.errors += 1
+                            continue
+                        report, energy, wall_s = outcome
+                        self.stats.evaluations += 1
+                        if with_energy:
+                            self.stats.energy_evaluations += 1
+                        if self.use_cache:
+                            self.cache.put(self._latency_key(mappings[i]), report)
+                            if with_energy and energy is not None:
+                                self.cache.put(self._energy_key(mappings[i]), energy)
+                        results[i] = Evaluation(mappings[i], report, energy)
+                        if ledger.enabled:
+                            ledger_rows.append(self._ledger_record(
+                                mappings[i], report,
+                                cache_hit=False, wall_time_s=wall_s,
+                            ))
+                    # Checkpoint: flush this chunk's rows so an interrupt
+                    # never loses completed evaluations.
+                    if ledger_rows:
+                        ledger.append_many(ledger_rows)
+                        ledger_rows = []
+                    if run is not None:
+                        run.advance(
+                            len(chunk),
+                            errors=timing.errors,
+                            wall_s=timing.wall_s,
+                            worker=timing.worker,
+                            index=chunk_index,
+                        )
+            except KeyboardInterrupt:
+                self._interrupt(
+                    ledger, ledger_rows, run, owns_run,
+                    done=sum(1 for r in results if r is not None),
+                    total=len(mappings),
+                )
+                raise
             if metrics.enabled:
                 elapsed = time.perf_counter() - t0
                 metrics.counter(
@@ -435,4 +488,30 @@ class EvaluationEngine:
                         "kernel throughput of the last batch",
                     ).set(len(pending) / elapsed)
             ledger.append_many(ledger_rows)
+            if owns_run:
+                run.finish()
         return results
+
+    def _interrupt(
+        self, ledger, ledger_rows, run, owns_run: bool, *, done: int, total: int
+    ) -> None:
+        """Checkpoint a Ctrl-C'd batch before the interrupt propagates.
+
+        Drains the executor (cancelling chunks not yet started), flushes
+        any unflushed evaluation rows plus one ``kind="interrupted"``
+        marker, and closes the progress run — but only a run this batch
+        opened itself; an enclosing search owns its run's lifecycle and
+        will emit its own :class:`RunInterrupted`.
+        """
+        self._backend.close(cancel=True)
+        if ledger.enabled:
+            ledger.append_many(ledger_rows)
+            ledger.append(record_interruption(
+                flow="engine.batch",
+                done_units=done,
+                total_units=total,
+                unit="evals",
+                reason="KeyboardInterrupt",
+            ))
+        if owns_run:
+            run.interrupt("KeyboardInterrupt")

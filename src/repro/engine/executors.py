@@ -19,10 +19,11 @@ than coincidental.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.model import LatencyModel
 from repro.core.report import LatencyReport
@@ -30,6 +31,7 @@ from repro.core.step1 import ModelOptions
 from repro.energy.energy_model import EnergyModel, EnergyReport
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import Mapping, MappingError
+from repro.observability.progress import worker_id
 from repro.observability.span import SpanRecord
 from repro.observability.tracer import Tracer, use_tracer
 
@@ -44,9 +46,27 @@ ChunkPayload = Tuple[
 ChunkOutcomes = List[
     Optional[Tuple[LatencyReport, Optional[EnergyReport], float]]
 ]
-#: What a backend returns per chunk: the outcomes plus the chunk-local
-#: span records (empty unless the payload requested tracing).
-ChunkResult = Tuple[ChunkOutcomes, List[SpanRecord]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkTiming:
+    """Per-chunk liveness/timing a worker ships home with its results.
+
+    This rides the same pickled return channel as the outcomes — the
+    parent process stays the sole writer of the progress stream and the
+    ledger, so no cross-process queue or lock is needed.
+    """
+
+    worker: str          # "pid:<pid>" of the process that ran the chunk
+    wall_s: float        # chunk wall time, measured where it ran
+    evaluated: int       # mappings that produced a report
+    errors: int          # mappings that raised MappingError
+
+
+#: What a backend returns per chunk: the outcomes, the chunk-local span
+#: records (empty unless the payload requested tracing), and the chunk's
+#: timing/heartbeat.
+ChunkResult = Tuple[ChunkOutcomes, List[SpanRecord], ChunkTiming]
 
 
 def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
@@ -59,6 +79,7 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
     energy_model = EnergyModel(accelerator) if with_energy else None
     out: ChunkOutcomes = []
     tracer = Tracer() if trace else None
+    chunk_t0 = time.perf_counter()
 
     def run() -> None:
         for mapping in mappings:
@@ -73,21 +94,35 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
 
     if tracer is None:
         run()
-        return out, []
-    with use_tracer(tracer):
-        run()
-    return out, tracer.records
+        records: List[SpanRecord] = []
+    else:
+        with use_tracer(tracer):
+            run()
+        records = tracer.records
+    errors = sum(1 for outcome in out if outcome is None)
+    timing = ChunkTiming(
+        worker=worker_id(),
+        wall_s=time.perf_counter() - chunk_t0,
+        evaluated=len(out) - errors,
+        errors=errors,
+    )
+    return out, records, timing
 
 
 class SerialBackend:
-    """Evaluate chunks in the calling process, one after the other."""
+    """Evaluate chunks in the calling process, one after the other.
+
+    ``map_chunks`` yields per chunk (it does not collect the batch), so
+    the engine's progress/ledger checkpoints land as each chunk
+    completes rather than after the whole batch.
+    """
 
     name = "serial"
 
-    def map_chunks(self, payloads: Sequence[ChunkPayload]) -> List[ChunkResult]:
-        return [evaluate_chunk(p) for p in payloads]
+    def map_chunks(self, payloads: Sequence[ChunkPayload]) -> Iterator[ChunkResult]:
+        return (evaluate_chunk(p) for p in payloads)
 
-    def close(self) -> None:
+    def close(self, cancel: bool = False) -> None:
         pass
 
 
@@ -95,8 +130,11 @@ class ProcessBackend:
     """Fan chunks out to a lazily created :class:`ProcessPoolExecutor`.
 
     The pool is created on first use and reused across batches (worker
-    start-up dominates otherwise). Results come back in submission order,
-    so numbers are identical to the serial backend's.
+    start-up dominates otherwise). ``map_chunks`` returns the pool's
+    ordered result iterator — all chunks are submitted up front, results
+    stream back in submission order as workers finish them — so numbers
+    are identical to the serial backend's while progress events and
+    ledger checkpoints stay live.
     """
 
     name = "process"
@@ -110,17 +148,19 @@ class ProcessBackend:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
-    def map_chunks(self, payloads: Sequence[ChunkPayload]) -> List[ChunkResult]:
+    def map_chunks(self, payloads: Sequence[ChunkPayload]) -> Iterator[ChunkResult]:
         payloads = list(payloads)
         if len(payloads) <= 1:
             # Not worth shipping to a worker; also keeps tiny batches exact
             # on platforms where pool start-up is expensive.
-            return [evaluate_chunk(p) for p in payloads]
-        return list(self._ensure_pool().map(evaluate_chunk, payloads))
+            return (evaluate_chunk(p) for p in payloads)
+        return self._ensure_pool().map(evaluate_chunk, payloads)
 
-    def close(self) -> None:
+    def close(self, cancel: bool = False) -> None:
+        """Shut the pool down; ``cancel`` drops chunks not yet started
+        (the SIGINT drain — running chunks still finish)."""
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=cancel)
             self._pool = None
 
 

@@ -24,6 +24,13 @@ Zero-dependency substrate with four pieces (see ``docs/OBSERVABILITY.md``):
   per-unit-memory ``SS_comb``, git SHA), with JSONL snapshots and
   :func:`diff_records` as a CI regression gate. Ambient like the
   tracer: :func:`use_ledger` / :func:`current_ledger`, no-op default.
+* :class:`ProgressEmitter` — the *live* side: a typed event stream
+  (:class:`RunStarted`, :class:`ChunkCompleted`, :class:`Heartbeat`,
+  :class:`BestSoFar`, :class:`CacheStats`, :class:`RunInterrupted`,
+  :class:`RunFinished`) every long-running flow emits into while it
+  runs, with a :class:`JsonlSink` the ``repro-latency top`` dashboard
+  (:func:`run_top`) follows. Ambient like the rest:
+  :func:`use_emitter` / :func:`current_emitter`, no-op default.
 
 Everything is off by default: the ambient tracer and registry are no-op
 singletons, and the disabled path allocates nothing (the tracing-overhead
@@ -73,12 +80,37 @@ from repro.observability.metrics import (
     current_metrics,
     use_metrics,
 )
+from repro.observability.progress import (
+    BestSoFar,
+    CacheStats,
+    ChunkCompleted,
+    Heartbeat,
+    HeartbeatMonitor,
+    JsonlSink,
+    MetricsSubscriber,
+    NULL_EMITTER,
+    NullProgressEmitter,
+    ProgressEmitter,
+    RunFinished,
+    RunHandle,
+    RunInterrupted,
+    RunStarted,
+    WorkerStalled,
+    current_emitter,
+    event_from_dict,
+    event_to_dict,
+    follow_events,
+    format_event,
+    read_events,
+    use_emitter,
+)
 from repro.observability.span import (
     SpanNode,
     SpanRecord,
     span_tree,
     tree_shape,
 )
+from repro.observability.top import DashboardState, render, run_top
 from repro.observability.report import (
     render_report,
     stall_waterfall,
@@ -95,43 +127,68 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "BestSoFar",
+    "CacheStats",
+    "ChunkCompleted",
     "Counter",
+    "DashboardState",
     "EngineStats",
     "Gauge",
+    "Heartbeat",
+    "HeartbeatMonitor",
     "Histogram",
+    "JsonlSink",
     "LedgerDiff",
     "LedgerSchemaError",
     "MetricDelta",
     "MetricsRegistry",
+    "MetricsSubscriber",
+    "NULL_EMITTER",
     "NULL_LEDGER",
     "NULL_METRICS",
     "NULL_TRACER",
     "NullLedger",
     "NullMetricsRegistry",
+    "NullProgressEmitter",
     "NullTracer",
+    "ProgressEmitter",
+    "RunFinished",
+    "RunHandle",
+    "RunInterrupted",
     "RunLedger",
     "RunRecord",
+    "RunStarted",
     "SCHEMA_VERSION",
     "Span",
     "SpanNode",
     "SpanRecord",
     "Tracer",
+    "WorkerStalled",
     "chrome_trace",
+    "current_emitter",
     "current_ledger",
     "current_metrics",
     "current_tracer",
     "diff_records",
+    "event_from_dict",
+    "event_to_dict",
     "find_spans",
+    "follow_events",
+    "format_event",
     "git_sha",
     "load_chrome_trace",
     "load_snapshot",
     "per_dtl_stalls",
+    "read_events",
     "reconcile_ss_overall",
     "record_from_report",
+    "render",
     "render_report",
+    "run_top",
     "span_tree",
     "stall_waterfall",
     "tree_shape",
+    "use_emitter",
     "use_ledger",
     "use_metrics",
     "use_tracer",

@@ -211,6 +211,39 @@ def record_from_verification(
     )
 
 
+def record_interruption(
+    *,
+    flow: str,
+    done_units: int,
+    total_units: Optional[int] = None,
+    unit: str = "units",
+    reason: str = "",
+    wall_time_s: float = 0.0,
+    git_sha_value: Optional[str] = None,
+) -> RunRecord:
+    """Build the ledger row a SIGINT'd run leaves behind.
+
+    Interrupted runs used to vanish without a trace; now the partial
+    per-evaluation rows are checkpointed as they complete and this one
+    ``kind="interrupted"`` marker records how far the flow got, so a
+    later session can see the run happened and resume past the covered
+    prefix.
+    """
+    return RunRecord(
+        kind="interrupted",
+        label=flow,
+        ts=time.time(),
+        git_sha=git_sha_value if git_sha_value is not None else git_sha(),
+        accelerator=reason,
+        layer=f"{done_units} {unit}",
+        wall_time_s=wall_time_s,
+        extra={
+            "done_units": float(done_units),
+            "total_units": float(total_units if total_units is not None else -1),
+        },
+    )
+
+
 _GIT_SHA_CACHE: Optional[str] = None
 
 
@@ -738,5 +771,7 @@ __all__ = [
     "load_jsonl",
     "load_snapshot",
     "record_from_report",
+    "record_from_verification",
+    "record_interruption",
     "use_ledger",
 ]

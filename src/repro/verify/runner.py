@@ -19,9 +19,10 @@ import dataclasses
 import json
 import pathlib
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.observability.ledger import current_ledger, record_from_verification
+from repro.observability.progress import current_emitter
 from repro.verify.corpus import CorpusCase, case_to_dict, load_corpus
 from repro.verify.generators import Case, GeneratorConfig, iter_cases
 from repro.verify.properties import Tolerance, Violation, check_case
@@ -104,49 +105,83 @@ def run_verification(
     config: GeneratorConfig = GeneratorConfig(),
     tolerance: Tolerance = Tolerance(),
     shrink: bool = True,
-    progress: Optional[Callable[[str], None]] = None,
 ) -> VerificationSummary:
-    """One full verification run; appends a row to the ambient ledger."""
-    say = progress or (lambda msg: None)
+    """One full verification run; appends a row to the ambient ledger.
+
+    Progress reports through the ambient event emitter (one
+    ``unit="cases"`` run; each failing case surfaces as a chunk event
+    with an error and the failing property names in its note) — the same
+    stream every search flow uses, replacing the old ad-hoc ``progress``
+    print callback.
+    """
+    emitter = current_emitter()
     start = time.monotonic()
+    run = None
+    if emitter.enabled:
+        total = (0 if corpus_only else max(examples, 0))
+        if corpus_dir is not None:
+            total += len(load_corpus(corpus_dir))
+        run = emitter.start_run("verify", total_units=total, unit="cases")
 
     corpus_cases: List[CorpusCase] = []
     corpus_violations: List[Violation] = []
     if corpus_dir is not None:
+        corpus_t0 = time.perf_counter()
         corpus_cases, corpus_violations = replay_corpus(corpus_dir, tolerance)
-        say(
-            f"corpus: {len(corpus_cases)} case(s) replayed, "
-            f"{len(corpus_violations)} violation(s)"
-        )
+        if run is not None and corpus_cases:
+            run.advance(
+                len(corpus_cases),
+                errors=len(corpus_violations),
+                wall_s=time.perf_counter() - corpus_t0,
+                note="corpus replay",
+            )
 
     violations: List[Violation] = []
     failures: List[ShrunkFailure] = []
     checked = 0
-    if not corpus_only and examples > 0:
-        for case in iter_cases(seed, config):
-            if checked >= examples:
-                break
-            checked += 1
-            found = check_case(case, tolerance=tolerance)
-            if not found:
-                continue
-            violations.extend(found)
-            failing = tuple(sorted({v.prop for v in found}))
-            say(f"FAIL {case.case_id}: {', '.join(failing)}")
-            shrunk = (
-                shrink_case(case, failing, config, tolerance)
-                if shrink
-                else case
-            )
-            failures.append(
-                ShrunkFailure(
-                    original=case,
-                    shrunk=shrunk,
-                    failing=failing,
-                    violations=tuple(found),
+    try:
+        if not corpus_only and examples > 0:
+            for case in iter_cases(seed, config):
+                if checked >= examples:
+                    break
+                checked += 1
+                case_t0 = time.perf_counter()
+                found = check_case(case, tolerance=tolerance)
+                if not found:
+                    if run is not None:
+                        run.advance(
+                            1, wall_s=time.perf_counter() - case_t0,
+                            index=checked - 1,
+                        )
+                    continue
+                violations.extend(found)
+                failing = tuple(sorted({v.prop for v in found}))
+                if run is not None:
+                    run.advance(
+                        1, errors=1,
+                        wall_s=time.perf_counter() - case_t0,
+                        index=checked - 1,
+                        note=f"FAIL {case.case_id}: {', '.join(failing)}",
+                    )
+                shrunk = (
+                    shrink_case(case, failing, config, tolerance)
+                    if shrink
+                    else case
                 )
-            )
-        say(f"generated: {checked} case(s), {len(violations)} violation(s)")
+                failures.append(
+                    ShrunkFailure(
+                        original=case,
+                        shrunk=shrunk,
+                        failing=failing,
+                        violations=tuple(found),
+                    )
+                )
+    except KeyboardInterrupt:
+        if run is not None:
+            run.interrupt("KeyboardInterrupt")
+        raise
+    if run is not None:
+        run.finish()
 
     summary = VerificationSummary(
         seed=seed,

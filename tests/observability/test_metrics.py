@@ -6,9 +6,16 @@ import pathlib
 import pytest
 
 from repro.observability import (
+    BestSoFar,
+    CacheStats,
+    ChunkCompleted,
     MetricsRegistry,
+    MetricsSubscriber,
     NULL_METRICS,
     NullMetricsRegistry,
+    RunFinished,
+    RunStarted,
+    WorkerStalled,
     current_metrics,
     use_metrics,
 )
@@ -28,6 +35,25 @@ def build_reference_registry() -> MetricsRegistry:
     for value in (0.0005, 0.005, 0.05, 0.5):
         hist.observe(value)
     registry.ingest("repro_engine", {"evaluations": 4, "hit_rate": 0.25})
+    # The live-progress bridge: a fixed event sequence mirrored into the
+    # same registry (what a scrape sees while a search is running).
+    subscriber = MetricsSubscriber(registry, stall_threshold_s=10.0)
+    for event in (
+        RunStarted(run_id="r1", flow="mapper.search", total_units=8,
+                   unit="evals", ts=100.0),
+        ChunkCompleted(run_id="r1", completed=4, errors=0, wall_s=1.0,
+                       worker="pid:11", done_units=4, total_units=8,
+                       unit="evals", evals_per_s=4.0, ts=101.0),
+        ChunkCompleted(run_id="r1", completed=4, errors=1, wall_s=1.0,
+                       worker="pid:12", done_units=8, total_units=8,
+                       unit="evals", evals_per_s=4.0, ts=102.0),
+        CacheStats(run_id="r1", hits=3, misses=9, hit_rate=0.25, ts=102.0),
+        BestSoFar(run_id="r1", objective=1200.0, ts=102.0),
+        WorkerStalled(run_id="r1", worker="pid:11", silent_for_s=11.0,
+                      ts=113.0),
+        RunFinished(run_id="r1", done_units=8, wall_s=3.0, ts=103.0),
+    ):
+        subscriber(event)
     return registry
 
 
@@ -79,6 +105,14 @@ def test_json_snapshot_roundtrips():
     assert data["counters"]["repro_requests_total"] == 5
     assert data["gauges"]["repro_cache_hit_ratio"] == 0.25
     assert data["histograms"]["repro_evaluate_seconds"]["count"] == 4
+    # live-progress mirror
+    assert data["counters"]["repro_progress_units_total"] == 8
+    assert data["counters"]["repro_progress_errors_total"] == 1
+    assert data["counters"]["repro_progress_worker_stalls_total"] == 1
+    assert data["gauges"]["repro_progress_active_workers"] == 2
+    assert data["gauges"]["repro_progress_evals_per_second"] == 4.0
+    assert data["gauges"]["repro_progress_cache_hit_rate"] == 0.25
+    assert data["gauges"]["repro_progress_best_objective"] == 1200.0
 
 
 def test_null_registry_is_inert_and_ambient_by_default():

@@ -78,5 +78,7 @@ def test_untraced_batch_ships_no_records(preset, mappings):
         engine.accelerator, engine.options, tuple(mappings[:2]),
         False, False, False,
     )
-    _, records = evaluate_chunk(payload)
+    _, records, timing = evaluate_chunk(payload)
     assert records == []
+    assert timing.evaluated + timing.errors == 2
+    assert timing.worker.startswith("pid:")

@@ -1,0 +1,152 @@
+"""CLI telemetry: --events recordings, the top dashboard, SIGINT exit."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.observability import (
+    ChunkCompleted,
+    RunFinished,
+    RunInterrupted,
+    RunStarted,
+    load_snapshot,
+    read_events,
+)
+
+FIXTURE = pathlib.Path(__file__).parent / "observability" / "golden"
+
+
+def test_search_events_writes_recording(capsys, tmp_path):
+    events_path = str(tmp_path / "events.jsonl")
+    rc = main(["search", "--layer", "16,32,60", "--enumerate", "30",
+               "--samples", "20", "--events", events_path])
+    assert rc == 0
+    events = read_events(events_path)
+    assert isinstance(events[0], RunStarted)
+    assert events[0].flow == "mapper.search"
+    assert events[0].unit == "evals"
+    assert isinstance(events[-1], RunFinished)
+    chunks = [e for e in events if isinstance(e, ChunkCompleted)]
+    assert chunks and chunks[-1].done_units == events[-1].done_units
+    # the console subscriber narrates lifecycle events
+    out = capsys.readouterr().out
+    assert "mapper.search started" in out
+    assert "finished:" in out
+
+
+def test_arch_search_command_streams_events(capsys, tmp_path):
+    events_path = str(tmp_path / "events.jsonl")
+    rc = main(["arch-search", "--layer", "16,32,60", "--arrays", "16x16",
+               "--enumerate", "20", "--samples", "10",
+               "--events", events_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "design point(s)" in out
+    assert "pareto front" in out
+    events = read_events(events_path)
+    sweeps = [e for e in events if isinstance(e, RunStarted)
+              and e.flow == "arch_search.sweep"]
+    assert len(sweeps) == 1
+    assert sweeps[0].unit == "points"
+    assert any(isinstance(e, RunFinished) and e.run_id == sweeps[0].run_id
+               for e in events)
+
+
+def test_arch_search_rejects_unknown_array_label(capsys):
+    rc = main(["arch-search", "--layer", "16,32,60", "--arrays", "9x9"])
+    assert rc == 2
+    assert "unknown array label" in capsys.readouterr().err
+
+
+def test_top_replays_committed_fixture_byte_stable(capsys):
+    rc = main(["top", str(FIXTURE / "progress_events.jsonl")])
+    assert rc == 0
+    expected = (FIXTURE / "top_snapshot.txt").read_text()
+    assert capsys.readouterr().out == expected
+
+
+def test_top_missing_recording_exits_two(capsys, tmp_path):
+    rc = main(["top", str(tmp_path / "absent.jsonl")])
+    assert rc == 2
+    assert "no events file" in capsys.readouterr().out
+
+
+def test_top_replays_a_cli_recording(capsys, tmp_path):
+    events_path = str(tmp_path / "events.jsonl")
+    assert main(["search", "--layer", "16,32,60", "--enumerate", "20",
+                 "--samples", "10", "--events", events_path]) == 0
+    capsys.readouterr()
+    assert main(["top", events_path]) == 0
+    out = capsys.readouterr().out
+    assert "repro-latency top" in out
+    assert "mapper.search" in out
+    assert "done in" in out
+
+
+def test_sigint_exits_130_with_interrupted_ledger_row(
+    capsys, tmp_path, monkeypatch
+):
+    """Ctrl-C mid-sweep: partial rows + kind="interrupted" row land in the
+    ledger, a RunInterrupted closes the event stream, and main exits 130."""
+    from repro.dse.arch_search import ArchSearch
+
+    real = ArchSearch.evaluate_one
+    calls = {"n": 0}
+
+    def interrupt_after_two(self, *args, **kwargs):
+        if calls["n"] >= 2:
+            raise KeyboardInterrupt
+        calls["n"] += 1
+        return real(self, *args, **kwargs)
+
+    monkeypatch.setattr(ArchSearch, "evaluate_one", interrupt_after_two)
+
+    events_path = str(tmp_path / "events.jsonl")
+    ledger_path = str(tmp_path / "run.sqlite")
+    rc = main(["arch-search", "--layer", "16,32,60", "--arrays", "16x16",
+               "--enumerate", "20", "--samples", "10",
+               "--events", events_path, "--ledger", ledger_path])
+    assert rc == 130
+    err = capsys.readouterr().err
+    assert "interrupted: partial results checkpointed" in err
+
+    rows = load_snapshot(ledger_path)
+    interrupted = [r for r in rows if r.kind == "interrupted"]
+    assert len(interrupted) == 1
+    assert interrupted[0].label == "arch_search.sweep"
+    assert interrupted[0].extra["done_units"] == 2.0
+    assert len(rows) > 1  # the completed points' evaluations were flushed
+
+    events = read_events(events_path)
+    stops = [e for e in events if isinstance(e, RunInterrupted)]
+    assert len(stops) == 1
+    assert stops[0].done_units == 2
+    assert stops[0].reason == "KeyboardInterrupt"
+    # nothing after the stream closed
+    assert not any(isinstance(e, RunFinished)
+                   and e.run_id == stops[0].run_id for e in events)
+
+
+def test_sigint_during_engine_batch_drains_and_checkpoints(
+    capsys, tmp_path, monkeypatch
+):
+    """A KeyboardInterrupt inside evaluate_many still leaves the engine's
+    own interruption row (the run is owned by the enclosing mapper here,
+    so the stream shows exactly one RunInterrupted)."""
+    import repro.engine.evaluation as evaluation
+
+    def interrupt_batch(self, mappings, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(
+        evaluation.EvaluationEngine, "evaluate_many", interrupt_batch
+    )
+
+    events_path = str(tmp_path / "events.jsonl")
+    rc = main(["search", "--layer", "16,32,60", "--enumerate", "10",
+               "--samples", "30", "--events", events_path])
+    assert rc == 130
+    events = read_events(events_path)
+    stops = [e for e in events if isinstance(e, RunInterrupted)]
+    assert len(stops) == 1
