@@ -12,13 +12,14 @@ import time
 
 import pytest
 
+from repro.core.batch import BatchEvaluator
 from repro.core.model import LatencyModel
 from repro.dse.mapper import MapperConfig, TemporalMapper
 from repro.engine import EvaluationEngine
 from repro.simulator.engine import CycleSimulator
 from repro.workload.generator import dense_layer
 
-from benchmarks.conftest import emit_bench_artifact, make_mapper
+from benchmarks.conftest import emit_bench_artifact, full_mode, make_mapper
 
 
 def _timed(fn, repeat=3):
@@ -79,6 +80,63 @@ def test_bench_model_largest_layer(benchmark, case_preset):
     model = LatencyModel(case_preset.accelerator)
     report = benchmark(model.evaluate, mapping, False)
     assert report.total_cycles > 0
+
+
+def test_emit_batch_bench_artifact(case_preset):
+    """Batch-vs-scalar sweep throughput; writes ``BENCH_batch.json``.
+
+    The SoA batch evaluator must reproduce the scalar model bit-for-bit
+    while evaluating a realistic mapper sweep an order of magnitude
+    faster — the acceptance bar of the vectorized core. Measured both
+    materialized (one ``LatencyReport`` per mapping, what the engine
+    consumes) and slim (arrays only, what array-level DSE loops consume).
+    """
+    layer = dense_layer(64, 128, 1200)
+    budget = 4000 if full_mode() else 2000
+    mapper = make_mapper(case_preset, enumerated=2 * budget, samples=budget)
+    mappings = []
+    for mapping in mapper.mappings(layer):
+        mappings.append(mapping)
+        if len(mappings) >= budget:
+            break
+    model = LatencyModel(case_preset.accelerator)
+    evaluator = BatchEvaluator(case_preset.accelerator)
+
+    t0 = time.perf_counter()
+    scalar = [model.evaluate(m, validate=False) for m in mappings]
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch = evaluator.evaluate(mappings, materialize=True)
+    batch_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    slim = evaluator.evaluate(mappings, materialize=False)
+    slim_s = time.perf_counter() - t0
+
+    mismatches = sum(
+        1 for s, b in zip(scalar, batch.reports)
+        if (s.total_cycles, s.ss_overall, s.preload, s.offload, s.scenario)
+        != (b.total_cycles, b.ss_overall, b.preload, b.offload, b.scenario)
+    )
+    n = len(mappings)
+    payload = {
+        "mappings": n,
+        "scalar_us_per_mapping": scalar_s / n * 1e6,
+        "batch_us_per_mapping": batch_s / n * 1e6,
+        "slim_us_per_mapping": slim_s / n * 1e6,
+        "speedup_materialized": scalar_s / batch_s,
+        "speedup_slim": scalar_s / slim_s,
+        "mismatches": mismatches,
+    }
+    out = emit_bench_artifact("batch", payload)
+    print(f"\nbatch bench written to {out}: "
+          f"scalar {payload['scalar_us_per_mapping']:.0f} us/map, "
+          f"batch {payload['batch_us_per_mapping']:.1f} us/map "
+          f"({payload['speedup_materialized']:.1f}x, "
+          f"slim {payload['speedup_slim']:.1f}x)")
+    assert mismatches == 0
+    assert slim.total_cycles.tolist() == [r.total_cycles for r in scalar]
+    assert payload["speedup_materialized"] >= 10.0
+    assert payload["speedup_slim"] >= 10.0
 
 
 def test_emit_engine_bench_artifact(case_preset, tmp_path_factory):

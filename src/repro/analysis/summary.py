@@ -48,7 +48,10 @@ def generate_report(
         accelerator, preset.spatial_unrolling, config.mapper_config
     )
     best = mapper.best_mapping(layer)
-    report = best.report
+    # The search's report may be slim (batch path); the bottleneck and
+    # roofline sections need the per-DTL anatomy, which evaluate()
+    # restores from the cached numbers.
+    report = mapper.engine.evaluate(best.mapping, validate=False)
     energy = mapper.engine.evaluate_energy(best.mapping)
     dataflow = classify_dataflow(best.mapping)
     roofline = compare_with_roofline(accelerator, best.mapping, report)

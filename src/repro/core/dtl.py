@@ -16,6 +16,7 @@ import dataclasses
 import enum
 from typing import Optional, Tuple
 
+from repro.core import kernels
 from repro.core.windows import PeriodicWindow
 from repro.hardware.port import EndpointKind
 from repro.workload.operand import Operand
@@ -125,9 +126,7 @@ class DTL:
         """Transfer size rounded up to whole bursts (words)."""
         if self.burst_bits <= 1:
             return self.transfer.data_bits
-        import math
-
-        return math.ceil(self.transfer.data_bits / self.burst_bits) * self.burst_bits
+        return float(kernels.padded_bits(self.transfer.data_bits, self.burst_bits))
 
     @property
     def x_real(self) -> float:
@@ -142,12 +141,12 @@ class DTL:
     @property
     def ss_u(self) -> float:
         """Per-DTL stall (+) or slack (-): ``(X_REAL - X_REQ) * Z``."""
-        return (self.x_real - self.x_req) * self.transfer.repeats
+        return kernels.stall_slack(self.x_real, self.x_req, self.transfer.repeats)
 
     @property
     def muw_u(self) -> float:
         """Total allowed updating window ``X_REQ * Z``."""
-        return self.x_req * self.transfer.repeats
+        return kernels.window_total(self.x_req, self.transfer.repeats)
 
     @property
     def req_bw(self) -> float:

@@ -1,0 +1,197 @@
+"""Array kernels shared by the scalar model and the batch evaluator.
+
+Every closed-form expression of the 3-step model (Table I spans, Eq. (1)/(2)
+port combination, interval-union MUW lengths, the Fig. 1(b) scenario split)
+lives here exactly once, written against NumPy ufunc semantics so the same
+function evaluates a single mapping (0-d inputs) or a structure-of-arrays
+batch of thousands (1-d inputs). The scalar wrappers in ``step1``/``step2``/
+``dtl``/``windows`` and the vectorized :mod:`repro.core.batch` evaluator both
+call these kernels, which is what makes batch-vs-scalar agreement *bit-for-
+bit* rather than approximate: for identical inputs, identical instructions.
+
+Floating-point ground rules observed throughout (and relied on by the
+parity property in :mod:`repro.verify`):
+
+* ``np.where(c, a, b)`` on float64 equals the ``if``/``else`` it replaces;
+* masked accumulation ``acc + np.where(mask, x, 0.0)`` in member order
+  equals the Python ``sum()`` that skips masked members (``y + 0.0 == y``);
+* ``np.maximum``/``np.minimum`` equal ``max``/``min`` for non-NaN floats;
+* integer prefix products and exact divisions stay in int64 (< 2**53);
+* anything data-dependent on *reduction order* (the interval-union sum)
+  is a single kernel here, so every caller inherits one canonical order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Interval-count threshold below which the union merge runs as a plain
+#: Python sweep (cheaper than NumPy dispatch for tiny unions). The branch
+#: is chosen by the *input*, never by the caller, so the scalar and batch
+#: paths always take the same branch for the same window set.
+_SMALL_MERGE = 64
+
+
+# --------------------------------------------------------------------- #
+# Step 1 — Table I quantities
+# --------------------------------------------------------------------- #
+
+def steady_repeats(z_total, paper_count: bool):
+    """Transfers landing inside the computation phase (``Z`` convention).
+
+    ``z_total <= 1`` means the tile is resident for the whole layer
+    (preload/offload only). Otherwise the paper counts every period; the
+    default convention discounts the one covered by pre-loading.
+    """
+    z = np.asarray(z_total)
+    steady = z if paper_count else z - 1
+    return np.where(z <= 1, 0, steady)
+
+
+def readback_repeats(z_total, revisit_factor):
+    """Partial-sum read-backs: every period except the final-visit ones."""
+    z = np.asarray(z_total)
+    return z - z // np.asarray(revisit_factor)
+
+
+def x_req_span(period, top_ir_product, double_buffered):
+    """Table I: allowed updating span ``X_REQ`` per period.
+
+    Double-buffered memories update the shadow half at any time
+    (``X_REQ = period``); non-double-buffered memories with an irrelevant
+    loop run on top may only update after the data's last reuse
+    (``X_REQ = period / top-ir product``, so ``ReqBW = BW0 x top-ir``).
+    """
+    p = np.asarray(period, dtype=np.float64)
+    top = np.asarray(top_ir_product)
+    return np.where(np.asarray(double_buffered) | (top <= 1), p, p / top)
+
+
+def padded_bits(data_bits, burst_bits):
+    """Transfer size rounded up to whole bursts (words)."""
+    bits = np.asarray(data_bits, dtype=np.float64)
+    burst = np.asarray(burst_bits)
+    return np.where(burst <= 1, bits, np.ceil(bits / np.maximum(burst, 1)) * burst)
+
+
+def stall_slack(x_real, x_req, repeats):
+    """Per-DTL stall (+) or slack (-): ``SS_u = (X_REAL - X_REQ) * Z``."""
+    return (x_real - x_req) * repeats
+
+
+def window_total(x_req, repeats):
+    """Total allowed updating window ``MUW_u = X_REQ * Z``."""
+    return x_req * repeats
+
+
+# --------------------------------------------------------------------- #
+# Step 2 — Eq. (1)/(2) shared-port combination
+# --------------------------------------------------------------------- #
+
+def combine_ss(
+    positive_sum,
+    nonpos_demand,
+    has_positive,
+    muw_comb,
+    total_busy,
+    refined: bool,
+):
+    """``SS_comb`` of one shared port from its members' aggregates.
+
+    * Eq. (2) (some ``SS_u > 0``): positive stalls pass through and only
+      the non-positive rest may absorb into the combined window.
+    * Eq. (1) (all ``SS_u <= 0``): stall iff summed busy time exceeds the
+      combined window.
+    * ``refined`` additionally lower-bounds by the port's aggregate busy
+      deficit ``sum(X_REAL * Z) - MUW_comb`` over *all* members.
+    """
+    eq2 = positive_sum + np.maximum(0.0, nonpos_demand - muw_comb)
+    eq1 = nonpos_demand - muw_comb
+    ss = np.where(has_positive, eq2, eq1)
+    if refined:
+        ss = np.maximum(ss, total_busy - muw_comb)
+    return ss
+
+
+# --------------------------------------------------------------------- #
+# MUW interval-union machinery
+# --------------------------------------------------------------------- #
+
+def window_intervals(
+    period: float, active: float, start: float, count: int, horizon: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The first ``count`` absolute (begin, end) spans of one window.
+
+    Ends are clipped to ``horizon``; spans starting at or past the horizon
+    are dropped (begin positions ``k * period + start`` are monotone in
+    ``k``, so the drop matches the scalar early-``break``).
+    """
+    lo = np.arange(count, dtype=np.float64) * period + start
+    lo = lo[lo < horizon]
+    hi = np.minimum(lo + active, horizon)
+    return lo, hi
+
+
+def merged_interval_length(lo: np.ndarray, hi: np.ndarray) -> float:
+    """Total length of the union of ``[lo, hi)`` intervals.
+
+    Sort by (begin, end), sweep a running maximum of ends, and sum the
+    per-run extents. The reduction order over runs is fixed by this kernel
+    (sequential for small unions, pairwise ``np.sum`` for large ones) and
+    depends only on the input intervals — every caller gets the same bits.
+    """
+    n = lo.shape[0]
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(hi[0] - lo[0])
+    if n <= _SMALL_MERGE:
+        total = 0.0
+        pairs = sorted(zip(lo.tolist(), hi.tolist()))
+        cur_lo, cur_hi = pairs[0]
+        for b, e in pairs[1:]:
+            if b > cur_hi:
+                total += cur_hi - cur_lo
+                cur_lo, cur_hi = b, e
+            else:
+                cur_hi = max(cur_hi, e)
+        total += cur_hi - cur_lo
+        return total
+    order = np.lexsort((hi, lo))
+    lo_s = lo[order]
+    hi_s = hi[order]
+    cummax = np.maximum.accumulate(hi_s)
+    # A new run opens where an interval begins past everything merged so far.
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    np.greater(lo_s[1:], cummax[:-1], out=starts[1:])
+    start_idx = np.flatnonzero(starts)
+    end_idx = np.empty_like(start_idx)
+    end_idx[:-1] = start_idx[1:] - 1
+    end_idx[-1] = n - 1
+    lengths = cummax[end_idx] - lo_s[start_idx]
+    return float(np.sum(lengths))
+
+
+# --------------------------------------------------------------------- #
+# Fig. 1(b) utilization scenario
+# --------------------------------------------------------------------- #
+
+def isclose_f(a, b, rel_tol: float = 1e-9):
+    """Vectorized ``math.isclose(a, b)`` (symmetric relative tolerance)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.abs(a - b) <= rel_tol * np.maximum(np.abs(a), np.abs(b))
+
+
+def scenario_code(cc_ideal, cc_spatial, temporal_stall):
+    """Classify into the four Fig. 1(b) scenarios (1-4)."""
+    spatially_full = isclose_f(cc_ideal, cc_spatial)
+    temporally_full = np.asarray(temporal_stall) <= 0
+    return np.where(
+        spatially_full,
+        np.where(temporally_full, 1, 3),
+        np.where(temporally_full, 2, 4),
+    )

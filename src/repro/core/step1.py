@@ -18,6 +18,7 @@ import dataclasses
 import math
 from typing import List, Optional
 
+from repro.core import kernels
 from repro.core.dtl import DTL, TrafficKind, Transfer
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.hierarchy import MemoryLevel
@@ -97,22 +98,14 @@ class ModelOptions:
 
 def _steady_repeats(z_total: int, options: ModelOptions) -> int:
     """Transfers that land inside the computation phase."""
-    if z_total <= 1:
-        return 0
-    return z_total if options.paper_period_count else z_total - 1
+    return int(kernels.steady_repeats(z_total, options.paper_period_count))
 
 
 def _x_req(level: MemoryLevel, period: float, top_ir_product: int) -> float:
-    """Table I: allowed updating span per period.
-
-    Double-buffered memories can update the shadow half at any time
-    (``X_REQ = period``). Non-double-buffered memories with an irrelevant
-    loop run on top may only update after the data's last reuse:
-    ``X_REQ = period / top-ir product`` (so ``ReqBW = BW0 x top-ir``).
-    """
-    if level.instance.double_buffered or top_ir_product <= 1:
-        return float(period)
-    return period / top_ir_product
+    """Table I: allowed updating span per period (see ``kernels.x_req_span``)."""
+    return float(
+        kernels.x_req_span(period, top_ir_product, level.instance.double_buffered)
+    )
 
 
 def _endpoint_pair(

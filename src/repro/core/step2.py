@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core import kernels
 from repro.core.dtl import DTL
 from repro.core.windows import union_length
 from repro.observability.tracer import current_tracer
@@ -92,15 +93,17 @@ def combine_port(
     positives = [d for d in dtls if d.ss_u > 0]
     nonpos = [d for d in dtls if d.ss_u <= 0]
     nonpos_demand = sum(d.muw_u + d.ss_u for d in nonpos)
-    if positives:
-        # Eq. (2): positive stalls survive; the rest may still overflow the window.
-        ss_comb = sum(d.ss_u for d in positives) + max(0.0, nonpos_demand - muw_comb)
-    else:
-        # Eq. (1): stall iff the summed busy time exceeds the combined window.
-        ss_comb = nonpos_demand - muw_comb
-    if rule == "refined":
-        total_busy = sum(d.muw_u + d.ss_u for d in dtls)  # = sum X_REAL * Z
-        ss_comb = max(ss_comb, total_busy - muw_comb)
+    total_busy = sum(d.muw_u + d.ss_u for d in dtls)  # = sum X_REAL * Z
+    ss_comb = float(
+        kernels.combine_ss(
+            sum(d.ss_u for d in positives),
+            nonpos_demand,
+            bool(positives),
+            muw_comb,
+            total_busy,
+            rule == "refined",
+        )
+    )
     return PortCombination(memory, port, dtls, req_bw_comb, muw_comb, ss_comb)
 
 

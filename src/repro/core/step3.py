@@ -29,7 +29,7 @@ unaffected.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from repro.core.step2 import ServedMemoryStall
 from repro.hardware.accelerator import StallOverlapConfig
@@ -50,6 +50,43 @@ class StallIntegration:
         return f"SS_overall={self.ss_overall:.1f} cc ({groups or 'no stall sources'})"
 
 
+def integrate_stall_entries(
+    entries: Sequence[Tuple[int, float, Hashable]],
+) -> Tuple[float, List[Tuple[int, float, int]]]:
+    """The Step-3 integration over plain ``(group, ss, port)`` entries.
+
+    This is the single source of truth for the overlap-group/port-charge
+    arithmetic; :func:`integrate_stalls` wraps it over
+    :class:`~repro.core.step2.ServedMemoryStall` objects and the batch
+    evaluator calls it directly on array-extracted tuples. Returns
+    ``(ss_overall, per_group)`` with one ``(gid, contribution, worst_index)``
+    triple per overlap group in ascending group order; ``worst_index``
+    points into ``entries``.
+    """
+    groups: Dict[int, List[int]] = {}
+    for idx, (gid, __, ___) in enumerate(entries):
+        groups.setdefault(gid, []).append(idx)
+
+    per_group: List[Tuple[int, float, int]] = []
+    charged: Dict[Hashable, float] = {}
+    total = 0.0
+    for gid in sorted(groups):
+        members = groups[gid]
+        # A member's effective stall discounts what earlier groups
+        # already billed to its limiting physical port.
+        worst = max(
+            members,
+            key=lambda i: entries[i][1] - charged.get(entries[i][2], 0.0),
+        )
+        __, ss, port = entries[worst]
+        contribution = max(0.0, ss - charged.get(port, 0.0))
+        if contribution > 0:
+            charged[port] = charged.get(port, 0.0) + contribution
+        per_group.append((gid, contribution, worst))
+        total += contribution
+    return max(0.0, total), per_group
+
+
 def integrate_stalls(
     served: Sequence[ServedMemoryStall],
     overlap: StallOverlapConfig = StallOverlapConfig.all_concurrent(),
@@ -60,37 +97,25 @@ def integrate_stalls(
     every group — the bottleneck list that Section V's case studies read
     off to decide what to fix (raise RealBW or reduce the traffic).
     """
-    groups: Dict[int, List[ServedMemoryStall]] = {}
-    for stall in served:
-        gid = overlap.group_of(stall.memory)
-        groups.setdefault(gid, []).append(stall)
+    entries = [
+        (overlap.group_of(stall.memory), stall.ss, stall.limiting_port)
+        for stall in served
+    ]
 
     tracer = current_tracer()
     with tracer.span("model.step3") as span:
+        ss_overall, per_group = integrate_stall_entries(entries)
         group_stalls: List[Tuple[int, float]] = []
         dominant: List[ServedMemoryStall] = []
-        charged: Dict[Tuple[str, str], float] = {}
-        total = 0.0
-        for gid in sorted(groups):
-            members = groups[gid]
-            # A member's effective stall discounts what earlier groups
-            # already billed to its limiting physical port.
-            worst = max(
-                members,
-                key=lambda s: s.ss - charged.get(s.limiting_port, 0.0),
-            )
-            contribution = max(
-                0.0, worst.ss - charged.get(worst.limiting_port, 0.0)
-            )
-            if contribution > 0:
-                charged[worst.limiting_port] = (
-                    charged.get(worst.limiting_port, 0.0) + contribution
-                )
+        for gid, contribution, worst_idx in per_group:
+            worst = served[worst_idx]
             group_stalls.append((gid, contribution))
-            total += contribution
             if contribution > 0:
                 dominant.append(worst)
             if tracer.enabled:
+                members = [
+                    served[i] for i, e in enumerate(entries) if e[0] == gid
+                ]
                 tracer.event(
                     "step3.group",
                     group=gid,
@@ -103,9 +128,8 @@ def integrate_stalls(
                     ss_group_raw=worst.ss,
                     ss_group=contribution,
                 )
-        ss_overall = max(0.0, total)
         if tracer.enabled:
-            span.set("groups", len(groups))
+            span.set("groups", len({gid for gid, __, ___ in entries}))
             span.set("ss_overall", ss_overall)
 
     return StallIntegration(

@@ -19,8 +19,17 @@ import dataclasses
 import math
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
+from repro.core import kernels
+
 #: Cap on merged intervals per union computation before falling back.
 MAX_UNION_INTERVALS = 2_000_000
+
+#: One window as plain parameters ``(period, active, start, repeats)`` —
+#: the representation the batch evaluator hands to :func:`union_length_params`
+#: without materializing :class:`PeriodicWindow` objects.
+WindowParams = Tuple[float, float, float, int]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,24 +90,25 @@ def _merged_length(intervals: List[Tuple[float, float]]) -> float:
     """Total length of the union of (begin, end) intervals."""
     if not intervals:
         return 0.0
-    intervals.sort()
-    total = 0.0
-    cur_lo, cur_hi = intervals[0]
-    for lo, hi in intervals[1:]:
-        if lo > cur_hi:
-            total += cur_hi - cur_lo
-            cur_lo, cur_hi = lo, hi
-        else:
-            cur_hi = max(cur_hi, hi)
-    total += cur_hi - cur_lo
-    return total
+    arr = np.asarray(intervals, dtype=np.float64)
+    return kernels.merged_interval_length(arr[:, 0], arr[:, 1])
 
 
 def union_length(windows: Sequence[PeriodicWindow], horizon: float) -> float:
     """Length of the union of ``windows`` clipped to ``[0, horizon)``.
 
-    This is ``MUW_comb`` for a set of shared-port DTLs. Fast paths, in
-    order:
+    Thin object wrapper over :func:`union_length_params`, which holds the
+    actual algorithm (and which the batch evaluator calls directly).
+    """
+    return union_length_params(
+        [(w.period, w.active, w.start, w.repeats) for w in windows], horizon
+    )
+
+
+def union_length_params(params: Sequence[WindowParams], horizon: float) -> float:
+    """``MUW_comb`` of windows given as ``(period, active, start, repeats)``.
+
+    Fast paths, in order:
 
     1. a full window (``active == period``) spanning the horizon covers
        everything;
@@ -114,17 +124,17 @@ def union_length(windows: Sequence[PeriodicWindow], horizon: float) -> float:
        (an upper bound on MUW_comb biases Eq. (1) optimistically; it only
        triggers for pathological schedules).
     """
-    windows = [w for w in windows if w.repeats > 0 and w.active > 0]
+    windows = [w for w in params if w[3] > 0 and w[1] > 0]
     if not windows or horizon <= 0:
         return 0.0
-    for w in windows:
-        if w.is_full and w.horizon >= horizon - 1e-9:
+    for period, active, __, repeats in windows:
+        if math.isclose(active, period) and period * repeats >= horizon - 1e-9:
             return float(horizon)
     if len(windows) == 1:
-        w = windows[0]
-        return min(w.total_active, float(horizon))
+        period, active, __, repeats = windows[0]
+        return min(active * repeats, float(horizon))
 
-    periods = [w.period for w in windows]
+    periods = [w[0] for w in windows]
     if all(math.isclose(p, round(p)) for p in periods):
         hyper = 1
         for p in periods:
@@ -133,12 +143,15 @@ def union_length(windows: Sequence[PeriodicWindow], horizon: float) -> float:
                 break
         n_intervals = sum(hyper // int(round(p)) for p in periods)
         if hyper <= horizon and n_intervals <= MAX_UNION_INTERVALS:
-            per_hyper = _merged_length(
-                [
-                    (k * w.period + w.start, k * w.period + w.start + w.active)
-                    for w in windows
-                    for k in range(hyper // int(round(w.period)))
-                ]
+            spans = [
+                kernels.window_intervals(
+                    period, active, start, hyper // int(round(period)), float("inf")
+                )
+                for period, active, start, __ in windows
+            ]
+            per_hyper = kernels.merged_interval_length(
+                np.concatenate([lo for lo, __ in spans]),
+                np.concatenate([hi for __, hi in spans]),
             )
             full, rest = divmod(horizon, hyper)
             total = per_hyper * full
@@ -146,25 +159,31 @@ def union_length(windows: Sequence[PeriodicWindow], horizon: float) -> float:
                 total += _clipped_union(windows, rest)
             return min(total, float(horizon))
 
-    count = sum(min(w.repeats, math.ceil(horizon / w.period)) for w in windows)
+    count = sum(min(w[3], math.ceil(horizon / w[0])) for w in windows)
     if count > MAX_UNION_INTERVALS:
-        return min(sum(w.total_active for w in windows), float(horizon))
+        return min(sum(w[1] * w[3] for w in windows), float(horizon))
     return _clipped_union(windows, horizon)
 
 
-def _clipped_union(windows: Sequence[PeriodicWindow], horizon: float) -> float:
+def _clipped_union(windows: Sequence[WindowParams], horizon: float) -> float:
     """Direct interval merge of the windows clipped to ``[0, horizon)``."""
-    intervals: List[Tuple[float, float]] = []
-    for w in windows:
-        k_max = min(w.repeats, math.ceil(horizon / w.period))
-        for k in range(k_max):
-            lo = k * w.period + w.start
-            if lo >= horizon:
-                break
-            intervals.append((lo, min(lo + w.active, horizon)))
-    if not intervals:
+    windows = [
+        (w.period, w.active, w.start, w.repeats)
+        if isinstance(w, PeriodicWindow)
+        else w
+        for w in windows
+    ]
+    spans = [
+        kernels.window_intervals(
+            period, active, start, min(repeats, math.ceil(horizon / period)), horizon
+        )
+        for period, active, start, repeats in windows
+    ]
+    lo = np.concatenate([l for l, __ in spans])
+    if lo.shape[0] == 0:
         return 0.0
-    return _merged_length(intervals)
+    hi = np.concatenate([h for __, h in spans])
+    return kernels.merged_interval_length(lo, hi)
 
 
 def intersection_length(a: PeriodicWindow, b: PeriodicWindow, horizon: float) -> float:

@@ -11,15 +11,14 @@ are interchangeable, so the number of distinct orders is the multinomial
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 
-def prime_factors(n: int) -> List[int]:
-    """Prime factorization of ``n >= 1`` in ascending order (1 -> [])."""
-    if n < 1:
-        raise ValueError("n must be >= 1")
+@functools.lru_cache(maxsize=4096)
+def _prime_factors_cached(n: int) -> Tuple[int, ...]:
     factors: List[int] = []
     d = 2
     while d * d <= n:
@@ -29,6 +28,30 @@ def prime_factors(n: int) -> List[int]:
         d += 1 if d == 2 else 2
     if n > 1:
         factors.append(n)
+    return tuple(factors)
+
+
+def prime_factors(n: int, lpf_limit: Optional[int] = None) -> List[int]:
+    """Prime factorization of ``n >= 1`` in ascending order (1 -> []).
+
+    ``lpf_limit`` caps the number of loop prime factors the way LOMA's
+    ``lpf_limit`` does: while the factorization is longer, the two
+    smallest factors are merged into their (composite) product. Fewer,
+    coarser factors shrink the loop-order space super-exponentially at
+    the cost of skipping the finest tilings — the mapper's coarse knob
+    for very large layers. The result stays sorted ascending and always
+    multiplies back to ``n``. Layer bounds recur heavily across a sweep,
+    so the trial division itself is memoized.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    factors = list(_prime_factors_cached(n))
+    if lpf_limit is not None:
+        if lpf_limit < 1:
+            raise ValueError(f"lpf_limit must be >= 1, got {lpf_limit}")
+        while len(factors) > lpf_limit:
+            merged = factors[0] * factors[1]
+            factors = sorted(factors[2:] + [merged])
     return factors
 
 

@@ -11,7 +11,12 @@ exhaustive enumeration would find at a tiny fraction of the cost.
 Evaluations route through the wrapped mapper's
 :class:`~repro.engine.EvaluationEngine`, so orders revisited across
 restarts (different climbs converging on the same neighborhood) hit the
-engine cache instead of re-running the model.
+engine cache instead of re-running the model. Each climb round evaluates
+its whole neighborhood as one engine batch — the vectorized batch core
+plus the MUW partial-result memo make re-scoring a perturbed order cheap
+(neighbors share almost all of their window unions with the incumbent) —
+and then accepts the first improving neighbor in generation order, i.e.
+the same move a neighbor-at-a-time first-improvement climb would take.
 """
 
 from __future__ import annotations
@@ -81,6 +86,45 @@ class LocalSearchMapper:
         except MappingError:
             return None
 
+    def _evaluate_orders(
+        self, layer: LayerSpec, orders: List[Order]
+    ) -> List[Optional[MappingSearchResult]]:
+        """Score many orders in one engine batch; ``None`` per bad order."""
+        mappings: List[Optional[Mapping]] = []
+        for order in orders:
+            temporal = self.mapper.allocate(layer, order)
+            if temporal is None:
+                mappings.append(None)
+                continue
+            try:
+                mappings.append(Mapping(layer, self.mapper.spatial, temporal))
+            except MappingError:
+                mappings.append(None)
+        feasible = [m for m in mappings if m is not None]
+        outcomes = iter(
+            self.mapper.engine.evaluate_many(
+                feasible, validate=False, with_energy=self.mapper._wants_energy
+            )
+            if feasible
+            else ()
+        )
+        results: List[Optional[MappingSearchResult]] = []
+        for mapping in mappings:
+            if mapping is None:
+                results.append(None)
+                continue
+            outcome = next(outcomes)
+            if outcome is None:
+                results.append(None)
+                continue
+            results.append(MappingSearchResult(
+                outcome.mapping,
+                outcome.report,
+                outcome.energy,
+                self.mapper._objective(outcome.report, outcome.energy),
+            ))
+        return results
+
     @staticmethod
     def _neighbors(order: Order, rng: random.Random, random_swaps: int) -> Iterator[Order]:
         n = len(order)
@@ -99,7 +143,15 @@ class LocalSearchMapper:
     def climb(
         self, layer: LayerSpec, start: Order
     ) -> Optional[LocalSearchOutcome]:
-        """Hill-climb from one order; None if the start cannot allocate."""
+        """Hill-climb from one order; None if the start cannot allocate.
+
+        Per round the whole neighborhood is evaluated as one engine batch
+        and the first improving neighbor *in generation order* is
+        accepted — the move a neighbor-at-a-time climb would make. The
+        step budget counts generated neighbors either way; the extra
+        scored neighbors land in the engine cache, so later rounds and
+        restarts revisiting them are free.
+        """
         rng = random.Random(self.config.seed)
         current = self._evaluate_order(layer, start)
         if current is None:
@@ -111,14 +163,17 @@ class LocalSearchMapper:
         improved = True
         while improved and steps < self.config.max_steps:
             improved = False
+            round_orders: List[Order] = []
             for neighbor in self._neighbors(
                 current_order, rng, self.config.random_swaps
             ):
                 steps += 1
                 if steps >= self.config.max_steps:
                     break
-                candidate = self._evaluate_order(layer, neighbor)
-                evaluations += 1
+                round_orders.append(neighbor)
+            candidates = self._evaluate_orders(layer, round_orders)
+            evaluations += len(round_orders)
+            for neighbor, candidate in zip(round_orders, candidates):
                 if candidate is not None and candidate.objective < current.objective:
                     current, current_order = candidate, neighbor
                     improved = True

@@ -62,6 +62,7 @@ class MapperConfig:
     keep_top: int = 50              # results retained by search()
     batch_size: int = 256           # mappings per engine batch
     sample_chunk: int = 64          # samples per RNG stream (determinism unit)
+    lpf_limit: Optional[int] = None  # cap loop prime factors per dim (LOMA)
     model_options: ModelOptions = dataclasses.field(default_factory=ModelOptions)
 
     def __post_init__(self) -> None:
@@ -69,6 +70,8 @@ class MapperConfig:
             raise ValueError(f"unknown objective {self.objective!r}")
         if self.batch_size < 1 or self.sample_chunk < 1:
             raise ValueError("batch_size and sample_chunk must be >= 1")
+        if self.lpf_limit is not None and self.lpf_limit < 1:
+            raise ValueError(f"lpf_limit must be >= 1, got {self.lpf_limit}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -122,11 +125,17 @@ class TemporalMapper:
     # ------------------------------------------------------------------ #
 
     def loop_multiset(self, layer: LayerSpec) -> List[Tuple[LoopDim, int]]:
-        """The (dim, prime factor) loop atoms left for temporal mapping."""
+        """The (dim, factor) loop atoms left for temporal mapping.
+
+        With ``config.lpf_limit`` set, each dimension contributes at most
+        that many (possibly composite) factors — the LOMA pruning knob.
+        """
         atoms: List[Tuple[LoopDim, int]] = []
         for dim in ALL_DIMS:
             bound = self.spatial.temporal_bound(dim, layer)
-            atoms.extend((dim, f) for f in prime_factors(bound))
+            atoms.extend(
+                (dim, f) for f in prime_factors(bound, self.config.lpf_limit)
+            )
         return atoms
 
     def space_size(self, layer: LayerSpec) -> int:
@@ -247,10 +256,19 @@ class TemporalMapper:
     # ------------------------------------------------------------------ #
 
     def mappings(self, layer: LayerSpec) -> Iterator[Mapping]:
-        """All allocatable mappings of ``layer`` (within the search budget)."""
+        """All allocatable mappings of ``layer`` (within the search budget).
+
+        Beyond exact duplicates, model-equivalent allocations are emitted
+        once: two mappings whose loop orders differ only by permuting
+        same-dimension loops with no memory-level boundary between them
+        produce identical reports (see :meth:`_canonical_key`), so only
+        the canonical representative reaches the engine. Skips are
+        counted in ``engine.stats.dedup_skipped``.
+        """
         if not self.spatial.fits(self.accelerator.mac_array.size):
             return  # spatial unrolling alone exceeds the array: no mappings
         seen = set()
+        canonical_seen = set()
         for order in self.orders(layer):
             temporal = self.allocate(layer, order)
             if temporal is None:
@@ -261,10 +279,45 @@ class TemporalMapper:
             if key in seen:
                 continue
             seen.add(key)
+            canonical = self._canonical_key(temporal)
+            if canonical in canonical_seen:
+                self.engine.stats.dedup_skipped += 1
+                continue
+            canonical_seen.add(canonical)
             try:
                 yield Mapping(layer, self.spatial, temporal)
             except MappingError:
                 continue
+
+    @staticmethod
+    def _canonical_key(temporal: TemporalMapping):
+        """A key equal for model-equivalent allocations.
+
+        The 3-step model only ever reads loop-size *products* between
+        memory-level boundaries (cut positions) and first/last positions
+        of each dimension run — never the individual factor order inside
+        a maximal run of equal-dimension loops that no operand's cut
+        crosses. Sorting the sizes within each such run therefore maps
+        every member of an equivalence class to the same key; e.g.
+        ``K2 K3 | ...`` and ``K3 K2 | ...`` (same cuts) are one design
+        point, not two.
+        """
+        loops = temporal.loops
+        boundaries = {cut for cuts in temporal.cuts.values() for cut in cuts}
+        canon: List[Tuple[LoopDim, int]] = []
+        i, n = 0, len(loops)
+        while i < n:
+            j = i + 1
+            while j < n and loops[j].dim is loops[i].dim and j not in boundaries:
+                j += 1
+            canon.extend(
+                (loops[i].dim, size)
+                for size in sorted(loop.size for loop in loops[i:j])
+            )
+            i = j
+        return (tuple(canon), tuple(sorted(
+            (op.value, temporal.cuts[op]) for op in Operand
+        )))
 
     @property
     def _wants_energy(self) -> bool:

@@ -1,9 +1,22 @@
-"""LRU cache for evaluation results, keyed on canonical fingerprints."""
+"""LRU caches for evaluation results, keyed on canonical fingerprints.
+
+Two granularities live here:
+
+* :class:`EvaluationCache` — whole :class:`~repro.core.report.LatencyReport`
+  (or energy report) objects keyed on (kind, accelerator, options, mapping)
+  fingerprints: a mapping seen twice is never re-evaluated.
+* :class:`PartialResultCache` — *sub-evaluation* intermediates keyed on
+  their own closed-form inputs, currently the multi-window MUW unions of
+  Step 2. Neighboring mappings in a DSE sweep (a hill-climb swap, a
+  re-factorized loop) mostly re-derive identical window parameter sets, so
+  the batch evaluator consults this cache before merging intervals — the
+  incremental re-evaluation path that makes local search cheap.
+"""
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 
 class EvaluationCache:
@@ -45,4 +58,45 @@ class EvaluationCache:
 
     def clear(self) -> None:
         """Drop every entry."""
+        self._data.clear()
+
+
+class PartialResultCache:
+    """Memo for sub-evaluation intermediates (MUW unions, ...) with counters.
+
+    Values are pure functions of their keys, so sharing one instance
+    across engines, accelerators and worker processes is always sound —
+    the key must encode *every* input of the computation (the batch
+    evaluator uses ``("muw", window_params, horizon)``). ``hits`` and
+    ``misses`` feed :class:`~repro.observability.stats.EngineStats` and
+    the ``CacheStats`` progress event.
+    """
+
+    def __init__(self, maxsize: int = 262144) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, computing and inserting on miss."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+            return value
+        self.hits += 1
+        return self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
         self._data.clear()

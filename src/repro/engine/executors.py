@@ -2,10 +2,12 @@
 
 The engine splits a batch of mappings into chunks and hands each chunk to
 a backend as a self-contained payload ``(accelerator, options, mappings,
-validate, with_energy, trace)``. Chunks are dispatched and reassembled in
-list order, so the serial and parallel backends produce byte-identical
-result sequences — worker scheduling can never reorder or change the
-numbers.
+validate, with_energy, trace)`` — optionally extended with a seventh
+``use_batch`` flag that routes the chunk through the vectorized
+:class:`~repro.core.batch.BatchEvaluator` (older 6-tuples keep working).
+Chunks are dispatched and reassembled in list order, so the serial and
+parallel backends produce byte-identical result sequences — worker
+scheduling can never reorder or change the numbers.
 
 Tracing survives the fan-out: when the payload's ``trace`` flag is set,
 :func:`evaluate_chunk` runs under a chunk-local
@@ -25,20 +27,31 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.core.batch import BatchEvaluator, BatchLoweringError
 from repro.core.model import LatencyModel
 from repro.core.report import LatencyReport
 from repro.core.step1 import ModelOptions
 from repro.energy.energy_model import EnergyModel, EnergyReport
+from repro.engine.cache import PartialResultCache
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import Mapping, MappingError
 from repro.observability.progress import worker_id
 from repro.observability.span import SpanRecord
 from repro.observability.tracer import Tracer, use_tracer
 
-#: One chunk of work shipped to a backend (picklable end to end).
+#: One chunk of work shipped to a backend (picklable end to end). A
+#: seventh ``use_batch: bool`` element may follow; it is optional so
+#: pre-batching payload producers stay valid.
 ChunkPayload = Tuple[
     Accelerator, ModelOptions, Tuple[Mapping, ...], bool, bool, bool
 ]
+
+#: MUW-union memo shared by every batched chunk this process evaluates.
+#: Keys encode all inputs of the memoized computation, so one cache per
+#: worker process is sound across accelerators, options and layers — and
+#: it is exactly what makes re-evaluating a perturbed mapping cheap: a
+#: hill-climb neighbor reuses most of its parent's window unions.
+_PARTIAL_CACHE = PartialResultCache()
 #: Per-mapping outcome: (latency report, optional energy report, kernel
 #: wall seconds — measured where the kernel ran, so process-pool runs
 #: ledger honest per-evaluation times), or None when the mapping raised
@@ -61,6 +74,9 @@ class ChunkTiming:
     wall_s: float        # chunk wall time, measured where it ran
     evaluated: int       # mappings that produced a report
     errors: int          # mappings that raised MappingError
+    batched: int = 0     # evaluations served by the vectorized batch core
+    partial_hits: int = 0    # MUW-memo hits this chunk (worker-local cache)
+    partial_misses: int = 0  # MUW-memo misses this chunk
 
 
 #: What a backend returns per chunk: the outcomes, the chunk-local span
@@ -74,12 +90,15 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
 
     Module-level (not a closure) so process pools can pickle it.
     """
-    accelerator, options, mappings, validate, with_energy, trace = payload
+    accelerator, options, mappings, validate, with_energy, trace = payload[:6]
+    use_batch = bool(payload[6]) if len(payload) > 6 else False
     model = LatencyModel(accelerator, options)
     energy_model = EnergyModel(accelerator) if with_energy else None
     out: ChunkOutcomes = []
+    batched = 0
     tracer = Tracer() if trace else None
     chunk_t0 = time.perf_counter()
+    hits0, misses0 = _PARTIAL_CACHE.hits, _PARTIAL_CACHE.misses
 
     def run() -> None:
         for mapping in mappings:
@@ -92,9 +111,17 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
             energy = energy_model.evaluate(mapping) if energy_model else None
             out.append((report, energy, time.perf_counter() - t0))
 
-    if tracer is None:
-        run()
+    if tracer is None and use_batch:
+        # The batch core produces bit-for-bit the numbers of the scalar
+        # loop above (a registered verify property); it does not emit
+        # spans, so traced chunks keep the scalar path.
+        out, batched = _run_batched(
+            model, accelerator, options, mappings, validate, energy_model
+        )
         records: List[SpanRecord] = []
+    elif tracer is None:
+        run()
+        records = []
     else:
         with use_tracer(tracer):
             run()
@@ -105,8 +132,77 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkResult:
         wall_s=time.perf_counter() - chunk_t0,
         evaluated=len(out) - errors,
         errors=errors,
+        batched=batched,
+        partial_hits=_PARTIAL_CACHE.hits - hits0,
+        partial_misses=_PARTIAL_CACHE.misses - misses0,
     )
     return out, records, timing
+
+
+def _run_batched(
+    model: LatencyModel,
+    accelerator: Accelerator,
+    options: ModelOptions,
+    mappings: Tuple[Mapping, ...],
+    validate: bool,
+    energy_model: Optional[EnergyModel],
+) -> Tuple[ChunkOutcomes, int]:
+    """Chunk body of the vectorized path: group-by-layer, batch, fall back.
+
+    Validation and energy stay per-mapping (they are cheap relative to the
+    latency kernels and have no vectorized form); invalid mappings become
+    ``None`` outcomes exactly as on the scalar path. Mappings the batch
+    evaluator cannot lower — or a group it rejects — run through the
+    scalar model so the chunk's outcome list is always complete.
+    """
+    n = len(mappings)
+    out: ChunkOutcomes = [None] * n
+    evaluator = BatchEvaluator(accelerator, options, muw_cache=_PARTIAL_CACHE)
+    scalar_idx: List[int] = []
+    groups: List[Tuple[object, List[int]]] = []  # (layer, mapping indices)
+    for i, mapping in enumerate(mappings):
+        if validate:
+            try:
+                model.check(mapping)
+            except MappingError:
+                continue  # outcome stays None, counted as an error
+        if not evaluator.supports(mapping):
+            scalar_idx.append(i)
+            continue
+        for layer, idxs in groups:
+            if mapping.layer is layer or mapping.layer == layer:
+                idxs.append(i)
+                break
+        else:
+            groups.append((mapping.layer, [i]))
+
+    batched = 0
+    for __, idxs in groups:
+        group = [mappings[i] for i in idxs]
+        t0 = time.perf_counter()
+        try:
+            result = evaluator.evaluate(group, materialize=True)
+        except BatchLoweringError:
+            scalar_idx.extend(idxs)
+            continue
+        per_map = (time.perf_counter() - t0) / len(idxs)
+        for i, report in zip(idxs, result.reports):
+            t1 = time.perf_counter()
+            energy = energy_model.evaluate(mappings[i]) if energy_model else None
+            out[i] = (report, energy, per_map + (time.perf_counter() - t1))
+        batched += len(idxs)
+
+    for i in sorted(scalar_idx):
+        t0 = time.perf_counter()
+        try:
+            # validate=False: mappings reaching here already passed check()
+            # above (or the caller asked for no validation).
+            report = model.evaluate(mappings[i], validate=False)
+        except MappingError:
+            continue
+        energy = energy_model.evaluate(mappings[i]) if energy_model else None
+        out[i] = (report, energy, time.perf_counter() - t0)
+    return out, batched
 
 
 class SerialBackend:

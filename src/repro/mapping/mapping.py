@@ -175,14 +175,12 @@ def is_valid(mapping: Mapping, accelerator: "Accelerator") -> bool:
 
 def utilization_scenario(mapping: Mapping, array_size: int, temporal_stall: float) -> int:
     """Classify into the four Fig. 1(b) scenarios (1-4)."""
-    spatially_full = math.isclose(
-        mapping.ideal_cycles(array_size), mapping.spatial_cycles
+    from repro.core.kernels import scenario_code
+
+    return int(
+        scenario_code(
+            mapping.ideal_cycles(array_size),
+            float(mapping.spatial_cycles),
+            temporal_stall,
+        )
     )
-    temporally_full = temporal_stall <= 0
-    if spatially_full and temporally_full:
-        return 1
-    if not spatially_full and temporally_full:
-        return 2
-    if spatially_full and not temporally_full:
-        return 3
-    return 4

@@ -136,12 +136,20 @@ class BestSoFar:
 
 @dataclasses.dataclass(frozen=True)
 class CacheStats:
-    """Engine-cache counters at a point in time."""
+    """Engine-cache counters at a point in time.
+
+    ``dedup_skipped`` counts mapper candidates dropped as model-equivalent
+    before evaluation; ``partial_hits``/``partial_misses`` are the
+    partial-result (MUW memo) cache counters of the batch evaluator.
+    """
 
     run_id: str
     hits: int = 0
     misses: int = 0
     hit_rate: float = 0.0
+    dedup_skipped: int = 0
+    partial_hits: int = 0
+    partial_misses: int = 0
     ts: float = 0.0
 
 
@@ -423,7 +431,15 @@ class RunHandle:
         )
         return True
 
-    def cache_stats(self, hits: int, misses: int) -> None:
+    def cache_stats(
+        self,
+        hits: int,
+        misses: int,
+        *,
+        dedup_skipped: int = 0,
+        partial_hits: int = 0,
+        partial_misses: int = 0,
+    ) -> None:
         """Snapshot the engine cache counters into the stream."""
         requests = hits + misses
         self._emitter.emit(
@@ -432,6 +448,9 @@ class RunHandle:
                 hits=hits,
                 misses=misses,
                 hit_rate=hits / requests if requests else 0.0,
+                dedup_skipped=dedup_skipped,
+                partial_hits=partial_hits,
+                partial_misses=partial_misses,
                 ts=self._emitter.clock(),
             )
         )
@@ -489,7 +508,7 @@ class NullRunHandle:
     def best(self, objective: float, **kwargs: Any) -> bool:
         return False
 
-    def cache_stats(self, hits: int, misses: int) -> None:
+    def cache_stats(self, hits: int, misses: int, **kwargs: Any) -> None:
         pass
 
     def finish(self) -> None:

@@ -29,6 +29,10 @@ class EngineStats:
     cache_misses: int = 0
     batches: int = 0              # evaluate_many calls
     errors: int = 0               # mappings that raised MappingError in a batch
+    batched_evaluations: int = 0  # evaluations served by the SoA batch core
+    dedup_skipped: int = 0        # mapper candidates dropped as model-equivalent
+    partial_hits: int = 0         # partial-result (MUW memo) cache hits
+    partial_misses: int = 0       # partial-result (MUW memo) cache misses
     phase_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -61,6 +65,10 @@ class EngineStats:
         self.cache_misses = 0
         self.batches = 0
         self.errors = 0
+        self.batched_evaluations = 0
+        self.dedup_skipped = 0
+        self.partial_hits = 0
+        self.partial_misses = 0
         self.phase_seconds = {}
 
     def snapshot(self) -> Dict[str, float]:
@@ -73,6 +81,10 @@ class EngineStats:
             "hit_rate": self.hit_rate,
             "batches": float(self.batches),
             "errors": float(self.errors),
+            "batched_evaluations": float(self.batched_evaluations),
+            "dedup_skipped": float(self.dedup_skipped),
+            "partial_hits": float(self.partial_hits),
+            "partial_misses": float(self.partial_misses),
         }
         for name, seconds in sorted(self.phase_seconds.items()):
             data[f"seconds_{name}"] = seconds

@@ -29,6 +29,10 @@ in :data:`PROPERTIES`. The oracles restate the paper's algebra as checks:
 ``serde_roundtrip``
     The accelerator survives a serde round trip with an identical
     fingerprint and an identical latency report.
+``batch_scalar_parity``
+    The vectorized batch evaluator reproduces the scalar model's numbers
+    bit-for-bit (``==``, no tolerance) — the contract that lets the
+    engine route sweeps through the SoA core without changing results.
 """
 
 from __future__ import annotations
@@ -419,6 +423,51 @@ def serde_roundtrip(
     return out
 
 
+def batch_scalar_parity(
+    case: Case, ctx: CaseContext, tol: Tolerance
+) -> List[Violation]:
+    """The batch evaluator's numbers equal the scalar report exactly.
+
+    Both paths run the identical kernels in the identical reduction
+    order (see ``repro/core/kernels.py``), so the comparison is ``==``
+    with no epsilon: any drift means one path reordered floating-point
+    work. Cases the batch core cannot lower are skipped, not failed —
+    ``supports``/``BatchLoweringError`` route them to the scalar model
+    in production too.
+    """
+    from repro.core.batch import BatchEvaluator, BatchLoweringError
+
+    evaluator = BatchEvaluator(case.accelerator)
+    if not evaluator.supports(case.mapping):
+        return []
+    try:
+        result = evaluator.evaluate([case.mapping], materialize=True)
+    except BatchLoweringError:
+        return []
+    out: List[Violation] = []
+    scalar = ctx.report
+    batch = result.reports[0]
+    for field in (
+        "cc_ideal", "cc_spatial", "ss_overall", "preload", "offload",
+        "total_cycles", "utilization", "scenario",
+    ):
+        s, b = getattr(scalar, field), getattr(batch, field)
+        if s != b:
+            out.append(_violation(
+                "batch_scalar_parity", case,
+                f"batch {field} differs from scalar (must be bit-for-bit)",
+                scalar=float(s), batch=float(b),
+            ))
+    s_served = [(str(s.operand), s.level, s.ss) for s in scalar.served_stalls]
+    b_served = [(str(s.operand), s.level, s.ss) for s in batch.served_stalls]
+    if s_served != b_served:
+        out.append(_violation(
+            "batch_scalar_parity", case,
+            "batch served-memory stalls differ from scalar",
+        ))
+    return out
+
+
 PROPERTIES: Dict[str, PropertyFn] = {
     "hard_lower_bounds": hard_lower_bounds,
     "model_tracks_simulator": model_tracks_simulator,
@@ -427,6 +476,7 @@ PROPERTIES: Dict[str, PropertyFn] = {
     "integration_consistency": integration_consistency,
     "bandwidth_monotonicity": bandwidth_monotonicity,
     "serde_roundtrip": serde_roundtrip,
+    "batch_scalar_parity": batch_scalar_parity,
 }
 
 

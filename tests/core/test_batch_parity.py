@@ -1,0 +1,134 @@
+"""Batch-vs-scalar bit-for-bit parity of the SoA evaluation core.
+
+The batch evaluator's contract is exact equality (``==``, no tolerance)
+with the scalar 3-step model — both run the same kernels in the same
+reduction order. These tests enforce the contract over the committed
+verification corpus, a fresh generator-sampled population, and dense
+mapper sweeps on the paper's presets.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.batch import BatchEvaluator, BatchLoweringError
+from repro.core.model import LatencyModel
+from repro.core.step1 import ModelOptions
+from repro.dse.mapper import MapperConfig, TemporalMapper
+from repro.hardware.presets import case_study_accelerator, shared_lb_accelerator
+from repro.verify.corpus import load_corpus
+from repro.verify.generators import sample_cases
+from repro.verify.properties import check_case
+from repro.workload.generator import dense_layer
+
+COMMITTED_CORPUS = pathlib.Path(__file__).parent.parent / "verify" / "corpus"
+
+FRESH_CASES = 200
+
+EXACT_FIELDS = (
+    "cc_ideal", "cc_spatial", "ss_overall", "preload", "offload",
+    "total_cycles", "utilization", "scenario",
+)
+
+
+def assert_reports_identical(scalar, batch, label=""):
+    for field in EXACT_FIELDS:
+        s, b = getattr(scalar, field), getattr(batch, field)
+        assert s == b, f"{label}: {field} scalar={s!r} batch={b!r}"
+    served_s = [(str(x.operand), x.level, x.memory, x.ss, x.limiting_port)
+                for x in scalar.served_stalls]
+    served_b = [(str(x.operand), x.level, x.memory, x.ss, x.limiting_port)
+                for x in batch.served_stalls]
+    assert served_s == served_b, f"{label}: served stalls differ"
+    assert scalar.integration.group_stalls == batch.integration.group_stalls, (
+        f"{label}: integration group stalls differ"
+    )
+
+
+def test_parity_property_on_committed_corpus():
+    entries = load_corpus(COMMITTED_CORPUS)
+    assert entries, "committed corpus must not be empty"
+    for entry in entries:
+        violations = check_case(entry.case, properties=["batch_scalar_parity"])
+        assert not violations, "\n".join(v.describe() for v in violations)
+
+
+def test_parity_on_fresh_generated_cases():
+    """200 generator-sampled random machines/mappings agree exactly.
+
+    Cases sharing one machine+layer slot are evaluated as one batch, so
+    this also exercises multi-lane lowering, not just n=1 batches.
+    """
+    cases = sample_cases(seed=1307, count=FRESH_CASES)
+    assert len(cases) == FRESH_CASES
+    groups = []
+    for case in cases:
+        if groups and groups[-1][0].accelerator is case.accelerator \
+                and groups[-1][0].layer is case.layer:
+            groups[-1].append(case)
+        else:
+            groups.append([case])
+    checked = 0
+    for group in groups:
+        accelerator = group[0].accelerator
+        model = LatencyModel(accelerator)
+        evaluator = BatchEvaluator(accelerator)
+        mappings = [c.mapping for c in group if evaluator.supports(c.mapping)]
+        if not mappings:
+            continue
+        try:
+            result = evaluator.evaluate(mappings, materialize=True)
+        except BatchLoweringError:
+            continue
+        for case_mapping, batch_report in zip(mappings, result.reports):
+            scalar = model.evaluate(case_mapping, validate=False)
+            assert_reports_identical(scalar, batch_report, accelerator.name)
+            checked += 1
+    # The generated space must not silently drift out of batch coverage.
+    assert checked >= FRESH_CASES * 0.9
+
+
+@pytest.mark.parametrize(
+    "preset_fn, options",
+    [
+        (case_study_accelerator, ModelOptions()),
+        (case_study_accelerator, ModelOptions.paper_faithful()),
+        (shared_lb_accelerator, ModelOptions(served_rule="sum")),
+    ],
+    ids=["case-default", "case-paper", "sharedlb-sum"],
+)
+def test_parity_on_preset_mapper_sweep(preset_fn, options, small_layer):
+    preset = preset_fn()
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=200, samples=100, model_options=options),
+    )
+    mappings = list(mapper.mappings(small_layer))[:120]
+    assert mappings
+    model = LatencyModel(preset.accelerator, options)
+    batch = BatchEvaluator(preset.accelerator, options).evaluate(
+        mappings, materialize=True
+    )
+    for i, (mapping, report) in enumerate(zip(mappings, batch.reports)):
+        scalar = model.evaluate(mapping, validate=False)
+        assert_reports_identical(scalar, report, f"mapping[{i}]")
+
+
+def test_slim_batch_result_skips_report_objects():
+    """``materialize=False`` returns arrays only — the DSE fast path."""
+    preset = case_study_accelerator()
+    mapper = TemporalMapper(
+        preset.accelerator,
+        preset.spatial_unrolling,
+        MapperConfig(max_enumerated=100, samples=50),
+    )
+    layer = dense_layer(32, 32, 64)
+    mappings = list(mapper.mappings(layer))[:40]
+    evaluator = BatchEvaluator(preset.accelerator)
+    slim = evaluator.evaluate(mappings, materialize=False)
+    full = evaluator.evaluate(mappings, materialize=True)
+    assert slim.reports is None
+    assert full.reports is not None and len(full.reports) == len(mappings)
+    assert slim.total_cycles.tolist() == full.total_cycles.tolist()
+    assert slim.ss_overall.tolist() == full.ss_overall.tolist()

@@ -74,3 +74,32 @@ def test_sample_permutations_distinct():
 def test_sample_permutations_small_space_terminates():
     samples = list(sample_permutations(["a", "b"], 10, random.Random(0)))
     assert set(samples) <= {("a", "b"), ("b", "a")}
+
+
+def test_lpf_limit_merges_smallest_factors():
+    # 600 = 2*2*2*3*5*5; merging the two smallest repeatedly:
+    assert prime_factors(600, lpf_limit=6) == [2, 2, 2, 3, 5, 5]
+    assert prime_factors(600, lpf_limit=5) == [2, 3, 4, 5, 5]
+    assert prime_factors(600, lpf_limit=3) == [5, 6, 20]
+    assert prime_factors(600, lpf_limit=1) == [600]
+    # A limit above the factor count is a no-op.
+    assert prime_factors(97, lpf_limit=4) == [97]
+    with pytest.raises(ValueError):
+        prime_factors(12, lpf_limit=0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(1, 100_000), limit=st.integers(1, 8))
+def test_lpf_limit_preserves_product_and_shrinks_count(n, limit):
+    pruned = prime_factors(n, lpf_limit=limit)
+    assert math.prod(pruned) == n
+    assert len(pruned) <= max(limit, 0) or n == 1
+    assert pruned == sorted(pruned)
+    # Pruning never yields more factors than the full split.
+    assert len(pruned) <= len(prime_factors(n))
+
+
+def test_prime_factors_memo_returns_fresh_lists():
+    first = prime_factors(360)
+    first.append(99)  # callers may mutate their copy
+    assert prime_factors(360) == [2, 2, 2, 3, 3, 5]
