@@ -12,8 +12,15 @@ Quickstart — the single-entry facade (:mod:`repro.api`)::
 
     from repro import api
 
-    report = api.evaluate("case-study", "64,128,1200")
+    report = api.evaluate("64,128,1200")                    # case-study preset
+    report = api.evaluate("64,128,1200", engine="inhouse")  # named preset
     print(report.summary())
+
+Evaluation is location-transparent: ``engine=`` takes anything
+implementing the :class:`~repro.engine.Evaluator` protocol — an
+in-process :class:`~repro.engine.EvaluationEngine`, or a
+:class:`~repro.serve.RemoteEngine` connected to a ``repro-latency
+serve`` daemon (``engine="serve://host:port"``).
 
 or, driving the machinery directly::
 
@@ -52,7 +59,13 @@ from repro.core import (
 from repro.core.advisor import UpgradeAdvisor
 from repro.core.sensitivity import SensitivityAnalyzer
 from repro.energy import EnergyModel, EnergyReport
-from repro.engine import EngineStats, Evaluation, EvaluationCache, EvaluationEngine
+from repro.engine import (
+    EngineStats,
+    Evaluation,
+    EvaluationCache,
+    EvaluationEngine,
+    Evaluator,
+)
 from repro.hardware import Accelerator, MacArray, MemoryHierarchy, MemoryInstance
 from repro.hardware.presets import (
     Preset,
@@ -62,6 +75,7 @@ from repro.hardware.presets import (
     shared_lb_accelerator,
 )
 from repro.mapping import Mapping, SpatialMapping, TemporalMapping
+from repro.serve import RemoteEngine, connect
 from repro.simulator import CycleSimulator, SimulationResult
 from repro.dse import MappingSearchResult, TemporalMapper
 from repro.workload import LayerSpec, LayerType, Operand, dense_layer, im2col
@@ -78,6 +92,7 @@ __all__ = [
     "Evaluation",
     "EvaluationCache",
     "EvaluationEngine",
+    "Evaluator",
     "LatencyModel",
     "LatencyReport",
     "LayerSpec",
@@ -91,6 +106,7 @@ __all__ = [
     "NetworkEvaluator",
     "Operand",
     "Preset",
+    "RemoteEngine",
     "SensitivityAnalyzer",
     "SimulationResult",
     "SpatialMapping",
@@ -100,6 +116,7 @@ __all__ = [
     "api",
     "build_accelerator",
     "case_study_accelerator",
+    "connect",
     "dense_layer",
     "evaluate",
     "evaluate_network",

@@ -6,24 +6,37 @@ machinery (:class:`~repro.engine.EvaluationEngine`,
 :class:`~repro.analysis.network.NetworkEvaluator`):
 
 * :func:`evaluate` — latency of one layer (best-found mapping, or a
-  mapping you supply) on one machine;
+  mapping you supply);
 * :func:`search` — the ranked temporal-mapping candidates of a layer;
 * :func:`evaluate_network` — a whole network, layer by layer.
 
-All three accept either a :class:`~repro.hardware.presets.Preset` (an
-accelerator with its native spatial unrolling) or a bare
-:class:`~repro.hardware.accelerator.Accelerator`, and a layer given as a
-:class:`~repro.workload.layer.LayerSpec`, a ``"B,K,C"`` string, or a
-``(B, K, C)`` tuple. Pass ``engine=`` to share one cache/executor across
-calls; otherwise each call builds a throwaway serial engine via
-:meth:`EvaluationEngine.from_preset`.
+Since PR 7 the verbs are built around the
+:class:`~repro.engine.Evaluator` protocol: *where* evaluation happens is
+entirely the ``engine=`` argument, which accepts
+
+* any :class:`~repro.engine.Evaluator` — an in-process
+  :class:`~repro.engine.EvaluationEngine`, a
+  :class:`~repro.serve.RemoteEngine`, or your own implementation;
+* a :class:`~repro.hardware.presets.Preset` or bare
+  :class:`~repro.hardware.accelerator.Accelerator` (a throwaway serial
+  engine is built and closed after the call);
+* a preset name (``"case-study"``, ``"inhouse"``) — the default is
+  ``"case-study"``;
+* a service URL — ``"serve://host:port"`` or ``"unix:///path.sock"`` —
+  which connects a :class:`~repro.serve.RemoteEngine` to a running
+  ``repro-latency serve`` daemon.
+
+Layers are given as a :class:`~repro.workload.layer.LayerSpec`, a
+``"B,K,C"`` string, or a ``(B, K, C)`` tuple.
 
 Quickstart::
 
     from repro import api
 
-    report = api.evaluate("case-study", "64,128,1200")
-    print(report.summary())
+    report = api.evaluate("64,128,1200")                      # case-study preset
+    report = api.evaluate("64,128,1200", engine="inhouse")    # named preset
+    report = api.evaluate("64,128,1200",
+                          engine="serve://127.0.0.1:7421")    # remote daemon
 
 Observability composes through the ambient context::
 
@@ -31,17 +44,22 @@ Observability composes through the ambient context::
 
     tracer = Tracer()
     with use_tracer(tracer):
-        api.evaluate("case-study", "64,128,1200")
+        api.evaluate("64,128,1200")
     print(len(tracer.records), "spans")
+
+The pre-PR 7 accelerator-first call shapes
+(``evaluate("case-study", "64,128,1200")``) keep working through a thin
+shim that emits one :class:`DeprecationWarning` per process.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.report import LatencyReport
 from repro.dse.mapper import MapperConfig, MappingSearchResult, TemporalMapper
-from repro.engine import EvaluationEngine
+from repro.engine import EvaluationEngine, Evaluator
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.presets import (
     Preset,
@@ -52,38 +70,61 @@ from repro.mapping.mapping import Mapping
 from repro.workload.generator import dense_layer
 from repro.workload.layer import LayerSpec
 
-AcceleratorLike = Union[Preset, Accelerator, str]
+EngineLike = Union[Evaluator, Preset, Accelerator, str]
 LayerLike = Union[LayerSpec, str, Tuple[int, int, int]]
 
 __all__ = ["evaluate", "search", "evaluate_network"]
+
+_PRESET_NAMES = {
+    "case-study": case_study_accelerator,
+    "case_study": case_study_accelerator,
+    "inhouse": inhouse_accelerator,
+}
+_URL_SCHEMES = ("serve://", "unix://")
+
+#: What ``engine=None`` means.
+DEFAULT_ENGINE = "case-study"
 
 
 # --------------------------------------------------------------------- #
 # Input coercion
 # --------------------------------------------------------------------- #
 
-def _as_preset(accelerator: AcceleratorLike) -> Preset:
-    """Accept a Preset, a bare Accelerator, or a named preset string."""
-    if isinstance(accelerator, Preset):
-        return accelerator
-    if isinstance(accelerator, Accelerator):
+def _as_engine(engine: EngineLike) -> Tuple[Evaluator, bool]:
+    """Coerce ``engine=`` to an Evaluator; the bool says the verb owns it.
+
+    Owned engines (built or connected here) are closed when the verb
+    returns; engines the caller passed in stay open — their cache and
+    stats are the point of passing them.
+    """
+    if isinstance(engine, str):
+        if engine.startswith(_URL_SCHEMES):
+            from repro.serve.client import RemoteEngine
+
+            return RemoteEngine(engine), True
+        builder = _PRESET_NAMES.get(engine)
+        if builder is None:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of "
+                f"{sorted(set(_PRESET_NAMES))}, a serve://host:port or "
+                f"unix:///path URL, a Preset/Accelerator, or an Evaluator"
+            )
+        return EvaluationEngine.from_preset(builder()), True
+    if isinstance(engine, Preset):
+        return EvaluationEngine.from_preset(engine), True
+    if isinstance(engine, Accelerator):
         # No native unrolling known: purely temporal mapping.
-        return Preset(accelerator=accelerator, spatial_unrolling={})
-    if isinstance(accelerator, str):
-        names = {
-            "case-study": case_study_accelerator,
-            "case_study": case_study_accelerator,
-            "inhouse": inhouse_accelerator,
-        }
-        if accelerator in names:
-            return names[accelerator]()
-        raise ValueError(
-            f"unknown accelerator preset {accelerator!r}; "
-            f"expected one of {sorted(set(names))} or a Preset/Accelerator"
+        return (
+            EvaluationEngine.from_preset(
+                Preset(accelerator=engine, spatial_unrolling={})
+            ),
+            True,
         )
+    if isinstance(engine, Evaluator):
+        return engine, False
     raise TypeError(
-        f"accelerator must be a Preset, Accelerator or preset name, "
-        f"not {type(accelerator).__name__}"
+        f"engine must be an Evaluator, Preset, Accelerator, preset name "
+        f"or service URL, not {type(engine).__name__}"
     )
 
 
@@ -100,12 +141,69 @@ def _as_layer(layer: LayerLike) -> LayerSpec:
     return dense_layer(*parts)
 
 
-def _engine_for(
-    preset: Preset, engine: Optional[EvaluationEngine]
-) -> EvaluationEngine:
-    if engine is None:
-        return EvaluationEngine.from_preset(preset)
-    return engine
+# --------------------------------------------------------------------- #
+# Legacy accelerator-first shapes (pre-PR 7): detection + one warning
+# --------------------------------------------------------------------- #
+
+_legacy_warned = False
+
+
+def _is_engine_like(value) -> bool:
+    """Could ``value`` have been the old positional ``accelerator``?"""
+    if isinstance(value, (Preset, Accelerator)):
+        return True
+    return isinstance(value, str) and (
+        value in _PRESET_NAMES or value.startswith(_URL_SCHEMES)
+    )
+
+
+def _warn_legacy(verb: str) -> None:
+    global _legacy_warned
+    if not _legacy_warned:
+        warnings.warn(
+            f"api.{verb}(accelerator, layer, ...) is deprecated; the layer "
+            f"comes first now and the machine is the engine= argument: "
+            f"{verb}(layer, engine=accelerator). The old shape keeps "
+            "working but will be removed.",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        _legacy_warned = True
+
+
+def _resolve(
+    engine: Optional[EngineLike], legacy_accelerator=None
+) -> Tuple[Evaluator, bool, Accelerator, dict]:
+    """The verb's engine plus the mapper geometry (machine + unrolling).
+
+    In the modern shape the engine *is* the geometry; in the legacy
+    shape the positional accelerator defines the geometry while an
+    explicitly passed ``engine=`` keeps supplying cache and execution,
+    exactly as before the redesign.
+    """
+    if legacy_accelerator is not None:
+        if isinstance(legacy_accelerator, Preset):
+            preset = legacy_accelerator
+        elif isinstance(legacy_accelerator, Accelerator):
+            preset = Preset(accelerator=legacy_accelerator, spatial_unrolling={})
+        else:  # a preset name (URLs are never legacy accelerators)
+            preset = _PRESET_NAMES[legacy_accelerator]()
+        if engine is None:
+            return (
+                EvaluationEngine.from_preset(preset),
+                True,
+                preset.accelerator,
+                dict(preset.spatial_unrolling),
+            )
+        engine_obj, owned = _as_engine(engine)
+        return engine_obj, owned, preset.accelerator, dict(preset.spatial_unrolling)
+    engine_obj, owned = _as_engine(engine if engine is not None else DEFAULT_ENGINE)
+    return (
+        engine_obj,
+        owned,
+        engine_obj.accelerator,
+        dict(engine_obj.spatial_unrolling),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -113,60 +211,91 @@ def _engine_for(
 # --------------------------------------------------------------------- #
 
 def evaluate(
-    accelerator: AcceleratorLike,
     layer: LayerLike,
     mapping: Optional[Mapping] = None,
-    *,
-    engine: Optional[EvaluationEngine] = None,
+    *args,
+    engine: Optional[EngineLike] = None,
     config: Optional[MapperConfig] = None,
     validate: bool = True,
 ) -> LatencyReport:
-    """Latency of ``layer`` on ``accelerator`` (the paper's 3-step model).
+    """Latency of ``layer`` on ``engine`` (the paper's 3-step model).
 
     With ``mapping=None`` (the default) the mapper searches the temporal
-    space under the preset's spatial unrolling and the best mapping's
-    report is returned; pass an explicit :class:`Mapping` to evaluate it
-    as-is. ``config`` tunes the search budget, ``engine`` shares a cache
-    and executor across calls.
+    space under the engine's native spatial unrolling and the best
+    mapping's report is returned; pass an explicit :class:`Mapping` to
+    evaluate it as-is. ``config`` tunes the search budget; pass a
+    long-lived ``engine`` (or a service URL) to share a cache across
+    calls. ``engine=None`` means the ``"case-study"`` preset.
     """
-    preset = _as_preset(accelerator)
-    engine = _engine_for(preset, engine)
-    if mapping is not None:
-        return engine.evaluate(mapping, validate=validate)
-    mapper = TemporalMapper(
-        preset.accelerator,
-        preset.spatial_unrolling,
-        config or MapperConfig(),
-        engine=engine,
-    )
-    return mapper.best_mapping(_as_layer(layer)).report
+    legacy_accelerator = None
+    if _is_engine_like(layer) and isinstance(mapping, (LayerSpec, str, tuple, list)):
+        # Legacy shape: evaluate(accelerator, layer[, mapping]).
+        _warn_legacy("evaluate")
+        legacy_accelerator, layer = layer, mapping
+        mapping = args[0] if args else None
+        args = args[1:]
+    if args:
+        raise TypeError(
+            f"evaluate() takes at most 2 positional arguments "
+            f"({2 + len(args)} given)"
+        )
+    if mapping is not None and not isinstance(mapping, Mapping):
+        # A second positional that is neither a Mapping nor layer-like:
+        # most plausibly a legacy call with a bad accelerator argument —
+        # coercing it raises the specific error.
+        _as_engine(layer)
+        raise TypeError(f"mapping must be a Mapping, not {type(mapping).__name__}")
+    engine_obj, owned, accelerator, spatial = _resolve(engine, legacy_accelerator)
+    try:
+        if mapping is not None:
+            return engine_obj.evaluate(mapping, validate=validate)
+        mapper = TemporalMapper(
+            accelerator, spatial, config or MapperConfig(), engine=engine_obj
+        )
+        return mapper.best_mapping(_as_layer(layer)).report
+    finally:
+        if owned:
+            engine_obj.close()
 
 
 def search(
-    accelerator: AcceleratorLike,
     layer: LayerLike,
-    *,
-    engine: Optional[EvaluationEngine] = None,
+    *args,
+    engine: Optional[EngineLike] = None,
     config: Optional[MapperConfig] = None,
     top: Optional[int] = None,
 ) -> List[MappingSearchResult]:
     """Ranked temporal-mapping candidates of ``layer``, best first."""
-    preset = _as_preset(accelerator)
-    mapper = TemporalMapper(
-        preset.accelerator,
-        preset.spatial_unrolling,
-        config or MapperConfig(),
-        engine=_engine_for(preset, engine),
-    )
-    results = mapper.search(_as_layer(layer))
-    return results[:top] if top is not None else results
+    legacy_accelerator = None
+    if (
+        args
+        and _is_engine_like(layer)
+        and isinstance(args[0], (LayerSpec, str, tuple, list))
+    ):
+        # Legacy shape: search(accelerator, layer).
+        _warn_legacy("search")
+        legacy_accelerator, layer = layer, args[0]
+        args = args[1:]
+    if args:
+        raise TypeError(
+            f"search() takes 1 positional argument ({1 + len(args)} given)"
+        )
+    engine_obj, owned, accelerator, spatial = _resolve(engine, legacy_accelerator)
+    try:
+        mapper = TemporalMapper(
+            accelerator, spatial, config or MapperConfig(), engine=engine_obj
+        )
+        results = mapper.search(_as_layer(layer))
+        return results[:top] if top is not None else results
+    finally:
+        if owned:
+            engine_obj.close()
 
 
 def evaluate_network(
-    accelerator: AcceleratorLike,
     layers: Sequence[LayerLike],
-    *,
-    engine: Optional[EvaluationEngine] = None,
+    *args,
+    engine: Optional[EngineLike] = None,
     config: Optional[MapperConfig] = None,
     apply_im2col: bool = True,
     with_energy: bool = False,
@@ -174,12 +303,27 @@ def evaluate_network(
     """Evaluate ``layers`` back to back; returns a ``NetworkResult``."""
     from repro.analysis.network import NetworkEvaluator
 
-    preset = _as_preset(accelerator)
-    evaluator = NetworkEvaluator(
-        preset,
-        mapper_config=config,
-        apply_im2col=apply_im2col,
-        with_energy=with_energy,
-        engine=_engine_for(preset, engine),
-    )
-    return evaluator.evaluate([_as_layer(layer) for layer in layers])
+    legacy_accelerator = None
+    if args and _is_engine_like(layers):
+        # Legacy shape: evaluate_network(accelerator, layers).
+        _warn_legacy("evaluate_network")
+        legacy_accelerator, layers = layers, args[0]
+        args = args[1:]
+    if args:
+        raise TypeError(
+            f"evaluate_network() takes 1 positional argument "
+            f"({1 + len(args)} given)"
+        )
+    engine_obj, owned, accelerator, spatial = _resolve(engine, legacy_accelerator)
+    try:
+        evaluator = NetworkEvaluator(
+            Preset(accelerator=accelerator, spatial_unrolling=spatial),
+            mapper_config=config,
+            apply_im2col=apply_im2col,
+            with_energy=with_energy,
+            engine=engine_obj,
+        )
+        return evaluator.evaluate([_as_layer(layer) for layer in layers])
+    finally:
+        if owned:
+            engine_obj.close()

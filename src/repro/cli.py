@@ -11,11 +11,16 @@ Examples::
     repro-latency report --layer 64,128,1200 --html report.html
     repro-latency diff baseline.jsonl runs.sqlite --rel-tol 1e-6
     repro-latency verify --examples 200 --seed 0
+    repro-latency serve --port 7421 --ledger serve.sqlite --events serve.jsonl
+    repro-latency evaluate --layer 64,128,1200 --engine serve://127.0.0.1:7421
 
 Every subcommand shares one option set (chip selection, mapper budget,
 engine workers, observability) declared once on a parent parser;
 :func:`build_engine_from_args` turns the parsed options into the
-:class:`~repro.engine.EvaluationEngine` all flows evaluate through.
+:class:`~repro.engine.Evaluator` all flows evaluate through — an
+in-process :class:`~repro.engine.EvaluationEngine`, or (with
+``--engine URL``) a :class:`~repro.serve.RemoteEngine` speaking to a
+``repro-latency serve`` daemon.
 ``--ledger PATH`` makes any run append its evaluations to a persistent
 :class:`~repro.observability.RunLedger`; ``diff`` compares two ledger
 snapshots (or two git SHAs inside one ledger) and exits non-zero when a
@@ -31,7 +36,11 @@ from typing import List, Optional
 
 from repro.dse.mapper import MapperConfig, TemporalMapper
 from repro.engine import EvaluationEngine
-from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
+from repro.hardware.presets import (
+    Preset,
+    case_study_accelerator,
+    inhouse_accelerator,
+)
 from repro.observability import (
     JsonlSink,
     MetricsRegistry,
@@ -76,24 +85,37 @@ def _preset(args: argparse.Namespace):
     return case_study_accelerator(gb_read_bw=args.gb_bw)
 
 
-def build_engine_from_args(preset, args: argparse.Namespace) -> EvaluationEngine:
+def build_engine_from_args(preset, args: argparse.Namespace):
     """The engine every CLI flow evaluates through (one place, not nine).
 
-    Honors ``--workers`` (process fan-out) and is the hook point for
-    future engine-shaping flags; subcommand handlers must route all
-    evaluations through the returned engine so ``--stats``/``--metrics``
-    see the whole run.
+    Honors ``--workers`` (process fan-out) and ``--engine URL`` (a
+    :class:`~repro.serve.RemoteEngine` connected to a running
+    ``repro-latency serve`` daemon; the URL wins over ``--workers``).
+    Subcommand handlers must route all evaluations through the returned
+    engine so ``--stats``/``--metrics`` see the whole run.
     """
+    url = getattr(args, "engine", None)
+    if url:
+        from repro.serve.client import RemoteEngine
+
+        return RemoteEngine(url)
     return EvaluationEngine.from_preset(preset, workers=args.workers)
 
 
 def _mapper(preset, args: argparse.Namespace) -> TemporalMapper:
     config = MapperConfig(max_enumerated=args.enumerate, samples=args.samples)
+    engine = build_engine_from_args(preset, args)
+    if getattr(args, "engine", None):
+        # Remote engine: search the served machine, not the local --chip.
+        preset = Preset(
+            accelerator=engine.accelerator,
+            spatial_unrolling=dict(engine.spatial_unrolling),
+        )
     return TemporalMapper(
         preset.accelerator,
         preset.spatial_unrolling,
         config,
-        engine=build_engine_from_args(preset, args),
+        engine=engine,
     )
 
 def _finish(engine: EvaluationEngine, args: argparse.Namespace) -> int:
@@ -425,6 +447,54 @@ def _cmd_arch_search(args: argparse.Namespace) -> int:
     return _finish(search.engine, args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the sharded evaluation daemon (see ``docs/SERVICE.md``).
+
+    Runs until SIGINT/SIGTERM or a client ``shutdown`` frame, then
+    drains: queued requests get clean errors, in-flight evaluations
+    finish, and an interrupt leaves a ``kind="interrupted"`` ledger row
+    (plus exit code 130, like every other interrupted flow).
+    """
+    import asyncio
+
+    from repro.observability.progress import current_emitter
+    from repro.serve import EvaluationServer, ServerConfig
+
+    preset = _preset(args)
+    ledger = current_ledger()
+    emitter = current_emitter()
+    config = ServerConfig(
+        preset=preset,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        ledger=ledger if ledger.enabled else None,
+        warm_start=tuple(args.warm_start or ()),
+        emitter=emitter if emitter.enabled else None,
+    )
+    server = EvaluationServer(config)
+    interrupted = asyncio.run(server.run(
+        ready_file=args.ready_file,
+        on_ready=lambda url: print(
+            f"serving {preset.accelerator.name} on {url} "
+            f"({config.shards} shard(s), "
+            f"{server.store.warm_rows} warm row(s))",
+            flush=True,
+        ),
+    ))
+    stats = server.stats_snapshot()
+    print(
+        f"serve: {int(stats['requests'])} request(s), "
+        f"{int(stats['evaluations'])} evaluated, "
+        f"{int(stats['coalesced'])} coalesced, "
+        f"{int(stats['warm_hits'])} warm / {int(stats['store_hits'])} "
+        f"store hit(s)"
+    )
+    return 130 if interrupted else 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     """Render the live dashboard from an events.jsonl recording."""
     from repro.observability.top import run_top
@@ -470,6 +540,12 @@ def _common_options() -> argparse.ArgumentParser:
     engine.add_argument("--workers", type=int, default=0,
                         help="evaluate mapper batches on this many worker "
                              "processes (0 = in-process serial)")
+    engine.add_argument("--engine", default=None, metavar="URL",
+                        help="evaluate against a running 'repro-latency "
+                             "serve' daemon instead of in-process "
+                             "(serve://host:port or unix:///path.sock; "
+                             "overrides --workers, and the search runs "
+                             "on the served machine)")
     obs = common.add_argument_group("observability")
     obs.add_argument("--stats", action="store_true",
                      help="print engine statistics (evaluations, cache "
@@ -589,6 +665,49 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--events", default=None, metavar="FILE",
                         help="stream progress events of the run to this "
                              "JSONL file (same stream as the search flows)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the sharded evaluation daemon: line-framed JSON over "
+             "TCP or a Unix socket, request coalescing, a persistent "
+             "result store warm-started from prior ledgers; clients "
+             "connect with --engine serve://host:port",
+    )
+    serve.set_defaults(func=_cmd_serve)
+    serve.add_argument("--chip", choices=("case-study", "inhouse"),
+                       default="case-study")
+    serve.add_argument("--arch", default=None,
+                       help="JSON accelerator description (overrides --chip)")
+    serve.add_argument("--gb-bw", type=float, default=128.0,
+                       help="GB read/write bandwidth in bits/cycle "
+                            "(case-study chip)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; see --ready-file)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="serve on a Unix socket instead of TCP")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="engine shards (single-thread workers; "
+                            "requests route by mapping fingerprint)")
+    serve.add_argument("--queue-depth", type=int, default=128,
+                       help="bounded per-shard queue length (backpressure)")
+    serve.add_argument("--warm-start", action="append", default=None,
+                       metavar="SNAPSHOT",
+                       help="ledger snapshot (SQLite or JSONL) whose "
+                            "evaluations seed the result store; repeatable")
+    serve.add_argument("--ready-file", default=None, metavar="FILE",
+                       help="write the bound endpoint URL here as JSON "
+                            "once listening (scripts wait on this)")
+    serve.add_argument("--ledger", default=None, metavar="FILE",
+                       help="append every evaluation to this run ledger "
+                            "(the store's persistence; also a future "
+                            "--warm-start source)")
+    serve.add_argument("--events", default=None, metavar="FILE",
+                       help="stream the daemon's health plane (one "
+                            "flow=serve run: per-evaluation progress, "
+                            "cache stats) to this JSONL file; watch with "
+                            "'repro-latency top FILE --follow'")
 
     top = sub.add_parser(
         "top",

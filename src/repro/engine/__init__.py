@@ -9,6 +9,7 @@ story and ``docs/API.md`` ("Evaluation engine") for usage.
 
 from repro.engine.cache import EvaluationCache
 from repro.engine.evaluation import Evaluation, EvaluationEngine
+from repro.engine.evaluator import Evaluator
 from repro.engine.executors import ProcessBackend, SerialBackend, make_backend
 from repro.observability.stats import EngineStats
 
@@ -16,6 +17,7 @@ __all__ = [
     "Evaluation",
     "EvaluationCache",
     "EvaluationEngine",
+    "Evaluator",
     "EngineStats",
     "ProcessBackend",
     "SerialBackend",

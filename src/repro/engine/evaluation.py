@@ -121,6 +121,7 @@ class EvaluationEngine:
         stats: Optional[EngineStats] = None,
         chunk_size: int = 32,
         batch: Union[bool, str] = "auto",
+        spatial_unrolling: Optional[dict] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -130,6 +131,10 @@ class EvaluationEngine:
             )
         self.accelerator = accelerator
         self.options = options or ModelOptions()
+        #: The machine's native dataflow (empty = purely temporal). Part
+        #: of the :class:`~repro.engine.evaluator.Evaluator` protocol so
+        #: callers holding only an evaluator can still seed a mapper.
+        self.spatial_unrolling = dict(spatial_unrolling or {})
         self.use_cache = use_cache
         self.batch = batch
         self.cache = cache if cache is not None else EvaluationCache(cache_size)
@@ -170,6 +175,8 @@ class EvaluationEngine:
             kwargs["executor"] = "process" if workers else "serial"
         if workers and "max_workers" not in kwargs:
             kwargs["max_workers"] = workers
+        if "spatial_unrolling" not in kwargs:
+            kwargs["spatial_unrolling"] = getattr(preset, "spatial_unrolling", None)
         return cls(accelerator, options, **kwargs)
 
     def derive(
@@ -193,6 +200,13 @@ class EvaluationEngine:
             stats=self.stats,
             chunk_size=self.chunk_size,
             batch=self.batch,
+            # The native dataflow belongs to the machine: it travels with
+            # an unchanged accelerator but not onto a different one.
+            spatial_unrolling=(
+                self.spatial_unrolling
+                if accelerator is None or accelerator is self.accelerator
+                else None
+            ),
         )
 
     def close(self) -> None:

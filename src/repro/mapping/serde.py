@@ -1,0 +1,53 @@
+"""JSON (de)serialization of mappings.
+
+Promoted out of the verify corpus in PR 7 so the wire protocol of
+:mod:`repro.serve` and the regression corpus share one schema (the
+corpus delegates here). A mapping dict carries the spatial unrolling,
+the temporal loop stack (innermost first, as stored) and the per-operand
+cut positions::
+
+    {"spatial": {"K": 16, "B": 8},
+     "loops": [["C", 5], ["C", 3], ["B", 2]],
+     "cuts": {"W": [1], "I": [], "O": [2]}}
+
+The layer is *not* embedded — a mapping is always deserialized against
+an explicitly supplied :class:`~repro.workload.layer.LayerSpec` (see
+:func:`mapping_from_dict`), mirroring how :class:`Mapping` itself holds
+a layer reference. Round trips preserve ``mapping.fingerprint()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.mapping.loop import Loop
+from repro.mapping.mapping import Mapping
+from repro.mapping.spatial import SpatialMapping
+from repro.mapping.temporal import TemporalMapping
+from repro.workload.dims import LoopDim
+from repro.workload.layer import LayerSpec
+from repro.workload.operand import Operand
+
+
+def mapping_to_dict(mapping: Mapping) -> Dict:
+    """Serialize a mapping (sans its layer) to a JSON-compatible dict."""
+    return {
+        "spatial": {dim.value: f for dim, f in mapping.spatial.unrolling.items()},
+        "loops": [[loop.dim.value, loop.size] for loop in mapping.temporal.loops],
+        "cuts": {
+            op.value: list(cut) for op, cut in mapping.temporal.cuts.items()
+        },
+    }
+
+
+def mapping_from_dict(data: Dict, layer: LayerSpec) -> Mapping:
+    """Inverse of :func:`mapping_to_dict`, bound to ``layer``."""
+    temporal = TemporalMapping(
+        loops=tuple(Loop(LoopDim(d), int(s)) for d, s in data["loops"]),
+        cuts={Operand(op): tuple(cut) for op, cut in data["cuts"].items()},
+    )
+    spatial = SpatialMapping({LoopDim(d): int(f) for d, f in data["spatial"].items()})
+    return Mapping(layer, spatial, temporal)
+
+
+__all__ = ["mapping_from_dict", "mapping_to_dict"]

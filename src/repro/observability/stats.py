@@ -1,5 +1,5 @@
 """Engine instrumentation counters (canonical home since the
-observability redesign; ``repro.engine.stats`` is a deprecated alias)."""
+observability redesign; also re-exported by ``repro.engine``)."""
 
 from __future__ import annotations
 

@@ -1,0 +1,503 @@
+"""The blocking client: a remote :class:`~repro.engine.Evaluator`.
+
+:class:`RemoteEngine` speaks the :mod:`repro.serve.protocol` wire format
+to an :class:`~repro.serve.server.EvaluationServer` and presents the
+exact :class:`~repro.engine.Evaluator` surface of the in-process
+:class:`~repro.engine.EvaluationEngine` — accelerator, options, cache,
+stats, ``evaluate`` / ``evaluate_many`` / ``evaluate_energy`` /
+``derive`` — so every consumer in the repo (``repro.api``, the temporal
+mapper, the architecture search, ``analysis/network``) runs against a
+daemon unchanged.
+
+The handshake downloads the server's preset (accelerator + native
+spatial unrolling) and model options, so ``connect(url)`` alone yields a
+fully configured engine; ``derive()`` returns views that carry their own
+accelerator/options payload per request, letting one connection serve an
+entire architecture sweep against a single daemon.
+
+Design notes:
+
+* **Pipelining** — ``evaluate_many`` writes every request frame before
+  reading any response, then collects replies by id; the server shards
+  and coalesces, so responses arrive out of order and the id-keyed
+  collection is what keeps the result list parallel to the input.
+* **Local cache** — the client keeps its own fingerprint-keyed
+  :class:`~repro.engine.EvaluationCache` (same key scheme as the
+  in-process engine), so repeated design points never touch the socket;
+  the mapper's whole-search memoization uses the same cache object.
+* **Errors** — the server ships the exception *kind*;
+  ``"MappingError"`` is re-raised as a real
+  :class:`~repro.mapping.mapping.MappingError` (and becomes ``None`` in
+  batch results, like the in-process engine); protocol-version refusals
+  re-raise as :class:`~repro.serve.protocol.ProtocolError`; everything
+  else surfaces as :class:`RemoteEvaluationError`.
+
+Thread-safety: one transport serializes round trips under a lock.
+Concurrent *coalescing* load (many clients hammering one fingerprint)
+needs one connection per thread — connections are cheap; the server's
+store and coalescing map are shared across all of them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.model import LatencyModel
+from repro.core.report import LatencyReport
+from repro.core.step1 import ModelOptions
+from repro.energy.energy_model import EnergyReport
+from repro.engine import EvaluationCache
+from repro.engine.evaluation import Evaluation
+from repro.fingerprint import stable_fingerprint
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.serde import accelerator_to_dict, preset_from_dict
+from repro.mapping.mapping import Mapping, MappingError
+from repro.mapping.serde import mapping_to_dict
+from repro.observability.stats import EngineStats
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ErrorResponse,
+    EvaluateRequest,
+    HelloRequest,
+    HelloResponse,
+    ProtocolError,
+    ShutdownRequest,
+    StatsRequest,
+)
+from repro.workload.serde import layer_to_dict
+
+
+class RemoteEvaluationError(RuntimeError):
+    """The server answered with an error the client cannot translate.
+
+    Carries the server-side exception kind in :attr:`kind` (e.g.
+    ``"ServerDraining"``, ``"SerdeError"``) for programmatic dispatch.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+def parse_url(url: str) -> Tuple[str, ...]:
+    """Split an engine URL into a transport address.
+
+    ``serve://host:port`` → ``("tcp", host, port)``;
+    ``unix:///path/to.sock`` → ``("unix", path)``.
+    """
+    if url.startswith("unix://"):
+        path = url[len("unix://"):]
+        if not path:
+            raise ValueError(f"empty socket path in engine URL {url!r}")
+        return ("unix", path)
+    if url.startswith("serve://"):
+        rest = url[len("serve://"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ValueError(
+                f"bad engine URL {url!r}: expected serve://host:port"
+            )
+        return ("tcp", host, int(port))
+    raise ValueError(
+        f"unrecognized engine URL {url!r}: expected serve://host:port "
+        "or unix:///path/to.sock"
+    )
+
+
+class _Transport:
+    """One socket speaking line-framed protocol messages, id-matched.
+
+    A single lock is held across each full round trip, so one transport
+    serializes its callers; responses inside a pipelined burst are
+    matched by id (the server replies out of order).
+    """
+
+    def __init__(self, address: Tuple, timeout: Optional[float] = None) -> None:
+        if address[0] == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address[1])
+        else:
+            self._sock = socket.create_connection(
+                (address[1], address[2]), timeout=timeout
+            )
+        self._sock.settimeout(None)  # round trips block until answered
+        self._reader = self._sock.makefile("rb")
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, object] = {}
+        self._closed = False
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def _read_frame(self):
+        line = self._reader.readline()
+        if not line:
+            raise RemoteEvaluationError(
+                "ConnectionClosed", "server closed the connection"
+            )
+        return protocol.decode(line)
+
+    def request(self, message) -> object:
+        """One round trip; stray responses are parked for their waiters."""
+        with self._lock:
+            self._sock.sendall(protocol.encode(message))
+            while True:
+                parked = self._pending.pop(message.id, None)
+                if parked is not None:
+                    return parked
+                response = self._read_frame()
+                if getattr(response, "id", None) == message.id:
+                    return response
+                self._pending[response.id] = response
+
+    def request_many(self, messages: List) -> List[object]:
+        """Pipeline a burst: write every frame, then collect by id."""
+        with self._lock:
+            payload = b"".join(protocol.encode(m) for m in messages)
+            self._sock.sendall(payload)
+            wanted = {m.id for m in messages}
+            got: Dict[int, object] = {}
+            for message_id in list(wanted):
+                parked = self._pending.pop(message_id, None)
+                if parked is not None:
+                    got[message_id] = parked
+            while len(got) < len(wanted):
+                response = self._read_frame()
+                response_id = getattr(response, "id", None)
+                if response_id in wanted:
+                    got[response_id] = response
+                else:
+                    self._pending[response_id] = response
+            return [got[m.id] for m in messages]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._reader.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _raise_remote(error: ErrorResponse) -> None:
+    """Translate an error frame into the matching local exception."""
+    if error.error == "MappingError":
+        raise MappingError(error.message)
+    if error.error == "ProtocolError":
+        raise ProtocolError(error.message)
+    raise RemoteEvaluationError(error.error, error.message)
+
+
+class RemoteEngine:
+    """A server-backed engine with the in-process engine's exact surface.
+
+    Build one with :func:`connect` (or ``repro.evaluate(...,
+    engine="serve://host:port")``, which does). The constructor performs
+    the handshake and adopts the server's machine and options;
+    :meth:`derive` returns views onto other machines that ship their
+    accelerator per request over the same connection.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: Optional[float] = None,
+        use_cache: bool = True,
+        cache: Optional[EvaluationCache] = None,
+        stats: Optional[EngineStats] = None,
+    ) -> None:
+        self.url = url
+        self._transport = _Transport(parse_url(url), timeout=timeout)
+        self.use_cache = use_cache
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.stats = stats if stats is not None else EngineStats()
+        hello = self._transport.request(
+            HelloRequest(id=self._transport.next_id())
+        )
+        if isinstance(hello, ErrorResponse):
+            _raise_remote(hello)
+        if not isinstance(hello, HelloResponse):
+            raise ProtocolError(
+                f"handshake expected hello_ok, got {type(hello).__name__}"
+            )
+        self.server_name = hello.server
+        self.server_protocol = hello.protocol
+        preset = preset_from_dict(hello.preset)
+        self.accelerator: Accelerator = preset.accelerator
+        self.spatial_unrolling = dict(
+            getattr(preset, "spatial_unrolling", None) or {}
+        )
+        self.options: ModelOptions = protocol.options_from_dict(hello.options)
+        # None payloads mean "the server's own machine" on the wire —
+        # the common case, and cheaper for the server to resolve.
+        self._accel_payload: Optional[dict] = None
+        self._options_payload: Optional[dict] = None
+        self._accel_fp: Optional[str] = None
+        self._options_fp: Optional[str] = None
+        self._model: Optional[LatencyModel] = None
+
+    # ------------------------------------------------------------------ #
+    # Evaluator surface: identity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def accelerator_fingerprint(self) -> str:
+        """Fingerprint of the engine's accelerator (serde-stable, so it
+        matches the fingerprint the server computes for the same machine)."""
+        if self._accel_fp is None:
+            self._accel_fp = self.accelerator.fingerprint()
+        return self._accel_fp
+
+    @property
+    def options_fingerprint(self) -> str:
+        if self._options_fp is None:
+            self._options_fp = stable_fingerprint(self.options)
+        return self._options_fp
+
+    @property
+    def parallel(self) -> bool:
+        """Remote batches are sharded server-side, not forked client-side."""
+        return False
+
+    def derive(
+        self,
+        accelerator: Optional[Accelerator] = None,
+        options: Optional[ModelOptions] = None,
+    ) -> "RemoteEngine":
+        """A view for another machine/options over the same connection.
+
+        Mirrors :meth:`EvaluationEngine.derive`: the view shares this
+        engine's transport, cache and stats, and ships its accelerator
+        and options with each request (fingerprinted cache keys keep the
+        machines' entries apart). The native spatial unrolling travels
+        only while the accelerator is unchanged.
+        """
+        view = object.__new__(RemoteEngine)
+        view.url = self.url
+        view._transport = self._transport
+        view.use_cache = self.use_cache
+        view.cache = self.cache
+        view.stats = self.stats
+        view.server_name = self.server_name
+        view.server_protocol = self.server_protocol
+        same_machine = accelerator is None or accelerator is self.accelerator
+        view.accelerator = self.accelerator if same_machine else accelerator
+        view.spatial_unrolling = dict(self.spatial_unrolling) if same_machine else {}
+        view.options = options if options is not None else self.options
+        view._accel_payload = (
+            self._accel_payload if same_machine
+            else accelerator_to_dict(accelerator)
+        )
+        view._options_payload = (
+            self._options_payload if options is None
+            else protocol.options_to_dict(options)
+        )
+        view._accel_fp = self._accel_fp if same_machine else None
+        view._options_fp = self._options_fp if options is None else None
+        view._model = None
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Evaluator surface: evaluation
+    # ------------------------------------------------------------------ #
+
+    def check(self, mapping: Mapping) -> None:
+        """Raise :class:`MappingError` if ``mapping`` is infeasible here.
+
+        Validation is pure model arithmetic, so it runs locally — no
+        round trip for the mapper's feasibility probes.
+        """
+        if self._model is None:
+            self._model = LatencyModel(self.accelerator, self.options)
+        self._model.check(mapping)
+
+    def _request_for(
+        self, mapping: Mapping, validate: bool, with_energy: bool
+    ) -> EvaluateRequest:
+        return EvaluateRequest(
+            id=self._transport.next_id(),
+            layer=layer_to_dict(mapping.layer),
+            mapping=mapping_to_dict(mapping),
+            accelerator=self._accel_payload,
+            options=self._options_payload,
+            validate=validate,
+            with_energy=with_energy,
+        )
+
+    def _latency_key(self, mapping: Mapping) -> Tuple:
+        return (
+            "latency",
+            self.accelerator_fingerprint,
+            self.options_fingerprint,
+            mapping.fingerprint(),
+        )
+
+    def _energy_key(self, mapping: Mapping) -> Tuple:
+        return ("energy", self.accelerator_fingerprint, mapping.fingerprint())
+
+    def evaluate(self, mapping: Mapping, validate: bool = True) -> LatencyReport:
+        """Latency of ``mapping``, served from the local cache or the server.
+
+        Cache hits return the slim wire-form report (all gated metrics
+        plus the stall anatomy; no DTL objects — same as batch-core slim
+        reports).
+        """
+        if self.use_cache:
+            key = self._latency_key(mapping)
+            report = self.cache.get(key)
+            if report is not None:
+                self.stats.cache_hits += 1
+                return report
+            self.stats.cache_misses += 1
+        with self.stats.phase("evaluate"):
+            response = self._transport.request(
+                self._request_for(mapping, validate, with_energy=False)
+            )
+        if isinstance(response, ErrorResponse):
+            _raise_remote(response)
+        self.stats.evaluations += 1
+        report = protocol.report_from_dict(response.report)
+        if self.use_cache:
+            self.cache.put(key, report)
+        return report
+
+    def evaluate_energy(self, mapping: Mapping) -> EnergyReport:
+        """Dynamic energy of ``mapping`` (the server runs both models)."""
+        if self.use_cache:
+            key = self._energy_key(mapping)
+            energy = self.cache.get(key)
+            if energy is not None:
+                self.stats.cache_hits += 1
+                return energy
+            self.stats.cache_misses += 1
+        with self.stats.phase("energy"):
+            response = self._transport.request(
+                self._request_for(mapping, validate=False, with_energy=True)
+            )
+        if isinstance(response, ErrorResponse):
+            _raise_remote(response)
+        self.stats.energy_evaluations += 1
+        energy = protocol.energy_from_dict(response.energy)
+        if self.use_cache:
+            self.cache.put(key, energy)
+            self.cache.put(
+                self._latency_key(mapping),
+                protocol.report_from_dict(response.report),
+            )
+        return energy
+
+    def evaluate_many(
+        self,
+        mappings: Iterable[Mapping],
+        validate: bool = False,
+        with_energy: bool = False,
+    ) -> List[Optional[Evaluation]]:
+        """Evaluate a batch in one pipelined burst, preserving order.
+
+        Exactly the in-process contract: entry ``i`` is an
+        :class:`~repro.engine.evaluation.Evaluation`, or ``None`` when
+        mapping ``i`` was infeasible (:class:`MappingError` server-side).
+        Local cache hits never touch the socket; the rest is written as
+        one burst and collected out of order by request id.
+        """
+        mappings = list(mappings)
+        self.stats.batches += 1
+        results: List[Optional[Evaluation]] = [None] * len(mappings)
+        pending: List[Tuple[int, EvaluateRequest]] = []
+        for i, mapping in enumerate(mappings):
+            if self.use_cache and not with_energy:
+                report = self.cache.get(self._latency_key(mapping))
+                if report is not None:
+                    self.stats.cache_hits += 1
+                    results[i] = Evaluation(mapping, report, None)
+                    continue
+                self.stats.cache_misses += 1
+            pending.append((i, self._request_for(mapping, validate, with_energy)))
+        if not pending:
+            return results
+        with self.stats.phase("batch"):
+            responses = self._transport.request_many([r for _, r in pending])
+        for (i, _), response in zip(pending, responses):
+            if isinstance(response, ErrorResponse):
+                if response.error == "MappingError":
+                    self.stats.errors += 1
+                    continue  # parallel-list contract: infeasible -> None
+                _raise_remote(response)
+            self.stats.evaluations += 1
+            report = protocol.report_from_dict(response.report)
+            energy = (
+                protocol.energy_from_dict(response.energy)
+                if response.energy is not None else None
+            )
+            if self.use_cache:
+                self.cache.put(self._latency_key(mappings[i]), report)
+                if energy is not None:
+                    self.cache.put(self._energy_key(mappings[i]), energy)
+            results[i] = Evaluation(mappings[i], report, energy)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Service controls
+    # ------------------------------------------------------------------ #
+
+    def server_stats(self) -> Dict[str, float]:
+        """The daemon's live counters (coalesced, warm hits, queue depth...)."""
+        response = self._transport.request(
+            StatsRequest(id=self._transport.next_id())
+        )
+        if isinstance(response, ErrorResponse):
+            _raise_remote(response)
+        return dict(response.stats)
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit (acknowledged before draining)."""
+        response = self._transport.request(
+            ShutdownRequest(id=self._transport.next_id())
+        )
+        if isinstance(response, ErrorResponse):  # pragma: no cover
+            _raise_remote(response)
+
+    def close(self) -> None:
+        """Close this engine's connection (shared with any derived views)."""
+        self._transport.close()
+
+    def __enter__(self) -> "RemoteEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteEngine({self.url!r}, accelerator="
+            f"{getattr(self.accelerator, 'name', '?')!r})"
+        )
+
+
+def connect(
+    url: str,
+    *,
+    timeout: Optional[float] = None,
+    use_cache: bool = True,
+) -> RemoteEngine:
+    """Open a connection to an evaluation daemon and hand back the engine."""
+    return RemoteEngine(url, timeout=timeout, use_cache=use_cache)
+
+
+__all__ = [
+    "RemoteEngine",
+    "RemoteEvaluationError",
+    "connect",
+    "parse_url",
+]

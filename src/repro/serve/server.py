@@ -1,0 +1,667 @@
+"""The asyncio evaluation daemon behind ``repro-latency serve``.
+
+One process owns a pool of :class:`~repro.engine.EvaluationEngine`
+workers and serves the line-framed JSON protocol of
+:mod:`repro.serve.protocol` over TCP or a Unix socket. The moving parts:
+
+* **Sharding** — every request is routed by its mapping fingerprint
+  (``int(fp, 16) % shards``) to one shard: a bounded
+  :class:`asyncio.Queue` drained by a dedicated single-thread executor.
+  Identical design points always land on the same shard, so each
+  shard's engine cache stays hot for its slice of the space and the
+  kernel never runs concurrently for one fingerprint.
+* **Backpressure** — the per-shard queues are bounded; when a shard is
+  ``queue_depth`` deep, ``await queue.put`` suspends the connection
+  handler, which stops reading that client's socket — TCP flow control
+  does the rest. No unbounded buffering anywhere.
+* **Coalescing** — requests carrying fingerprints already in flight
+  attach to the owner's future instead of enqueuing a duplicate; the
+  ``coalesced`` counter in the stats surface counts them (asserted by
+  the integration tests: N concurrent duplicates run the kernel once).
+* **Persistent store** — answers come, in order of preference, from the
+  :class:`~repro.serve.store.ResultStore` (warm rows from prior
+  ledgers, or rows evaluated this boot), from an in-flight future, or
+  from the kernel; every kernel result is written through to the
+  configured ledger so the *next* boot warm-starts from it.
+* **Health plane** — when a progress emitter is configured the daemon
+  opens one ``flow="serve"`` run and advances it per evaluation with
+  per-shard worker ids and periodic cache stats; ``repro-latency top
+  EVENTS --follow`` watches a live server exactly like any other flow.
+* **Drain** — SIGINT/SIGTERM (or a ``shutdown`` frame) stops intake,
+  fails queued-but-unstarted requests with a clean ``ServerDraining``
+  error, lets in-flight kernels finish, writes one
+  ``kind="interrupted"`` ledger row recording how far the daemon got,
+  and closes the progress run.
+
+The daemon is single-loop asyncio; kernels run in shard threads via
+``run_in_executor``, which deliberately does *not* propagate context
+variables — shard engines therefore never double-write the ambient
+ledger, and all persistence goes through the store explicitly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import signal
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.step1 import ModelOptions
+from repro.engine import EvaluationCache, EvaluationEngine
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.presets import Preset
+from repro.hardware.serde import (
+    SerdeError,
+    accelerator_from_dict,
+    preset_to_dict,
+)
+from repro.mapping.mapping import Mapping
+from repro.mapping.serde import mapping_from_dict
+from repro.observability.ledger import record_interruption
+from repro.observability.stats import EngineStats
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    HelloRequest,
+    HelloResponse,
+    ProtocolError,
+    ShutdownRequest,
+    ShutdownResponse,
+    StatsRequest,
+    StatsResponse,
+)
+from repro.serve.store import ResultStore
+from repro.workload.serde import layer_from_dict
+
+
+class ServerDraining(RuntimeError):
+    """The daemon is shutting down; the request was not evaluated."""
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Everything a daemon needs; the CLI builds one from flags.
+
+    Exactly one of ``socket_path`` (Unix socket) or ``host``/``port``
+    (TCP; ``port=0`` binds an ephemeral port, reported by
+    :attr:`EvaluationServer.url`) selects the transport.
+    ``pre_evaluate_hook`` is a test seam: called in the shard thread
+    with the work item just before the kernel, it lets integration
+    tests hold an evaluation open deterministically (to assert
+    coalescing) without sleeping.
+    """
+
+    preset: Preset
+    options: ModelOptions = dataclasses.field(default_factory=ModelOptions)
+    host: str = "127.0.0.1"
+    port: int = 0
+    socket_path: Optional[str] = None
+    shards: int = 2
+    queue_depth: int = 128
+    name: str = "repro-serve"
+    ledger: Any = None                      # RunLedger (or None)
+    warm_start: Tuple[str, ...] = ()        # prior ledger snapshots to index
+    emitter: Any = None                     # ProgressEmitter (or None)
+    cache_size: int = 65536                 # per-shard engine cache capacity
+    pre_evaluate_hook: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+
+
+@dataclasses.dataclass
+class ServerStats:
+    """The daemon's own counters (engine counters ride along in snapshots)."""
+
+    connections: int = 0
+    requests: int = 0          # evaluate requests received
+    evaluations: int = 0       # kernels actually run
+    energy_evaluations: int = 0
+    coalesced: int = 0         # requests attached to an in-flight evaluation
+    warm_hits: int = 0         # answered from a prior-boot ledger row
+    store_hits: int = 0        # answered from a this-boot result
+    errors: int = 0            # requests answered with an error frame
+    protocol_errors: int = 0
+    drained: int = 0           # requests failed by a drain
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            field.name: float(getattr(self, field.name))
+            for field in dataclasses.fields(self)
+        }
+
+
+@dataclasses.dataclass
+class _WorkItem:
+    """One enqueued evaluation: parsed payload plus its completion future."""
+
+    key: Tuple
+    accelerator: Accelerator
+    options: ModelOptions
+    mapping: Mapping
+    validate: bool
+    with_energy: bool
+    future: asyncio.Future
+
+
+@dataclasses.dataclass(frozen=True)
+class _Outcome:
+    """What a shard thread hands back for one kernel run."""
+
+    report: Any
+    energy: Any
+    wall_s: float
+
+
+class EvaluationServer:
+    """The daemon: sockets in, sharded engines out. See the module docstring."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.stats = ServerStats()
+        self.store = ResultStore(config.ledger)
+        self.engine_stats = EngineStats()
+        self._preset_payload = preset_to_dict(config.preset)
+        self._options_payload = protocol.options_to_dict(config.options)
+        self._own_accel = config.preset.accelerator
+        self._own_accel_fp = self._own_accel.fingerprint()
+        self._own_options_fp_cache: Optional[str] = None
+        # Per-shard machinery, built in start().
+        self._queues: List[asyncio.Queue] = []
+        self._shard_tasks: List[asyncio.Task] = []
+        self._executors: List[Any] = []
+        self._engines: List[Dict[Tuple[str, str], EvaluationEngine]] = []
+        self._caches: List[EvaluationCache] = []
+        # Coalescing: key -> the owning request's future.
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        # Deserialized-accelerator memo (bounded): canonical JSON -> (accel, fp).
+        self._accel_memo: "OrderedDict[str, Tuple[Accelerator, str]]" = OrderedDict()
+        self._options_memo: "OrderedDict[str, Tuple[ModelOptions, str]]" = OrderedDict()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_writers: set = set()
+        self._conn_tasks: set = set()
+        self._run = None            # progress RunHandle
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self.started_ts = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind sockets, spin up shards, warm-start the store."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        loop = asyncio.get_running_loop()
+        self.loop = loop  # handed out for run_coroutine_threadsafe (tests, ops)
+        self._stopped = asyncio.Event()
+        warm = self.store.warm_start(self.config.warm_start)
+        for shard in range(self.config.shards):
+            self._queues.append(asyncio.Queue(maxsize=self.config.queue_depth))
+            self._executors.append(
+                ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard-{shard}"
+                )
+            )
+            self._engines.append({})
+            self._caches.append(EvaluationCache(self.config.cache_size))
+            self._shard_tasks.append(
+                loop.create_task(self._shard_loop(shard), name=f"shard-{shard}")
+            )
+        if self.config.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.config.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.config.host, port=self.config.port
+            )
+        self.started_ts = time.time()
+        emitter = self.config.emitter
+        if emitter is not None and emitter.enabled:
+            self._run = emitter.start_run(
+                "serve",
+                total_units=None,
+                unit="evals",
+                accelerator=getattr(self._own_accel, "name", ""),
+            )
+            if warm:
+                self._run.cache_stats(warm, 0)
+
+    @property
+    def url(self) -> str:
+        """The client-ready endpoint URL (``serve://host:port`` or ``unix://path``)."""
+        if self.config.socket_path:
+            return f"unix://{self.config.socket_path}"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return f"serve://{host}:{port}"
+
+    async def run(
+        self,
+        ready_file: Optional[str] = None,
+        install_signal_handlers: bool = True,
+        on_ready: Optional[Callable[[str], None]] = None,
+    ) -> bool:
+        """Start, serve until drained, tear down; the CLI entry point.
+
+        Writes the bound endpoint to ``ready_file`` (JSON with a
+        ``"url"`` key) once listening, so scripts can wait for boot
+        without racing an ephemeral port. Returns ``True`` when the
+        daemon exited through an interrupt-style drain (the CLI maps
+        that to exit code 130).
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        if install_signal_handlers:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        sig, lambda s=sig: loop.create_task(
+                            self.drain(reason=signal.Signals(s).name)
+                        )
+                    )
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        if ready_file:
+            with open(ready_file, "w") as handle:
+                json.dump({"url": self.url, "pid": os.getpid()}, handle)
+        if on_ready is not None:
+            on_ready(self.url)
+        try:
+            await self._stopped.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            # Closing client transports feeds EOF to every handler's
+            # readline, so they all exit cleanly (no hard cancellation
+            # at loop teardown).
+            for writer in list(self._conn_writers):
+                writer.close()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            for executor in self._executors:
+                executor.shutdown(wait=True)
+        return self._interrupted
+
+    _interrupted = False
+
+    async def drain(self, reason: str = "shutdown", interrupted: bool = None) -> None:
+        """Stop intake, fail queued work cleanly, finish in-flight kernels.
+
+        ``interrupted`` marks the drain as signal-like (defaults to true
+        for anything that is not a protocol-requested ``"shutdown"``):
+        it decides between a ``kind="interrupted"`` ledger row plus a
+        ``RunInterrupted`` event, and a plain run finish.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if interrupted is None:
+            interrupted = reason != "shutdown"
+        self._interrupted = interrupted
+        self._fail_queued()
+        for queue in self._queues:
+            await queue.put(None)  # sentinel: shard exits after current work
+        if self._shard_tasks:
+            await asyncio.gather(*self._shard_tasks, return_exceptions=True)
+        self._fail_queued()  # producers that slipped in behind the sentinel
+        ledger = self.config.ledger
+        if interrupted and ledger is not None and ledger.enabled:
+            ledger.append(record_interruption(
+                flow="serve",
+                done_units=self.stats.evaluations,
+                total_units=None,
+                unit="evals",
+                reason=reason,
+                wall_time_s=time.time() - self.started_ts,
+            ))
+        if self._run is not None:
+            if interrupted:
+                self._run.interrupt(reason)
+            else:
+                self._run.finish()
+        self._stopped.set()
+
+    def _fail_queued(self) -> None:
+        """Fail every queued-but-unstarted item with a clean drain error."""
+        for queue in self._queues:
+            while True:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is None:
+                    continue
+                self._finish_item(
+                    item, error=ServerDraining(
+                        "server is draining; the request was not evaluated"
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(self, reader, writer) -> None:
+        self.stats.connections += 1
+        self._conn_writers.add(writer)
+        self._conn_tasks.add(asyncio.current_task())
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_frame(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            # Last: anything above still counts as live for run() teardown.
+            self._conn_tasks.discard(asyncio.current_task())
+
+    async def _handle_frame(self, line: bytes, writer, write_lock) -> None:
+        """Decode one frame, dispatch it, write the (id-tagged) response."""
+        try:
+            message = protocol.decode(line)
+        except ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            request_id = self._best_effort_id(line)
+            await self._send(
+                writer, write_lock,
+                ErrorResponse(id=request_id, error="ProtocolError", message=str(exc)),
+            )
+            return
+        if isinstance(message, HelloRequest):
+            response = HelloResponse(
+                id=message.id,
+                protocol=protocol.PROTOCOL_VERSION,
+                server=self.config.name,
+                preset=self._preset_payload,
+                options=self._options_payload,
+            )
+        elif isinstance(message, StatsRequest):
+            response = StatsResponse(id=message.id, stats=self.stats_snapshot())
+        elif isinstance(message, ShutdownRequest):
+            response = ShutdownResponse(id=message.id)
+            await self._send(writer, write_lock, response)
+            await self.drain(reason="shutdown", interrupted=False)
+            return
+        elif isinstance(message, EvaluateRequest):
+            response = await self._handle_evaluate(message)
+        else:  # a response type sent as a request
+            self.stats.protocol_errors += 1
+            response = ErrorResponse(
+                id=getattr(message, "id", -1),
+                error="ProtocolError",
+                message=f"unexpected message type {type(message).__name__}",
+            )
+        if isinstance(response, ErrorResponse):
+            self.stats.errors += 1
+        await self._send(writer, write_lock, response)
+
+    @staticmethod
+    def _best_effort_id(line: bytes) -> int:
+        """Recover a request id from an undecodable frame when possible."""
+        try:
+            data = json.loads(line.decode("utf-8", errors="replace"))
+            return int(data.get("id", -1))
+        except (ValueError, AttributeError):
+            return -1
+
+    @staticmethod
+    async def _send(writer, write_lock, message) -> None:
+        async with write_lock:
+            writer.write(protocol.encode(message))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):  # client went away
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Evaluation path
+    # ------------------------------------------------------------------ #
+
+    async def _handle_evaluate(self, msg: EvaluateRequest):
+        self.stats.requests += 1
+        if self._draining:
+            return ErrorResponse(
+                id=msg.id, error="ServerDraining",
+                message="server is draining; not accepting evaluations",
+            )
+        try:
+            accelerator, accel_fp = self._resolve_accelerator(msg.accelerator)
+            options, options_fp = self._resolve_options(msg.options)
+            layer = layer_from_dict(msg.layer)
+            mapping = mapping_from_dict(msg.mapping, layer)
+            mapping_fp = mapping.fingerprint()
+        except (ProtocolError, SerdeError, KeyError, ValueError, TypeError) as exc:
+            return ErrorResponse(
+                id=msg.id, error=type(exc).__name__, message=str(exc)
+            )
+        store_key = (accel_fp, options_fp, mapping_fp)
+        if not msg.with_energy:
+            hit = self.store.get(store_key)
+            if hit is not None:
+                report, warm = hit
+                if warm:
+                    self.stats.warm_hits += 1
+                else:
+                    self.stats.store_hits += 1
+                return EvaluateResponse(
+                    id=msg.id,
+                    report=protocol.report_to_dict(report),
+                    source="warm" if warm else "store",
+                )
+        inflight_key = store_key + (msg.with_energy,)
+        owner = self._inflight.get(inflight_key)
+        if owner is not None:
+            self.stats.coalesced += 1
+            try:
+                outcome = await asyncio.shield(owner)
+            except BaseException as exc:
+                return self._error_response(msg.id, exc)
+            return self._ok_response(msg, outcome, source="coalesced")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[inflight_key] = future
+        item = _WorkItem(
+            key=inflight_key,
+            accelerator=accelerator,
+            options=options,
+            mapping=mapping,
+            validate=msg.validate,
+            with_energy=msg.with_energy,
+            future=future,
+        )
+        shard = int(mapping_fp[:12], 16) % self.config.shards
+        try:
+            await self._queues[shard].put(item)  # backpressure point
+        except BaseException:
+            self._inflight.pop(inflight_key, None)
+            raise
+        try:
+            outcome = await asyncio.shield(future)
+        except BaseException as exc:
+            return self._error_response(msg.id, exc)
+        self.stats.evaluations += 1
+        if msg.with_energy:
+            self.stats.energy_evaluations += 1
+        if not msg.with_energy:
+            self.store.put(store_key, outcome.report, wall_time_s=outcome.wall_s)
+        if self._run is not None:
+            self._run.advance(
+                1, wall_s=outcome.wall_s, worker=f"shard:{shard}",
+            )
+            if self.stats.evaluations % 32 == 0:
+                self._run.cache_stats(
+                    self.stats.warm_hits + self.stats.store_hits,
+                    self.stats.evaluations,
+                    dedup_skipped=self.stats.coalesced,
+                )
+        return self._ok_response(msg, outcome, source="evaluated")
+
+    def _ok_response(
+        self, msg: EvaluateRequest, outcome: _Outcome, source: str
+    ) -> EvaluateResponse:
+        return EvaluateResponse(
+            id=msg.id,
+            report=protocol.report_to_dict(outcome.report),
+            energy=(
+                protocol.energy_to_dict(outcome.energy)
+                if outcome.energy is not None else None
+            ),
+            source=source,
+        )
+
+    @staticmethod
+    def _error_response(request_id: int, exc: BaseException) -> ErrorResponse:
+        return ErrorResponse(
+            id=request_id, error=type(exc).__name__, message=str(exc)
+        )
+
+    # -- payload resolution (memoized) ---------------------------------- #
+
+    def _resolve_accelerator(self, data) -> Tuple[Accelerator, str]:
+        if data is None:
+            return self._own_accel, self._own_accel_fp
+        memo_key = json.dumps(data, sort_keys=True)
+        hit = self._accel_memo.get(memo_key)
+        if hit is not None:
+            self._accel_memo.move_to_end(memo_key)
+            return hit
+        accelerator = accelerator_from_dict(data)
+        entry = (accelerator, accelerator.fingerprint())
+        self._accel_memo[memo_key] = entry
+        while len(self._accel_memo) > 128:
+            self._accel_memo.popitem(last=False)
+        return entry
+
+    def _resolve_options(self, data) -> Tuple[ModelOptions, str]:
+        from repro.fingerprint import stable_fingerprint
+
+        if data is None:
+            if self._own_options_fp_cache is None:
+                self._own_options_fp_cache = stable_fingerprint(self.config.options)
+            return self.config.options, self._own_options_fp_cache
+        memo_key = json.dumps(data, sort_keys=True)
+        hit = self._options_memo.get(memo_key)
+        if hit is not None:
+            return hit
+        options = protocol.options_from_dict(data)
+        entry = (options, stable_fingerprint(options))
+        self._options_memo[memo_key] = entry
+        while len(self._options_memo) > 128:
+            self._options_memo.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Shards
+    # ------------------------------------------------------------------ #
+
+    async def _shard_loop(self, shard: int) -> None:
+        """Drain one shard's queue through its single-thread executor."""
+        loop = asyncio.get_running_loop()
+        queue = self._queues[shard]
+        executor = self._executors[shard]
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            try:
+                outcome = await loop.run_in_executor(
+                    executor, self._evaluate_blocking, shard, item
+                )
+            except BaseException as exc:
+                self._finish_item(item, error=exc)
+            else:
+                self._finish_item(item, outcome=outcome)
+
+    def _finish_item(self, item: _WorkItem, outcome=None, error=None) -> None:
+        """Resolve an item's future and release its in-flight slot."""
+        self._inflight.pop(item.key, None)
+        if item.future.done():  # pragma: no cover — only on double drain
+            return
+        if error is not None:
+            item.future.set_exception(error)
+        else:
+            item.future.set_result(outcome)
+
+    def _evaluate_blocking(self, shard: int, item: _WorkItem) -> _Outcome:
+        """The kernel call, in the shard's thread (no ambient context here)."""
+        engine = self._engine_for(shard, item)
+        hook = self.config.pre_evaluate_hook
+        if hook is not None:
+            hook(item)
+        t0 = time.perf_counter()
+        report = engine.evaluate(item.mapping, validate=item.validate)
+        energy = engine.evaluate_energy(item.mapping) if item.with_energy else None
+        return _Outcome(report=report, energy=energy, wall_s=time.perf_counter() - t0)
+
+    def _engine_for(self, shard: int, item: _WorkItem) -> EvaluationEngine:
+        """The shard's engine for the item's (machine, options) pair.
+
+        Engines are created lazily per pair and share the shard's cache
+        plus the server-wide engine stats; only this shard's thread
+        touches the dict, so no lock is needed.
+        """
+        key = item.key[:2]  # (accel_fp, options_fp)
+        engine = self._engines[shard].get(key)
+        if engine is None:
+            engine = EvaluationEngine(
+                item.accelerator,
+                item.options,
+                cache=self._caches[shard],
+                stats=self.engine_stats,
+                executor="serial",
+            )
+            self._engines[shard][key] = engine
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Server counters plus engine counters and store occupancy."""
+        data = self.stats.snapshot()
+        data["store_size"] = float(len(self.store))
+        data["warm_rows"] = float(self.store.warm_rows)
+        data["inflight"] = float(len(self._inflight))
+        data["queued"] = float(sum(q.qsize() for q in self._queues))
+        data["shards"] = float(self.config.shards)
+        data["uptime_s"] = float(time.time() - self.started_ts) if self.started_ts else 0.0
+        for key, value in self.engine_stats.snapshot().items():
+            data[f"engine_{key}"] = value
+        return data
+
+
+__all__ = [
+    "EvaluationServer",
+    "ServerConfig",
+    "ServerDraining",
+    "ServerStats",
+]

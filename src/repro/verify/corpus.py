@@ -24,14 +24,9 @@ from repro.hardware.serde import (
     accelerator_from_dict,
     accelerator_to_dict,
 )
-from repro.mapping.loop import Loop
-from repro.mapping.mapping import Mapping
-from repro.mapping.spatial import SpatialMapping
-from repro.mapping.temporal import TemporalMapping
+from repro.mapping.serde import mapping_from_dict, mapping_to_dict
 from repro.verify.generators import Case
-from repro.workload.dims import LoopDim
-from repro.workload.layer import LayerSpec, LayerType, Precision
-from repro.workload.operand import Operand
+from repro.workload.serde import layer_from_dict, layer_to_dict
 
 SCHEMA_VERSION = 1
 
@@ -47,57 +42,13 @@ class CorpusCase:
 
 
 # --------------------------------------------------------------------------- #
-# Layer / mapping schemas
+# Layer / mapping schemas live in repro.workload.serde / repro.mapping.serde
+# since PR 7 (the serve wire protocol shares them); the corpus delegates.
 
-
-def _layer_to_dict(layer: LayerSpec) -> Dict:
-    return {
-        "layer_type": layer.layer_type.value,
-        "dims": {dim.value: size for dim, size in layer.dims.items() if size > 1},
-        "stride_x": layer.stride_x,
-        "stride_y": layer.stride_y,
-        "dilation_x": layer.dilation_x,
-        "dilation_y": layer.dilation_y,
-        "precision": {
-            "w": layer.precision.w,
-            "i": layer.precision.i,
-            "o_final": layer.precision.o_final,
-            "o_partial": layer.precision.o_partial,
-        },
-        "name": layer.name,
-    }
-
-
-def _layer_from_dict(data: Dict) -> LayerSpec:
-    return LayerSpec(
-        layer_type=LayerType(data["layer_type"]),
-        dims={LoopDim(d): int(s) for d, s in data["dims"].items()},
-        stride_x=int(data.get("stride_x", 1)),
-        stride_y=int(data.get("stride_y", 1)),
-        dilation_x=int(data.get("dilation_x", 1)),
-        dilation_y=int(data.get("dilation_y", 1)),
-        precision=Precision(**data["precision"]),
-        name=data.get("name"),
-    )
-
-
-def _mapping_to_dict(mapping: Mapping) -> Dict:
-    return {
-        "spatial": {dim.value: f for dim, f in mapping.spatial.unrolling.items()},
-        "loops": [[loop.dim.value, loop.size] for loop in mapping.temporal.loops],
-        "cuts": {
-            op.value: list(cut) for op, cut in mapping.temporal.cuts.items()
-        },
-    }
-
-
-def _mapping_from_dict(data: Dict, layer: LayerSpec) -> Mapping:
-    temporal = TemporalMapping(
-        loops=tuple(Loop(LoopDim(d), int(s)) for d, s in data["loops"]),
-        cuts={Operand(op): tuple(cut) for op, cut in data["cuts"].items()},
-    )
-    spatial = SpatialMapping({LoopDim(d): int(f) for d, f in data["spatial"].items()})
-    return Mapping(layer, spatial, temporal)
+_layer_to_dict = layer_to_dict
+_layer_from_dict = layer_from_dict
+_mapping_to_dict = mapping_to_dict
+_mapping_from_dict = mapping_from_dict
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,53 @@
+"""Both evaluation backends satisfy the :class:`Evaluator` protocol."""
+
+from repro.engine import EvaluationEngine, Evaluator
+from repro.hardware.presets import case_study_accelerator, inhouse_accelerator
+from repro.serve import RemoteEngine
+
+
+def test_in_process_engine_satisfies_the_protocol():
+    engine = EvaluationEngine.from_preset(case_study_accelerator())
+    assert isinstance(engine, Evaluator)
+
+
+def test_remote_engine_class_declares_the_full_surface():
+    # RemoteEngine instances need a live daemon (covered in tests/serve);
+    # here we check the class carries every protocol member, so a
+    # refactor that drops one fails fast without a socket.
+    for name in (
+        "accelerator_fingerprint", "options_fingerprint", "evaluate",
+        "evaluate_many", "evaluate_energy", "derive", "close",
+    ):
+        assert callable(getattr(RemoteEngine, name, None)) or isinstance(
+            getattr(RemoteEngine, name, None), property
+        ), name
+
+
+def test_protocol_rejects_non_evaluators():
+    class NotAnEvaluator:
+        pass
+
+    assert not isinstance(NotAnEvaluator(), Evaluator)
+    assert not isinstance(object(), Evaluator)
+
+
+def test_spatial_unrolling_travels_through_from_preset_and_derive():
+    preset = inhouse_accelerator()
+    engine = EvaluationEngine.from_preset(preset)
+    assert engine.spatial_unrolling == preset.spatial_unrolling
+
+    # Same machine, new options: the dataflow still applies.
+    sibling = engine.derive(options=engine.options)
+    assert sibling.spatial_unrolling == preset.spatial_unrolling
+
+    # Different machine: the old machine's dataflow must NOT leak.
+    other = engine.derive(accelerator=case_study_accelerator().accelerator)
+    assert other.spatial_unrolling == {}
+
+
+def test_derived_engine_shares_cache_and_stats():
+    engine = EvaluationEngine.from_preset(case_study_accelerator())
+    sibling = engine.derive(accelerator=inhouse_accelerator().accelerator)
+    assert sibling.cache is engine.cache
+    assert sibling.stats is engine.stats
+    assert sibling.accelerator_fingerprint != engine.accelerator_fingerprint

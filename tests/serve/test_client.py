@@ -1,0 +1,168 @@
+"""Client-side behavior: URL parsing, local cache, derive, error mapping."""
+
+import pytest
+
+from repro.engine import EvaluationEngine, Evaluator
+from repro.mapping.mapping import MappingError
+from repro.serve import RemoteEngine, RemoteEvaluationError, connect, parse_url
+from repro.serve.client import _raise_remote
+from repro.serve.protocol import ErrorResponse, ProtocolError
+from repro.verify.generators import sample_cases
+
+
+# --------------------------------------------------------------------- #
+# URL parsing
+# --------------------------------------------------------------------- #
+
+def test_parse_url_tcp():
+    assert parse_url("serve://127.0.0.1:7621") == ("tcp", "127.0.0.1", 7621)
+    assert parse_url("serve://localhost:1") == ("tcp", "localhost", 1)
+
+
+def test_parse_url_unix():
+    assert parse_url("unix:///tmp/repro.sock") == ("unix", "/tmp/repro.sock")
+    assert parse_url("unix://rel/path.sock") == ("unix", "rel/path.sock")
+
+
+@pytest.mark.parametrize("bad", [
+    "serve://nohost",          # missing port
+    "serve://host:notaport",   # non-numeric port
+    "serve://:123",            # empty host
+    "unix://",                 # empty path
+    "http://host:1",           # unknown scheme
+    "127.0.0.1:7621",          # scheme-less
+    "",
+])
+def test_parse_url_rejects_bad_forms(bad):
+    with pytest.raises(ValueError):
+        parse_url(bad)
+
+
+# --------------------------------------------------------------------- #
+# Error mapping
+# --------------------------------------------------------------------- #
+
+def test_remote_errors_map_to_native_exception_types():
+    with pytest.raises(MappingError, match="does not fit"):
+        _raise_remote(ErrorResponse(id=1, error="MappingError",
+                                    message="does not fit"))
+    with pytest.raises(ProtocolError, match="bad frame"):
+        _raise_remote(ErrorResponse(id=1, error="ProtocolError",
+                                    message="bad frame"))
+    with pytest.raises(RemoteEvaluationError, match="boom") as err:
+        _raise_remote(ErrorResponse(id=1, error="ValueError", message="boom"))
+    assert err.value.kind == "ValueError"
+
+
+# --------------------------------------------------------------------- #
+# Live-client behavior (ephemeral daemon via the shared fixture)
+# --------------------------------------------------------------------- #
+
+def test_client_satisfies_the_evaluator_protocol(server):
+    client = connect(server.url)
+    assert isinstance(client, Evaluator)
+    assert isinstance(client, RemoteEngine)
+    assert client.parallel is False
+    assert client.accelerator is not None  # adopted from the hello handshake
+    assert client.accelerator_fingerprint
+    assert client.options_fingerprint
+    client.close()
+
+
+def test_handshake_adopts_server_machine(server):
+    client = connect(server.url)
+    # The default fixture serves the case-study preset.
+    assert client.accelerator.name == server.server.config.preset.accelerator.name
+    assert client.options == server.server.config.options
+    client.close()
+
+
+def test_local_cache_hit_avoids_the_socket(server):
+    client = connect(server.url)
+    case = next(iter(sample_cases(seed=11, count=1)))
+    eng = client.derive(accelerator=case.accelerator)
+    eng.evaluate(case.mapping)
+    before = client.server_stats()["requests"]
+    again = eng.evaluate(case.mapping)
+    after = client.server_stats()["requests"]
+    # The counter only tracks evaluate frames, and the repeat was served
+    # from the client-side cache — the server never saw it.
+    assert after == before
+    assert again.total_cycles > 0
+    assert eng.stats.cache_hits >= 1
+    client.close()
+
+
+def test_derive_same_machine_keeps_server_defaults(server):
+    client = connect(server.url)
+    derived = client.derive()
+    assert derived.accelerator is client.accelerator
+    assert derived._accel_payload is None  # still "the server's machine"
+    client.close()
+
+
+def test_derive_new_accelerator_ships_payload(server):
+    client = connect(server.url)
+    case = next(iter(sample_cases(seed=11, count=1)))
+    derived = client.derive(accelerator=case.accelerator)
+    assert derived.accelerator is case.accelerator
+    assert derived._accel_payload is not None
+    assert derived.accelerator_fingerprint == case.accelerator.fingerprint()
+    # Transport is shared: closing the parent closes the child too.
+    assert derived._transport is client._transport
+    client.close()
+
+
+def test_evaluate_many_mixed_feasibility(server):
+    client = connect(server.url)
+    cases = list(sample_cases(seed=11, count=6))
+    by_accel = {}
+    for case in cases:
+        by_accel.setdefault(case.accelerator.fingerprint(), []).append(case)
+    fp, group = max(by_accel.items(), key=lambda kv: len(kv[1]))
+    eng = client.derive(accelerator=group[0].accelerator)
+    local = EvaluationEngine(group[0].accelerator, executor="serial")
+    mappings = [c.mapping for c in group]
+    got = eng.evaluate_many(mappings, validate=True)
+    want = local.evaluate_many(mappings, validate=True)
+    assert [g is None for g in got] == [w is None for w in want]
+    for g, w in zip(got, want):
+        if g is not None:
+            assert g.report.total_cycles == w.report.total_cycles
+    client.close()
+
+
+def test_evaluate_many_serves_cached_prefix_without_refetch(server):
+    client = connect(server.url)
+    case = next(iter(sample_cases(seed=11, count=1)))
+    eng = client.derive(accelerator=case.accelerator)
+    eng.evaluate(case.mapping)
+    before = client.server_stats()["requests"]
+    results = eng.evaluate_many([case.mapping, case.mapping])
+    after = client.server_stats()["requests"]
+    assert after == before  # both slots answered from the client cache
+    assert all(r is not None for r in results)
+    assert results[0].report.total_cycles == results[1].report.total_cycles
+    client.close()
+
+
+def test_check_runs_locally(server):
+    client = connect(server.url)
+    case = next(iter(sample_cases(seed=11, count=1)))
+    eng = client.derive(accelerator=case.accelerator)
+    before = client.server_stats()["requests"]
+    eng.check(case.mapping)
+    after = client.server_stats()["requests"]
+    assert after == before  # check() never touched the wire
+    client.close()
+
+
+def test_connect_refuses_dead_endpoint():
+    with pytest.raises(OSError):
+        connect("serve://127.0.0.1:1")
+
+
+def test_context_manager_closes_transport(server):
+    with connect(server.url) as client:
+        assert "RemoteEngine" in repr(client)
+    assert client._transport._closed

@@ -1,0 +1,137 @@
+"""The wire protocol: frame serde, version gating, payload fidelity."""
+
+import json
+
+import pytest
+
+from repro.core.step1 import ModelOptions
+from repro.engine import EvaluationEngine
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    HelloRequest,
+    HelloResponse,
+    ProtocolError,
+    ShutdownRequest,
+    ShutdownResponse,
+    StatsRequest,
+    StatsResponse,
+)
+from repro.verify.generators import sample_cases
+
+
+def _feasible_case():
+    for case in sample_cases(seed=3, count=10):
+        engine = EvaluationEngine(case.accelerator, executor="serial")
+        try:
+            return case, engine.evaluate(case.mapping)
+        except Exception:
+            continue
+    raise RuntimeError("no feasible sample case")  # pragma: no cover
+
+
+CASE, REPORT = _feasible_case()
+
+
+# --------------------------------------------------------------------- #
+# Frames
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("message", [
+    HelloRequest(id=1),
+    HelloResponse(id=1, protocol=1, server="s", preset={}, options={}),
+    EvaluateRequest(id=2, layer={"a": 1}, mapping={"b": 2}),
+    EvaluateResponse(id=2, report={"r": 3}, source="warm"),
+    StatsRequest(id=3),
+    StatsResponse(id=3, stats={"evaluations": 1.0}),
+    ShutdownRequest(id=4),
+    ShutdownResponse(id=4),
+    ErrorResponse(id=5, error="MappingError", message="boom"),
+])
+def test_every_message_roundtrips(message):
+    line = protocol.encode(message)
+    assert line.endswith(b"\n")
+    assert protocol.decode(line) == message
+
+
+def test_frames_carry_version_and_type():
+    data = json.loads(protocol.encode(HelloRequest(id=7)))
+    assert data["v"] == protocol.PROTOCOL_VERSION
+    assert data["type"] == "hello"
+    assert data["id"] == 7
+
+
+def test_newer_protocol_version_rejected_with_clear_error():
+    line = json.dumps({
+        "v": protocol.PROTOCOL_VERSION + 1, "type": "hello", "id": 1,
+    })
+    with pytest.raises(ProtocolError, match="upgrade this side"):
+        protocol.decode(line)
+
+
+def test_malformed_frames_rejected():
+    with pytest.raises(ProtocolError, match="invalid JSON"):
+        protocol.decode(b"not json\n")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        protocol.decode(b"[1, 2]\n")
+    with pytest.raises(ProtocolError, match="no protocol version"):
+        protocol.decode(b'{"type": "hello", "id": 1}\n')
+    with pytest.raises(ProtocolError, match="unknown message type"):
+        protocol.decode(b'{"v": 1, "type": "frobnicate", "id": 1}\n')
+    with pytest.raises(ProtocolError, match="bad 'evaluate' frame"):
+        protocol.decode(b'{"v": 1, "type": "evaluate", "id": 1}\n')
+
+
+def test_unknown_fields_tolerated_within_version():
+    # An older peer must survive same-version frames that grew new
+    # optional fields (that is what the version gate does NOT reject).
+    line = json.dumps({
+        "v": protocol.PROTOCOL_VERSION, "type": "hello", "id": 1,
+        "some_future_field": True,
+    })
+    assert protocol.decode(line) == HelloRequest(id=1)
+
+
+def test_encode_rejects_non_protocol_objects():
+    with pytest.raises(ProtocolError, match="not a protocol message"):
+        protocol.encode(object())
+
+
+# --------------------------------------------------------------------- #
+# Payload serde
+# --------------------------------------------------------------------- #
+
+def test_options_roundtrip_and_unknown_key_rejection():
+    options = ModelOptions(combine_rule="paper", residency_extension=False)
+    assert protocol.options_from_dict(protocol.options_to_dict(options)) == options
+    with pytest.raises(ProtocolError, match="unknown ModelOptions field"):
+        protocol.options_from_dict({"warp_factor": 9})
+
+
+def test_report_roundtrip_is_exact_on_every_gated_metric():
+    data = protocol.report_to_dict(REPORT)
+    back = protocol.report_from_dict(json.loads(json.dumps(data)))
+    for field in ("cc_ideal", "cc_spatial", "ss_overall", "preload",
+                  "offload", "scenario", "total_cycles", "utilization",
+                  "layer_name", "accelerator_name"):
+        assert getattr(back, field) == getattr(REPORT, field), field
+    assert len(back.served_stalls) == len(REPORT.served_stalls)
+    for a, b in zip(back.served_stalls, REPORT.served_stalls):
+        assert (a.operand, a.level, a.memory, a.ss) == (
+            b.operand, b.level, b.memory, b.ss
+        )
+
+
+def test_energy_roundtrip_is_exact():
+    engine = EvaluationEngine(CASE.accelerator, executor="serial")
+    energy = engine.evaluate_energy(CASE.mapping)
+    data = json.loads(json.dumps(protocol.energy_to_dict(energy)))
+    back = protocol.energy_from_dict(data)
+    assert back.mac_pj == energy.mac_pj
+    assert back.memory_pj == energy.memory_pj
+    assert back.counts.reads_bits == energy.counts.reads_bits
+    assert back.counts.writes_bits == energy.counts.writes_bits
+    assert back.counts.link_bits == energy.counts.link_bits
+    assert back.counts.mac_ops == energy.counts.mac_ops

@@ -1,4 +1,4 @@
-"""The repro.api facade, its re-exports, and the deprecation shims."""
+"""The repro.api facade: layer-first verbs, engine= coercion, legacy shim."""
 
 import warnings
 
@@ -8,74 +8,179 @@ import repro
 from repro import api
 from repro.core.report import LatencyReport
 from repro.dse.mapper import MapperConfig
-from repro.engine import EvaluationEngine
+from repro.engine import EvaluationEngine, Evaluator
 from repro.hardware.presets import case_study_accelerator
 from repro.workload.generator import dense_layer
 
 FAST = MapperConfig(max_enumerated=40, samples=30)
 
 
-def test_evaluate_accepts_preset_and_string_layer():
-    report = api.evaluate("case-study", "16,32,64", config=FAST)
+@pytest.fixture(autouse=True)
+def _fresh_legacy_warning_state():
+    """Each test sees the one-per-process legacy warning as unfired."""
+    api._legacy_warned = False
+    yield
+    api._legacy_warned = False
+
+
+# --------------------------------------------------------------------- #
+# Modern layer-first shapes
+# --------------------------------------------------------------------- #
+
+def test_evaluate_defaults_to_case_study():
+    report = api.evaluate("16,32,64", config=FAST)
     assert isinstance(report, LatencyReport)
     assert report.total_cycles > 0
 
 
-def test_evaluate_accepts_tuple_layer_and_preset_object():
-    preset = case_study_accelerator()
-    a = api.evaluate(preset, (16, 32, 64), config=FAST)
-    b = api.evaluate(preset, dense_layer(16, 32, 64), config=FAST)
+def test_evaluate_layer_spellings_agree():
+    a = api.evaluate((16, 32, 64), config=FAST)
+    b = api.evaluate(dense_layer(16, 32, 64), config=FAST)
     assert a.total_cycles == b.total_cycles
 
 
-def test_evaluate_with_explicit_mapping():
+def test_engine_accepts_preset_and_accelerator():
     preset = case_study_accelerator()
-    results = api.search(preset, "16,32,64", config=FAST, top=1)
+    a = api.evaluate("16,32,64", engine=preset, config=FAST)
+    b = api.evaluate("16,32,64", engine="case-study", config=FAST)
+    assert a.total_cycles == b.total_cycles
+    # A bare Accelerator means purely temporal mapping — still evaluates.
+    c = api.evaluate("16,32,64", engine=preset.accelerator, config=FAST)
+    assert c.total_cycles > 0
+
+
+def test_evaluate_with_explicit_mapping():
+    results = api.search("16,32,64", config=FAST, top=1)
     mapping = results[0].mapping
-    report = api.evaluate(preset, "16,32,64", mapping)
+    report = api.evaluate("16,32,64", mapping)
     assert report.total_cycles == results[0].report.total_cycles
 
 
 def test_evaluate_shares_a_caller_engine():
-    preset = case_study_accelerator()
-    engine = EvaluationEngine.from_preset(preset)
-    api.evaluate(preset, "16,32,64", config=FAST, engine=engine)
+    engine = EvaluationEngine.from_preset(case_study_accelerator())
+    assert isinstance(engine, Evaluator)
+    api.evaluate("16,32,64", config=FAST, engine=engine)
     assert engine.stats.evaluations > 0
     before = engine.stats.evaluations
-    api.evaluate(preset, "16,32,64", config=FAST, engine=engine)
+    api.evaluate("16,32,64", config=FAST, engine=engine)
     assert engine.stats.evaluations == before  # whole search memoized
 
 
+def test_caller_engine_is_not_closed():
+    engine = EvaluationEngine.from_preset(case_study_accelerator())
+    api.evaluate("16,32,64", config=FAST, engine=engine)
+    # Still usable: the verbs only close engines they built themselves.
+    api.search("16,32,64", config=FAST, engine=engine, top=1)
+
+
 def test_search_returns_ranked_results():
-    results = api.search("case-study", "16,32,64", config=FAST, top=3)
+    results = api.search("16,32,64", config=FAST, top=3)
     assert 1 <= len(results) <= 3
     objectives = [r.objective for r in results]
     assert objectives == sorted(objectives)
 
 
 def test_evaluate_network_sums_layers():
-    result = api.evaluate_network(
-        "case-study", ["16,32,64", (16, 32, 64)], config=FAST
-    )
+    result = api.evaluate_network(["16,32,64", (16, 32, 64)], config=FAST)
     assert len(result.layers) == 2
     assert result.total_cycles == sum(r.cycles for r in result.layers)
 
 
-def test_bad_inputs_raise():
-    with pytest.raises(ValueError):
-        api.evaluate("warp-drive", "16,32,64")
-    with pytest.raises(TypeError):
-        api.evaluate(42, "16,32,64")
-    with pytest.raises(ValueError):
-        api.evaluate("case-study", "16,32")
+def test_url_engine_requires_a_live_daemon():
+    with pytest.raises(OSError):
+        api.evaluate("16,32,64", engine="serve://127.0.0.1:1", config=FAST)
 
+
+def test_bad_inputs_raise():
+    with pytest.raises(ValueError, match="unknown engine"):
+        api.evaluate("16,32,64", engine="warp-drive")
+    with pytest.raises(TypeError, match="engine must be"):
+        api.evaluate("16,32,64", engine=42)
+    with pytest.raises(ValueError, match="B,K,C"):
+        api.evaluate("16,32", config=FAST)
+    with pytest.raises(TypeError, match="positional"):
+        api.evaluate("16,32,64", None, "extra")
+
+
+# --------------------------------------------------------------------- #
+# Legacy accelerator-first shapes: still work, warn once per process
+# --------------------------------------------------------------------- #
+
+def test_legacy_shape_works_and_warns_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        report = api.evaluate("case-study", "16,32,64", config=FAST)
+        api.evaluate("case-study", "16,32,64", config=FAST)
+    assert report.total_cycles > 0
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "engine=" in str(deprecations[0].message)
+
+
+def test_legacy_matches_modern_shape():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        preset = case_study_accelerator()
+        old = api.evaluate(preset, "16,32,64", config=FAST)
+    new = api.evaluate("16,32,64", engine=preset, config=FAST)
+    assert old.total_cycles == new.total_cycles
+
+
+def test_legacy_search_and_network_shapes():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        results = api.search("case-study", "16,32,64", config=FAST, top=1)
+        net = api.evaluate_network("case-study", ["16,32,64"], config=FAST)
+    assert results and results[0].report.total_cycles > 0
+    assert net.total_cycles > 0
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+def test_legacy_explicit_mapping_positional():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        preset = case_study_accelerator()
+        results = api.search(preset, "16,32,64", config=FAST, top=1)
+        report = api.evaluate(preset, "16,32,64", results[0].mapping)
+    assert report.total_cycles == results[0].report.total_cycles
+
+
+def test_legacy_engine_kwarg_still_supplies_cache():
+    # Pre-PR 7 idiom: positional accelerator for geometry, engine= for
+    # cache/stats sharing. Both must keep composing.
+    preset = case_study_accelerator()
+    engine = EvaluationEngine.from_preset(preset)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        api.evaluate(preset, "16,32,64", config=FAST, engine=engine)
+        assert engine.stats.evaluations > 0
+        before = engine.stats.evaluations
+        api.evaluate(preset, "16,32,64", config=FAST, engine=engine)
+    assert engine.stats.evaluations == before
+
+
+def test_legacy_bad_accelerator_raises_coercion_error():
+    with pytest.raises(ValueError, match="unknown engine"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            api.evaluate("warp-drive", "16,32,64")
+
+
+# --------------------------------------------------------------------- #
+# Re-exports and engine constructors
+# --------------------------------------------------------------------- #
 
 def test_top_level_reexports():
     assert repro.evaluate is api.evaluate
     assert repro.search is api.search
     assert repro.evaluate_network is api.evaluate_network
     assert repro.api is api
-    for name in ("api", "evaluate", "search", "evaluate_network"):
+    for name in (
+        "api", "evaluate", "search", "evaluate_network",
+        "Evaluator", "RemoteEngine", "connect",
+    ):
         assert name in repro.__all__
 
 
@@ -88,23 +193,6 @@ def test_from_preset_builds_serial_and_process_engines():
         assert parallel.parallel
     bare = EvaluationEngine.from_preset(preset.accelerator)
     assert bare.accelerator is preset.accelerator
-
-
-def test_engine_stats_import_path_deprecated():
-    import importlib
-
-    import repro.engine.stats as shim
-
-    importlib.reload(shim)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        stats_cls = shim.EngineStats
-    assert any(
-        issubclass(w.category, DeprecationWarning) for w in caught
-    )
-    from repro.observability.stats import EngineStats
-
-    assert stats_cls is EngineStats
 
 
 def test_engine_reexport_does_not_warn():
