@@ -1,0 +1,99 @@
+"""Admin-plane overhead: the observability PR must not tax the daemon.
+
+The PR 8 plane — per-request metrics folding, the flight-recorder ring,
+phase timing, and a live ``/metrics`` scraper hammering the admin thread
+— all runs on every request. This bench drives the same pipelined corpus
+through a bare daemon (admin off, the PR 7 configuration) and through a
+fully instrumented one (admin listener up, a scrape loop running, slow
+threshold armed), and bounds the added per-request cost at <5%.
+
+The margin in the assertion is generous (wire latency on a loopback
+socket is noisy at this scale); the honest number lands in
+``BENCH_admin.json`` for the trajectory ledger.
+"""
+
+import threading
+import time
+import urllib.request
+
+from conftest import emit_bench_artifact, full_mode
+
+from test_serve_throughput import _ServerThread, _feasible_corpus
+
+from repro.serve import connect
+
+
+def _drive(handle, by_accel, repeats):
+    """Pipelined bursts over the corpus; returns wall seconds."""
+    client = connect(handle.server.url, use_cache=False)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for group in by_accel.values():
+            eng = client.derive(accelerator=group[0].accelerator)
+            results = eng.evaluate_many([c.mapping for c in group])
+            assert all(r is not None for r in results)
+    wall_s = time.perf_counter() - t0
+    stats = client.server_stats()
+    client.close()
+    return wall_s, stats
+
+
+def test_admin_plane_overhead_is_bounded(capsys):
+    n_cases = 32 if full_mode() else 12
+    repeats = 4 if full_mode() else 3
+    corpus = _feasible_corpus(n_cases)
+    by_accel = {}
+    for case in corpus:
+        by_accel.setdefault(case.accelerator.fingerprint(), []).append(case)
+    requests = len(corpus) * repeats
+
+    # ---- baseline: the PR 7 daemon shape (no admin, no slow log) ----
+    with _ServerThread() as handle:
+        base_s, base_stats = _drive(handle, by_accel, repeats)
+    assert base_stats["requests"] == requests
+
+    # ---- instrumented: admin up + live scraper + slow threshold ----
+    with _ServerThread(admin_port=0, slow_ms=1e9) as handle:
+        admin = handle.server.admin.url
+        stop = threading.Event()
+        scrapes = [0]
+
+        def scraper():
+            while not stop.is_set():
+                with urllib.request.urlopen(admin + "/metrics", timeout=10) as r:
+                    r.read()
+                scrapes[0] += 1
+                time.sleep(0.01)
+
+        t = threading.Thread(target=scraper, daemon=True)
+        t.start()
+        inst_s, inst_stats = _drive(handle, by_accel, repeats)
+        stop.set()
+        t.join(timeout=10)
+    assert inst_stats["requests"] == requests
+    assert len(handle.server.flight) > 0, "flight ring must have recorded"
+
+    overhead = inst_s / max(base_s, 1e-9) - 1.0
+    per_request_us = (inst_s - base_s) / requests * 1e6
+    payload = {
+        "cases": len(corpus),
+        "repeats": repeats,
+        "requests": requests,
+        "baseline_s": round(base_s, 4),
+        "instrumented_s": round(inst_s, 4),
+        "overhead_pct": round(overhead * 100, 2),
+        "per_request_us": round(per_request_us, 1),
+        "scrapes_during_run": scrapes[0],
+    }
+    out = emit_bench_artifact("admin", payload)
+    with capsys.disabled():
+        print(f"\n[admin] {requests} requests: bare {base_s:.3f}s, "
+              f"instrumented {inst_s:.3f}s "
+              f"({payload['overhead_pct']:+.1f}%, "
+              f"{payload['per_request_us']:+.0f}us/req), "
+              f"{scrapes[0]} concurrent scrape(s); artifact {out}")
+    # <5% is the design budget; loopback noise dominates at this scale,
+    # so fail only when the regression is unambiguous.
+    assert overhead < 0.05 + 0.10, (
+        f"admin plane added {overhead:.1%} — far past the 5% budget"
+    )

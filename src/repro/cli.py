@@ -473,16 +473,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ledger=ledger if ledger.enabled else None,
         warm_start=tuple(args.warm_start or ()),
         emitter=emitter if emitter.enabled else None,
+        admin_port=args.admin_port,
+        slow_ms=args.slow_ms,
+        flight_path=args.flight_out,
     )
     server = EvaluationServer(config)
-    interrupted = asyncio.run(server.run(
-        ready_file=args.ready_file,
-        on_ready=lambda url: print(
+
+    def _on_ready(url: str) -> None:
+        admin = f", admin {server.admin.url}" if server.admin else ""
+        print(
             f"serving {preset.accelerator.name} on {url} "
             f"({config.shards} shard(s), "
-            f"{server.store.warm_rows} warm row(s))",
+            f"{server.store.warm_rows} warm row(s){admin})",
             flush=True,
-        ),
+        )
+
+    interrupted = asyncio.run(server.run(
+        ready_file=args.ready_file,
+        on_ready=_on_ready,
     ))
     stats = server.stats_snapshot()
     print(
@@ -499,13 +507,31 @@ def _cmd_top(args: argparse.Namespace) -> int:
     """Render the live dashboard from an events.jsonl recording."""
     from repro.observability.top import run_top
 
-    return run_top(
-        args.events_file,
-        follow=args.follow,
-        plain=not args.live,
-        poll_s=args.interval,
-        max_polls=args.max_polls,
-    )
+    footer = None
+    engine = None
+    if args.engine:
+        from repro.serve.client import connect
+
+        engine = connect(args.engine, use_cache=False)
+
+        def footer() -> str:
+            try:
+                return engine.remote_stats().summary()
+            except Exception as exc:  # daemon may drain mid-follow
+                return f"remote: unavailable ({exc})"
+
+    try:
+        return run_top(
+            args.events_file,
+            follow=args.follow,
+            plain=not args.live,
+            poll_s=args.interval,
+            max_polls=args.max_polls,
+            footer=footer,
+        )
+    finally:
+        if engine is not None:
+            engine.close()
 
 
 def _cmd_export_arch(args: argparse.Namespace) -> int:
@@ -703,6 +729,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append every evaluation to this run ledger "
                             "(the store's persistence; also a future "
                             "--warm-start source)")
+    serve.add_argument("--admin-port", type=int, default=None, metavar="PORT",
+                       help="also serve an HTTP admin surface (/metrics, "
+                            "/healthz, /readyz, /statusz) on this port "
+                            "(0 = ephemeral, reported at startup)")
+    serve.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                       help="log requests slower than MS ms to the ledger "
+                            "(kind=slow_request), the progress stream and "
+                            "/statusz")
+    serve.add_argument("--flight-out", default=None, metavar="FILE",
+                       help="flight-recorder dump path: written on SIGQUIT, "
+                            "drain, first server-side error, or "
+                            "/statusz?dump=1")
     serve.add_argument("--events", default=None, metavar="FILE",
                        help="stream the daemon's health plane (one "
                             "flow=serve run: per-evaluation progress, "
@@ -724,6 +762,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="poll interval in seconds when following")
     top.add_argument("--max-polls", type=int, default=None, metavar="N",
                      help="stop following after N polls (smoke runs)")
+    top.add_argument("--engine", default=None, metavar="URL",
+                     help="also poll a running daemon "
+                          "(serve://host:port or unix:///path.sock) and "
+                          "append its live counters as a footer line")
     top.add_argument("--live", action="store_true",
                      help="repaint the screen in place while following "
                           "(default: append deterministic plain text)")

@@ -46,6 +46,17 @@ benchmark holds it under 5% of kernel time). Enable per scope::
 or from the CLI with ``--trace --trace-out trace.json`` / ``--metrics``.
 """
 
+from repro.observability.distributed import (
+    FlightRecorder,
+    TraceContext,
+    extract_trace,
+    inject_trace,
+    server_span_records,
+    span_from_dict,
+    span_to_dict,
+    spans_from_wire,
+    spans_to_wire,
+)
 from repro.observability.export import (
     chrome_trace,
     find_spans,
@@ -133,6 +144,7 @@ __all__ = [
     "Counter",
     "DashboardState",
     "EngineStats",
+    "FlightRecorder",
     "Gauge",
     "Heartbeat",
     "HeartbeatMonitor",
@@ -162,9 +174,11 @@ __all__ = [
     "Span",
     "SpanNode",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "WorkerStalled",
     "chrome_trace",
+    "extract_trace",
     "current_emitter",
     "current_ledger",
     "current_metrics",
@@ -176,6 +190,7 @@ __all__ = [
     "follow_events",
     "format_event",
     "git_sha",
+    "inject_trace",
     "load_chrome_trace",
     "load_snapshot",
     "per_dtl_stalls",
@@ -185,7 +200,12 @@ __all__ = [
     "render",
     "render_report",
     "run_top",
+    "server_span_records",
+    "span_from_dict",
+    "span_to_dict",
     "span_tree",
+    "spans_from_wire",
+    "spans_to_wire",
     "stall_waterfall",
     "tree_shape",
     "use_emitter",

@@ -244,6 +244,52 @@ def record_interruption(
     )
 
 
+def record_slow_request(
+    *,
+    accelerator_fp: str,
+    mapping_fp: str,
+    options_fp: str = "",
+    source: str = "evaluated",
+    shard: Optional[int] = None,
+    total_ms: float = 0.0,
+    queue_wait_ms: float = 0.0,
+    kernel_ms: float = 0.0,
+    store_write_ms: float = 0.0,
+    coalesce_wait_ms: float = 0.0,
+    queue_depth: int = 0,
+    threshold_ms: float = 0.0,
+    git_sha_value: Optional[str] = None,
+) -> RunRecord:
+    """Build the ``kind="slow_request"`` row the evaluation daemon writes
+    for a request whose server-side wall time exceeded ``--slow-ms``.
+
+    The row carries the request's fingerprints (enough to replay it
+    against the store or a fresh engine) and the per-phase breakdown of
+    where the time went, so a post-mortem can tell queue pressure from a
+    genuinely expensive kernel without re-running anything.
+    """
+    return RunRecord(
+        kind="slow_request",
+        label=source,
+        ts=time.time(),
+        git_sha=git_sha_value if git_sha_value is not None else git_sha(),
+        accelerator_fp=accelerator_fp,
+        mapping_fp=mapping_fp,
+        options_fp=options_fp,
+        wall_time_s=total_ms / 1e3,
+        extra={
+            "total_ms": float(total_ms),
+            "queue_wait_ms": float(queue_wait_ms),
+            "kernel_ms": float(kernel_ms),
+            "store_write_ms": float(store_write_ms),
+            "coalesce_wait_ms": float(coalesce_wait_ms),
+            "queue_depth": float(queue_depth),
+            "threshold_ms": float(threshold_ms),
+            "shard": float(shard if shard is not None else -1),
+        },
+    )
+
+
 _GIT_SHA_CACHE: Optional[str] = None
 
 
@@ -773,5 +819,6 @@ __all__ = [
     "record_from_report",
     "record_from_verification",
     "record_interruption",
+    "record_slow_request",
     "use_ledger",
 ]

@@ -27,15 +27,32 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def _render_labels(labels: Optional[Mapping[str, str]]) -> str:
+    """Sorted ``k="v"`` pairs (no braces), or ``""`` for the bare series."""
+    if not labels:
+        return ""
+    return ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+
+
+def _series_key(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    """Registry key for one (name, labels) series."""
+    rendered = _render_labels(labels)
+    return f"{name}{{{rendered}}}" if rendered else name
+
+
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.labels = dict(labels) if labels else {}
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -46,12 +63,16 @@ class Counter:
 class Gauge:
     """A value that goes up and down."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.labels = dict(labels) if labels else {}
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -67,13 +88,14 @@ class Histogram:
     """Observation distribution with cumulative buckets and percentiles."""
 
     __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "sum",
-                 "_observations")
+                 "_observations", "labels")
 
     def __init__(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.name = name
         self.help = help
@@ -82,6 +104,7 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
         self._observations: List[float] = []
+        self.labels = dict(labels) if labels else {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -116,6 +139,11 @@ class MetricsRegistry:
     One registry typically covers a whole run (the CLI creates one per
     invocation); names are unique across kinds, and re-requesting a name
     returns the existing instrument so call sites need no coordination.
+
+    Instruments may carry Prometheus labels (``labels={"shard": "0"}``):
+    each distinct (name, labels) pair is its own series, and the text
+    exporter groups a name's series under one ``# HELP``/``# TYPE``
+    header. Unlabeled instruments export exactly as before.
     """
 
     enabled = True
@@ -127,16 +155,24 @@ class MetricsRegistry:
 
     # -- instruments ----------------------------------------------------- #
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        inst = self._counters.get(name)
+    def counter(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        key = _series_key(name, labels)
+        inst = self._counters.get(key)
         if inst is None:
-            inst = self._counters[name] = Counter(name, help)
+            inst = self._counters[key] = Counter(name, help, labels)
         return inst
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        inst = self._gauges.get(name)
+    def gauge(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        key = _series_key(name, labels)
+        inst = self._gauges.get(key)
         if inst is None:
-            inst = self._gauges[name] = Gauge(name, help)
+            inst = self._gauges[key] = Gauge(name, help, labels)
         return inst
 
     def histogram(
@@ -144,10 +180,12 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        inst = self._histograms.get(name)
+        key = _series_key(name, labels)
+        inst = self._histograms.get(key)
         if inst is None:
-            inst = self._histograms[name] = Histogram(name, help, buckets)
+            inst = self._histograms[key] = Histogram(name, help, buckets, labels)
         return inst
 
     def ingest(self, prefix: str, values: Mapping[str, float]) -> None:
@@ -188,30 +226,60 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Series of one name are grouped (sorted by label set) under a
+        single ``# HELP``/``# TYPE`` header; the unlabeled-only output
+        is byte-identical to the pre-label exporter.
+        """
         lines: List[str] = []
-        for name in sorted(self._counters):
-            c = self._counters[name]
-            if c.help:
-                lines.append(f"# HELP {name} {c.help}")
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_fmt(c.value)}")
-        for name in sorted(self._gauges):
-            g = self._gauges[name]
-            if g.help:
-                lines.append(f"# HELP {name} {g.help}")
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_fmt(g.value)}")
-        for name in sorted(self._histograms):
-            h = self._histograms[name]
-            if h.help:
-                lines.append(f"# HELP {name} {h.help}")
-            lines.append(f"# TYPE {name} histogram")
+
+        def ordered(insts):
+            return sorted(
+                insts.values(), key=lambda i: (i.name, _render_labels(i.labels))
+            )
+
+        def header(inst, kind: str, seen: set, helps: Dict[str, str]) -> None:
+            if inst.name in seen:
+                return
+            seen.add(inst.name)
+            help_text = helps.get(inst.name, "")
+            if help_text:
+                lines.append(f"# HELP {inst.name} {help_text}")
+            lines.append(f"# TYPE {inst.name} {kind}")
+
+        def help_by_name(insts) -> Dict[str, str]:
+            # Help may have been supplied on any one series of a name;
+            # the single group header uses whichever series carried it.
+            helps: Dict[str, str] = {}
+            for inst in insts.values():
+                if inst.help and not helps.get(inst.name):
+                    helps[inst.name] = inst.help
+            return helps
+
+        seen: set = set()
+        helps = help_by_name(self._counters)
+        for c in ordered(self._counters):
+            header(c, "counter", seen, helps)
+            lines.append(f"{_series_key(c.name, c.labels)} {_fmt(c.value)}")
+        seen = set()
+        helps = help_by_name(self._gauges)
+        for g in ordered(self._gauges):
+            header(g, "gauge", seen, helps)
+            lines.append(f"{_series_key(g.name, g.labels)} {_fmt(g.value)}")
+        seen = set()
+        helps = help_by_name(self._histograms)
+        for h in ordered(self._histograms):
+            header(h, "histogram", seen, helps)
+            rendered = _render_labels(h.labels)
+            prefix = f"{rendered}," if rendered else ""
             for upper, cumulative in h.cumulative_buckets():
                 le = "+Inf" if upper == float("inf") else _fmt(upper)
-                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
-            lines.append(f"{name}_sum {_fmt(h.sum)}")
-            lines.append(f"{name}_count {h.count}")
+                lines.append(
+                    f'{h.name}_bucket{{{prefix}le="{le}"}} {cumulative}'
+                )
+            lines.append(f"{_series_key(h.name + '_sum', h.labels)} {_fmt(h.sum)}")
+            lines.append(f"{_series_key(h.name + '_count', h.labels)} {h.count}")
         return "\n".join(lines) + "\n"
 
 
@@ -247,13 +315,14 @@ class NullMetricsRegistry:
 
     enabled = False
 
-    def counter(self, name: str, help: str = "") -> _NullInstrument:
+    def counter(self, name: str, help: str = "", labels=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+    def gauge(self, name: str, help: str = "", labels=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS,
+                  labels=None):
         return _NULL_INSTRUMENT
 
     def ingest(self, prefix: str, values: Mapping[str, float]) -> None:

@@ -115,10 +115,17 @@ class ChunkCompleted:
 
 @dataclasses.dataclass(frozen=True)
 class Heartbeat:
-    """A worker proved liveness (emitted when its chunk timing arrives)."""
+    """A worker proved liveness (emitted when its chunk timing arrives).
+
+    ``note`` optionally names what the worker is *about to* do (e.g.
+    ``"evaluating a1b2c3/d4e5f6 (kernel)"``); the
+    :class:`HeartbeatMonitor` remembers it so a later stall warning can
+    say what the worker was last occupied with.
+    """
 
     run_id: str
     worker: str
+    note: str = ""
     ts: float = 0.0
 
 
@@ -155,12 +162,18 @@ class CacheStats:
 
 @dataclasses.dataclass(frozen=True)
 class WorkerStalled:
-    """A worker has been silent past the heartbeat threshold."""
+    """A worker has been silent past the heartbeat threshold.
+
+    ``note`` carries what the worker was last reported doing (from its
+    most recent :class:`Heartbeat` note) so the warning is actionable —
+    which request, which phase — instead of just naming the worker.
+    """
 
     run_id: str
     worker: str
     silent_for_s: float = 0.0
     threshold_s: float = STALL_THRESHOLD_S
+    note: str = ""
     ts: float = 0.0
 
 
@@ -255,9 +268,10 @@ def format_event(event: ProgressEvent) -> str:
             f"({event.hit_rate:.1%})"
         )
     if isinstance(event, WorkerStalled):
+        doing = f" while {event.note}" if event.note else ""
         return (
             f"[{rid}] STALL {event.worker} silent "
-            f"{event.silent_for_s:.1f}s (> {event.threshold_s:g}s)"
+            f"{event.silent_for_s:.1f}s (> {event.threshold_s:g}s){doing}"
         )
     if isinstance(event, RunInterrupted):
         return (
@@ -407,6 +421,23 @@ class RunHandle:
             )
         )
 
+    def heartbeat(self, worker: str = "", note: str = "") -> None:
+        """Emit a bare liveness ping, optionally saying what starts now.
+
+        Unlike :meth:`advance` this marks the *beginning* of a unit of
+        work: the server pings with the request's fingerprints before
+        handing a kernel to a shard thread, so a subsequent stall
+        warning can name the exact request that wedged the worker.
+        """
+        self._emitter.emit(
+            Heartbeat(
+                run_id=self.run_id,
+                worker=worker or worker_id(),
+                note=note,
+                ts=self._emitter.clock(),
+            )
+        )
+
     def best(
         self,
         objective: float,
@@ -503,6 +534,9 @@ class NullRunHandle:
     best_objective: Optional[float] = None
 
     def advance(self, completed: int, **kwargs: Any) -> None:
+        pass
+
+    def heartbeat(self, worker: str = "", note: str = "") -> None:
         pass
 
     def best(self, objective: float, **kwargs: Any) -> bool:
@@ -766,6 +800,7 @@ class HeartbeatMonitor:
         self.last_seen: Dict[str, float] = {}
         self._last_run: Dict[str, str] = {}
         self._warned: Dict[str, bool] = {}
+        self._busy: Dict[str, str] = {}
 
     def observe(self, event: ProgressEvent) -> None:
         """Update liveness from one event (usable as a subscriber)."""
@@ -775,6 +810,16 @@ class HeartbeatMonitor:
         self.last_seen[worker] = event.ts
         self._last_run[worker] = event.run_id
         self._warned[worker] = False
+        # What is the worker occupied with? A Heartbeat note announces
+        # work starting; a ChunkCompleted means it came back.
+        if isinstance(event, Heartbeat) and event.note:
+            self._busy[worker] = event.note
+        elif isinstance(event, ChunkCompleted):
+            self._busy.pop(worker, None)
+
+    def busy_note(self, worker: str) -> str:
+        """What ``worker`` last announced it was doing ("" when idle)."""
+        return self._busy.get(worker, "")
 
     def check(self, now: Optional[float] = None) -> List[WorkerStalled]:
         """Return (and emit, when wired) new stall warnings as of ``now``."""
@@ -790,6 +835,7 @@ class HeartbeatMonitor:
                 worker=worker,
                 silent_for_s=silent,
                 threshold_s=self.threshold_s,
+                note=self._busy.get(worker, ""),
                 ts=now,
             )
             warnings.append(warning)

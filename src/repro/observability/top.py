@@ -137,7 +137,7 @@ def _bar(done: int, total: Optional[int], width: int = 20) -> str:
     return "[" + "#" * filled + "-" * (width - filled) + "]"
 
 
-def render(state: DashboardState, *, width: int = 78) -> str:
+def render(state: DashboardState, *, width: int = 78, footer: str = "") -> str:
     """The dashboard as deterministic plain text.
 
     Liveness ("Ns ago") is relative to ``state.last_ts``, so rendering a
@@ -188,6 +188,8 @@ def render(state: DashboardState, *, width: int = 78) -> str:
     if state.stalls:
         lines.append(f"stall warnings: {len(state.stalls)}")
     lines.append(f"events: {state.events_seen}")
+    if footer:
+        lines.append(footer)
     return "\n".join(lines)
 
 
@@ -200,15 +202,18 @@ def run_top(
     max_polls: Optional[int] = None,
     write: Callable[[str], None] = print,
     sleep: Callable[[float], None] = time.sleep,
+    footer: Optional[Callable[[], str]] = None,
 ) -> int:
     """Drive the dashboard; the body of ``repro-latency top``.
 
     Replay mode reads the whole recording and writes one final snapshot.
     Follow mode redraws after each poll that brought new events (with an
     ANSI repaint unless ``plain``) and returns once every run has closed;
-    ``max_polls`` bounds the tail for tests and smoke runs. Returns a
-    shell exit code (2 when the recording is missing/empty and not
-    followed).
+    ``max_polls`` bounds the tail for tests and smoke runs. ``footer``
+    (e.g. a live :meth:`RemoteEngine.remote_stats` summary, via ``top
+    --engine URL``) is re-queried for each redraw and appended as the
+    last line. Returns a shell exit code (2 when the recording is
+    missing/empty and not followed).
     """
     state = DashboardState()
     if not follow:
@@ -221,7 +226,7 @@ def run_top(
             write(f"top: {events_path} holds no events yet")
             return 2
         state.apply_all(events)
-        write(render(state))
+        write(render(state, footer=footer() if footer else ""))
         return 0
 
     polls = 0
@@ -229,7 +234,10 @@ def run_top(
         for batch in follow_events(events_path, poll_s, sleep=sleep):
             state.apply_all(batch)
             if batch:
-                write(("" if plain else _CLEAR) + render(state))
+                write(
+                    ("" if plain else _CLEAR)
+                    + render(state, footer=footer() if footer else "")
+                )
             if state.all_closed:
                 break
             polls += 1

@@ -22,6 +22,7 @@ Design rules:
 from __future__ import annotations
 
 import time
+import uuid
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -98,7 +99,11 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        #: Process-unique identity of this trace, carried across the wire
+        #: by :mod:`repro.observability.distributed` so a remote server
+        #: can link its spans back to this tracer's tree.
+        self.trace_id = trace_id if trace_id else uuid.uuid4().hex[:16]
         self.records: List[SpanRecord] = []
         self._stack: List[int] = []
         self._next_id = 1
@@ -126,6 +131,10 @@ class Tracer:
         """A zero-duration child span (per-DTL / per-port attributions)."""
         with self.span(name, **attributes):
             pass
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span (``None`` outside any span)."""
+        return self._stack[-1] if self._stack else None
 
     def _close(self, record: SpanRecord) -> None:
         record.duration_us = _now_us() - record.start_us
@@ -191,9 +200,13 @@ class NullTracer:
     """The allocation-free disabled tracer (ambient default)."""
 
     enabled = False
+    trace_id = ""
 
     def span(self, name: str, **attributes: Any) -> NullSpan:
         return _NULL_SPAN
+
+    def current_span_id(self) -> None:
+        return None
 
     def event(self, name: str, **attributes: Any) -> None:
         pass

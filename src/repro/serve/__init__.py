@@ -9,13 +9,15 @@ coerces to a :class:`RemoteEngine` transparently. See
 ``docs/SERVICE.md`` for the protocol spec and an ops runbook.
 """
 
+from repro.serve.admin import AdminServer
 from repro.serve.client import (
     RemoteEngine,
     RemoteEvaluationError,
+    RemoteStats,
     connect,
     parse_url,
 )
-from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.protocol import PROTOCOL_MINOR, PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import (
     EvaluationServer,
     ServerConfig,
@@ -25,11 +27,14 @@ from repro.serve.server import (
 from repro.serve.store import ResultStore, StoreKey, record_to_report
 
 __all__ = [
+    "AdminServer",
+    "PROTOCOL_MINOR",
     "PROTOCOL_VERSION",
     "EvaluationServer",
     "ProtocolError",
     "RemoteEngine",
     "RemoteEvaluationError",
+    "RemoteStats",
     "ResultStore",
     "ServerConfig",
     "ServerDraining",

@@ -40,6 +40,7 @@ store and coalescing map are shared across all of them.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import socket
 import threading
@@ -56,7 +57,9 @@ from repro.hardware.accelerator import Accelerator
 from repro.hardware.serde import accelerator_to_dict, preset_from_dict
 from repro.mapping.mapping import Mapping, MappingError
 from repro.mapping.serde import mapping_to_dict
+from repro.observability.distributed import inject_trace, spans_from_wire
 from repro.observability.stats import EngineStats
+from repro.observability.tracer import current_tracer
 from repro.serve import protocol
 from repro.serve.protocol import (
     ErrorResponse,
@@ -80,6 +83,51 @@ class RemoteEvaluationError(RuntimeError):
     def __init__(self, kind: str, message: str) -> None:
         super().__init__(f"{kind}: {message}")
         self.kind = kind
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoteStats:
+    """Client- and server-side counters of one remote engine, together.
+
+    ``client`` is the local :class:`EngineStats` snapshot (LRU hits,
+    round trips, phase seconds); ``server`` is the daemon's live
+    ``stats_snapshot()`` (coalesced, warm hits, queue high-water, per
+    PR 7). One round trip per call — built by
+    :meth:`RemoteEngine.remote_stats`.
+    """
+
+    client: Dict[str, float]
+    server: Dict[str, float]
+
+    @property
+    def coalesced(self) -> int:
+        """Server-side requests attached to an in-flight evaluation."""
+        return int(self.server.get("coalesced", 0))
+
+    @property
+    def warm_hits(self) -> int:
+        """Server answers served from a prior boot's ledger rows."""
+        return int(self.server.get("warm_hits", 0))
+
+    @property
+    def queue_highwater(self) -> int:
+        """Deepest any server shard queue has been this boot."""
+        return int(self.server.get("queue_highwater", 0))
+
+    @property
+    def client_cache_hits(self) -> int:
+        """Answers served from the client's local LRU (no socket)."""
+        return int(self.client.get("cache_hits", 0))
+
+    def summary(self) -> str:
+        """One line for dashboards: the counters an operator scans first."""
+        server_evals = int(self.server.get("evaluations", 0))
+        return (
+            f"remote: {server_evals} server eval(s), "
+            f"{self.coalesced} coalesced, {self.warm_hits} warm, "
+            f"queue hw {self.queue_highwater}, "
+            f"{self.client_cache_hits} client LRU hit(s)"
+        )
 
 
 def parse_url(url: str) -> Tuple[str, ...]:
@@ -233,6 +281,7 @@ class RemoteEngine:
             )
         self.server_name = hello.server
         self.server_protocol = hello.protocol
+        self.admin_url: Optional[str] = hello.admin
         preset = preset_from_dict(hello.preset)
         self.accelerator: Accelerator = preset.accelerator
         self.spatial_unrolling = dict(
@@ -291,6 +340,7 @@ class RemoteEngine:
         view.stats = self.stats
         view.server_name = self.server_name
         view.server_protocol = self.server_protocol
+        view.admin_url = self.admin_url
         same_machine = accelerator is None or accelerator is self.accelerator
         view.accelerator = self.accelerator if same_machine else accelerator
         view.spatial_unrolling = dict(self.spatial_unrolling) if same_machine else {}
@@ -325,6 +375,9 @@ class RemoteEngine:
     def _request_for(
         self, mapping: Mapping, validate: bool, with_energy: bool
     ) -> EvaluateRequest:
+        # inject_trace() is None (no allocation, no wire field) unless a
+        # tracer is ambient — call it inside the open transport span so
+        # the propagated span_id names that span.
         return EvaluateRequest(
             id=self._transport.next_id(),
             layer=layer_to_dict(mapping.layer),
@@ -333,7 +386,38 @@ class RemoteEngine:
             options=self._options_payload,
             validate=validate,
             with_energy=with_energy,
+            trace=inject_trace(),
         )
+
+    def _round_trip(self, phase: str, mapping: Mapping, validate: bool,
+                    with_energy: bool):
+        """One evaluate round trip, wrapped in a client span when tracing.
+
+        Under an ambient tracer this opens ``remote.evaluate``, builds
+        the request *inside* it (so the injected context names that
+        span), and grafts the server's shipped span subtree back under
+        it — yielding one stitched cross-process tree. With the no-op
+        tracer the path is byte-identical to before tracing existed.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            with self.stats.phase(phase):
+                response = self._transport.request(
+                    self._request_for(mapping, validate, with_energy)
+                )
+            if isinstance(response, ErrorResponse):
+                _raise_remote(response)
+            return response
+        with tracer.span("remote.evaluate", url=self.url, phase=phase):
+            with self.stats.phase(phase):
+                response = self._transport.request(
+                    self._request_for(mapping, validate, with_energy)
+                )
+            if isinstance(response, ErrorResponse):
+                _raise_remote(response)
+            if response.spans:
+                tracer.merge(spans_from_wire(response.spans))
+        return response
 
     def _latency_key(self, mapping: Mapping) -> Tuple:
         return (
@@ -360,12 +444,8 @@ class RemoteEngine:
                 self.stats.cache_hits += 1
                 return report
             self.stats.cache_misses += 1
-        with self.stats.phase("evaluate"):
-            response = self._transport.request(
-                self._request_for(mapping, validate, with_energy=False)
-            )
-        if isinstance(response, ErrorResponse):
-            _raise_remote(response)
+        response = self._round_trip("evaluate", mapping, validate,
+                                    with_energy=False)
         self.stats.evaluations += 1
         report = protocol.report_from_dict(response.report)
         if self.use_cache:
@@ -381,12 +461,8 @@ class RemoteEngine:
                 self.stats.cache_hits += 1
                 return energy
             self.stats.cache_misses += 1
-        with self.stats.phase("energy"):
-            response = self._transport.request(
-                self._request_for(mapping, validate=False, with_energy=True)
-            )
-        if isinstance(response, ErrorResponse):
-            _raise_remote(response)
+        response = self._round_trip("energy", mapping, validate=False,
+                                    with_energy=True)
         self.stats.energy_evaluations += 1
         energy = protocol.energy_from_dict(response.energy)
         if self.use_cache:
@@ -413,6 +489,20 @@ class RemoteEngine:
         """
         mappings = list(mappings)
         self.stats.batches += 1
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._evaluate_burst(mappings, validate, with_energy, tracer)
+        with tracer.span("remote.batch", url=self.url,
+                         mappings=float(len(mappings))):
+            return self._evaluate_burst(mappings, validate, with_energy, tracer)
+
+    def _evaluate_burst(
+        self,
+        mappings: List[Mapping],
+        validate: bool,
+        with_energy: bool,
+        tracer,
+    ) -> List[Optional[Evaluation]]:
         results: List[Optional[Evaluation]] = [None] * len(mappings)
         pending: List[Tuple[int, EvaluateRequest]] = []
         for i, mapping in enumerate(mappings):
@@ -435,6 +525,9 @@ class RemoteEngine:
                     continue  # parallel-list contract: infeasible -> None
                 _raise_remote(response)
             self.stats.evaluations += 1
+            if tracer.enabled and response.spans:
+                # merged in request order while remote.batch is open
+                tracer.merge(spans_from_wire(response.spans))
             report = protocol.report_from_dict(response.report)
             energy = (
                 protocol.energy_from_dict(response.energy)
@@ -459,6 +552,17 @@ class RemoteEngine:
         if isinstance(response, ErrorResponse):
             _raise_remote(response)
         return dict(response.stats)
+
+    def remote_stats(self) -> RemoteStats:
+        """Both sides of the connection in one snapshot.
+
+        (``stats`` is already the client-local :class:`EngineStats`
+        attribute every Evaluator carries, hence the distinct name.)
+        One stats round trip per call.
+        """
+        return RemoteStats(
+            client=self.stats.snapshot(), server=self.server_stats()
+        )
 
     def shutdown(self) -> None:
         """Ask the daemon to drain and exit (acknowledged before draining)."""
@@ -498,6 +602,7 @@ def connect(
 __all__ = [
     "RemoteEngine",
     "RemoteEvaluationError",
+    "RemoteStats",
     "connect",
     "parse_url",
 ]

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Optional, Tuple, Type
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.core.report import LatencyReport
 from repro.core.step1 import ModelOptions
@@ -43,6 +43,14 @@ from repro.workload.operand import Operand
 #: Version of the message schema this build speaks. Bump on any change
 #: that an older peer could misread; peers reject anything newer.
 PROTOCOL_VERSION = 1
+
+#: Minor revision within the major schema: bumped for purely additive,
+#: optional fields (``trace`` / ``spans`` / ``admin``) that an older
+#: peer can safely drop. Travels as a separate ``"minor"`` key so the
+#: ``"v"`` gate above keeps its exact v1 semantics — an old decoder
+#: discards ``"minor"`` as an unknown field, a new decoder tolerates
+#: its absence.
+PROTOCOL_MINOR = 1
 
 
 class ProtocolError(ValueError):
@@ -186,7 +194,8 @@ class HelloResponse:
     ``preset`` is a :func:`repro.hardware.serde.preset_to_dict` payload
     (accelerator + native spatial unrolling) — everything a client needs
     to run a mapper search against the served machine without any local
-    configuration.
+    configuration. ``admin`` is the daemon's HTTP admin URL when an
+    admin listener is up (v1.1, optional — absent from old servers).
     """
 
     id: int
@@ -194,6 +203,7 @@ class HelloResponse:
     server: str
     preset: Dict[str, Any]
     options: Dict[str, Any]
+    admin: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -202,6 +212,10 @@ class EvaluateRequest:
 
     ``accelerator``/``options`` may be omitted (``None``) to evaluate on
     the server's own machine — the common case, and cheaper to parse.
+
+    ``trace`` (v1.1, optional) carries the caller's trace context —
+    see :func:`repro.observability.distributed.inject_trace`. Both
+    sides tolerate its absence and ignore malformed payloads.
     """
 
     id: int
@@ -211,6 +225,7 @@ class EvaluateRequest:
     options: Optional[Dict[str, Any]] = None
     validate: bool = True
     with_energy: bool = False
+    trace: Optional[Dict[str, Any]] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -221,12 +236,17 @@ class EvaluateResponse:
     ran), ``"store"`` (hit on a result stored this boot), ``"warm"``
     (hit on a row warm-started from a prior ledger), or ``"coalesced"``
     (attached to another request's in-flight evaluation).
+
+    ``spans`` (v1.1, optional) is the server-side span subtree for this
+    request — present only when the request carried a sampled ``trace``
+    context; see :func:`repro.observability.distributed.spans_to_wire`.
     """
 
     id: int
     report: Dict[str, Any]
     energy: Optional[Dict[str, Any]] = None
     source: str = "evaluated"
+    spans: Optional[List[Dict[str, Any]]] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -298,8 +318,14 @@ def encode(message) -> bytes:
     name = _TYPE_OF.get(cls)
     if name is None:
         raise ProtocolError(f"not a protocol message: {cls.__name__}")
-    data = {"v": PROTOCOL_VERSION, "type": name}
-    data.update(dataclasses.asdict(message))
+    data = {"v": PROTOCOL_VERSION, "minor": PROTOCOL_MINOR, "type": name}
+    # None-valued fields stay off the wire: every Optional field of every
+    # message defaults to None, so decode restores them, frames shrink,
+    # and additive fields (trace/spans/admin) are genuinely *absent* —
+    # not null — when unused, which is what forward-compat tests pin.
+    data.update({
+        k: v for k, v in dataclasses.asdict(message).items() if v is not None
+    })
     return (json.dumps(data, sort_keys=True) + "\n").encode("utf-8")
 
 
@@ -319,6 +345,7 @@ def decode(line) -> Any:
     if not isinstance(data, dict):
         raise ProtocolError(f"frame must be a JSON object, got {type(data).__name__}")
     version = data.pop("v", None)
+    data.pop("minor", None)  # additive revision — informational only
     if version is None:
         raise ProtocolError("frame has no protocol version field 'v'")
     if int(version) > PROTOCOL_VERSION:
@@ -339,6 +366,7 @@ def decode(line) -> Any:
 
 
 __all__ = [
+    "PROTOCOL_MINOR",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "REQUEST_TYPES",

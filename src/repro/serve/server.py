@@ -32,6 +32,17 @@ workers and serves the line-framed JSON protocol of
   error, lets in-flight kernels finish, writes one
   ``kind="interrupted"`` ledger row recording how far the daemon got,
   and closes the progress run.
+* **Observability plane** — every request is timed per phase
+  (queue-wait, coalesce-wait, kernel, store-write). Requests carrying a
+  ``trace`` context get the server-side span subtree shipped back in
+  the response (:mod:`repro.observability.distributed`); every request
+  lands in the always-on :class:`FlightRecorder` ring (dumped on
+  SIGQUIT, drain, internal error, or ``/statusz?dump=1``); requests
+  over ``--slow-ms`` write a ``kind="slow_request"`` ledger row and a
+  progress-stream note; and ``--admin-port`` starts the HTTP admin
+  listener (:mod:`repro.serve.admin`) serving ``/metrics`` (Prometheus
+  text with per-shard request histograms), ``/healthz``, ``/readyz``
+  and ``/statusz``.
 
 The daemon is single-loop asyncio; kernels run in shard threads via
 ``run_in_executor``, which deliberately does *not* propagate context
@@ -47,7 +58,7 @@ import json
 import os
 import signal
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.step1 import ModelOptions
@@ -61,8 +72,18 @@ from repro.hardware.serde import (
 )
 from repro.mapping.mapping import Mapping
 from repro.mapping.serde import mapping_from_dict
-from repro.observability.ledger import record_interruption
+from repro.observability.distributed import (
+    FlightRecorder,
+    TraceContext,
+    extract_trace,
+    server_span_records,
+    spans_to_wire,
+)
+from repro.observability.ledger import record_interruption, record_slow_request
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.span import SpanRecord
 from repro.observability.stats import EngineStats
+from repro.observability.tracer import Tracer, use_tracer
 from repro.serve import protocol
 from repro.serve.protocol import (
     ErrorResponse,
@@ -95,6 +116,12 @@ class ServerConfig:
     with the work item just before the kernel, it lets integration
     tests hold an evaluation open deterministically (to assert
     coalescing) without sleeping.
+
+    ``admin_port`` (``None`` = off, ``0`` = ephemeral) starts the HTTP
+    admin listener on ``host``; ``slow_ms`` (``None`` = off) is the
+    slow-request threshold; ``flight_path`` is where the flight
+    recorder auto-dumps on drain / internal error / SIGQUIT (``None``
+    disables the automatic file dumps, not the recorder itself).
     """
 
     preset: Preset
@@ -110,6 +137,11 @@ class ServerConfig:
     emitter: Any = None                     # ProgressEmitter (or None)
     cache_size: int = 65536                 # per-shard engine cache capacity
     pre_evaluate_hook: Optional[Callable] = None
+    admin_port: Optional[int] = None        # HTTP admin listener (None = off)
+    slow_ms: Optional[float] = None         # slow-request threshold (None = off)
+    slow_log_size: int = 32                 # last-N slow requests kept for /statusz
+    flight_capacity: int = 512              # flight-recorder ring size
+    flight_path: Optional[str] = None       # auto-dump target (None = no file dumps)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -132,6 +164,7 @@ class ServerStats:
     errors: int = 0            # requests answered with an error frame
     protocol_errors: int = 0
     drained: int = 0           # requests failed by a drain
+    slow_requests: int = 0     # requests over the --slow-ms threshold
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -151,6 +184,10 @@ class _WorkItem:
     validate: bool
     with_energy: bool
     future: asyncio.Future
+    label: str = ""             # "accel_fp[:8]/mapping_fp[:12]" for notes
+    traced: bool = False        # collect the kernel's span records?
+    t_enqueue: float = 0.0      # perf_counter at enqueue
+    queue_wait_us: float = 0.0  # written by the shard loop at pickup
 
 
 @dataclasses.dataclass(frozen=True)
@@ -160,6 +197,25 @@ class _Outcome:
     report: Any
     energy: Any
     wall_s: float
+    kernel_records: Tuple[SpanRecord, ...] = ()
+
+
+@dataclasses.dataclass
+class _Phases:
+    """Per-request phase bookkeeping the response wrapper folds into
+    metrics, the flight recorder, the slow log, and the span subtree."""
+
+    shard: Optional[int] = None
+    queue_wait_us: float = 0.0
+    coalesce_wait_us: float = 0.0
+    kernel_us: float = 0.0
+    store_write_us: float = 0.0
+    kernel_records: Tuple[SpanRecord, ...] = ()
+    accel_fp: str = ""
+    mapping_fp: str = ""
+    options_fp: str = ""
+    queued_at_arrival: int = 0
+    evaluated: bool = False     # a kernel actually ran for this request
 
 
 class EvaluationServer:
@@ -193,6 +249,15 @@ class EvaluationServer:
         self._draining = False
         self._stopped: Optional[asyncio.Event] = None
         self.started_ts = 0.0
+        # Observability plane: request metrics, the always-on flight
+        # recorder, the last-N slow-request ring, and (when configured)
+        # the HTTP admin listener built in start().
+        self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(config.flight_capacity)
+        self._slow_log: "deque" = deque(maxlen=max(1, config.slow_log_size))
+        self._queue_highwater: List[int] = []
+        self.admin = None           # repro.serve.admin.AdminServer (or None)
+        self._error_dumped = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -206,6 +271,7 @@ class EvaluationServer:
         self.loop = loop  # handed out for run_coroutine_threadsafe (tests, ops)
         self._stopped = asyncio.Event()
         warm = self.store.warm_start(self.config.warm_start)
+        self._queue_highwater = [0] * self.config.shards
         for shard in range(self.config.shards):
             self._queues.append(asyncio.Queue(maxsize=self.config.queue_depth))
             self._executors.append(
@@ -226,6 +292,14 @@ class EvaluationServer:
             self._server = await asyncio.start_server(
                 self._on_connection, host=self.config.host, port=self.config.port
             )
+        if self.config.admin_port is not None:
+            from repro.serve.admin import AdminServer
+
+            self.admin = AdminServer(
+                self, host=self.config.host, port=self.config.admin_port
+            )
+            self.admin.start()
+        # Last: started_ts > 0 is the "fully up" signal (readyz, tests).
         self.started_ts = time.time()
         emitter = self.config.emitter
         if emitter is not None and emitter.enabled:
@@ -273,9 +347,19 @@ class EvaluationServer:
                     )
                 except (NotImplementedError, RuntimeError):  # pragma: no cover
                     pass
+            # SIGQUIT = dump the flight recorder, keep serving: the
+            # classic "what is this daemon doing right now" poke.
+            if hasattr(signal, "SIGQUIT"):
+                try:
+                    loop.add_signal_handler(signal.SIGQUIT, self.dump_flight)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
         if ready_file:
+            ready: Dict[str, Any] = {"url": self.url, "pid": os.getpid()}
+            if self.admin is not None:
+                ready["admin"] = self.admin.url
             with open(ready_file, "w") as handle:
-                json.dump({"url": self.url, "pid": os.getpid()}, handle)
+                json.dump(ready, handle)
         if on_ready is not None:
             on_ready(self.url)
         try:
@@ -292,6 +376,8 @@ class EvaluationServer:
                 await asyncio.gather(*self._conn_tasks, return_exceptions=True)
             for executor in self._executors:
                 executor.shutdown(wait=True)
+            if self.admin is not None:
+                self.admin.close()
         return self._interrupted
 
     _interrupted = False
@@ -331,6 +417,8 @@ class EvaluationServer:
                 self._run.interrupt(reason)
             else:
                 self._run.finish()
+        if self.config.flight_path and len(self.flight):
+            self.flight.dump(self.config.flight_path)
         self._stopped.set()
 
     def _fail_queued(self) -> None:
@@ -402,6 +490,7 @@ class EvaluationServer:
                 server=self.config.name,
                 preset=self._preset_payload,
                 options=self._options_payload,
+                admin=self.admin.url if self.admin is not None else None,
             )
         elif isinstance(message, StatsRequest):
             response = StatsResponse(id=message.id, stats=self.stats_snapshot())
@@ -446,7 +535,46 @@ class EvaluationServer:
     # ------------------------------------------------------------------ #
 
     async def _handle_evaluate(self, msg: EvaluateRequest):
+        """Time + dispatch one evaluate request, then fold the result into
+        the observability plane (metrics, flight recorder, slow log, spans)."""
         self.stats.requests += 1
+        context = extract_trace(msg.trace)
+        phases = _Phases(queued_at_arrival=sum(q.qsize() for q in self._queues))
+        t0 = time.perf_counter()
+        response = await self._evaluate_request(msg, phases, context)
+        wall_s = time.perf_counter() - t0
+        self._record_request(msg, response, phases, wall_s)
+        if (
+            context is not None
+            and context.sampled
+            and not isinstance(response, ErrorResponse)
+        ):
+            records = server_span_records(
+                context=context,
+                start_us=t0 * 1e6,
+                end_us=(t0 + wall_s) * 1e6,
+                shard=phases.shard if phases.evaluated else None,
+                queue_wait_us=phases.queue_wait_us,
+                coalesce_wait_us=phases.coalesce_wait_us,
+                kernel_us=phases.kernel_us,
+                store_write_us=phases.store_write_us,
+                kernel_records=phases.kernel_records,
+                source=response.source,
+                mapping_fp=phases.mapping_fp[:12] or None,
+                server=self.config.name,
+            )
+            response = dataclasses.replace(
+                response, spans=spans_to_wire(records)
+            )
+        return response
+
+    async def _evaluate_request(
+        self,
+        msg: EvaluateRequest,
+        phases: _Phases,
+        context: Optional[TraceContext],
+    ):
+        """The dispatch itself: store -> coalesce -> shard queue -> kernel."""
         if self._draining:
             return ErrorResponse(
                 id=msg.id, error="ServerDraining",
@@ -462,6 +590,11 @@ class EvaluationServer:
             return ErrorResponse(
                 id=msg.id, error=type(exc).__name__, message=str(exc)
             )
+        phases.accel_fp = accel_fp
+        phases.options_fp = options_fp
+        phases.mapping_fp = mapping_fp
+        shard = int(mapping_fp[:12], 16) % self.config.shards
+        phases.shard = shard
         store_key = (accel_fp, options_fp, mapping_fp)
         if not msg.with_energy:
             hit = self.store.get(store_key)
@@ -480,10 +613,12 @@ class EvaluationServer:
         owner = self._inflight.get(inflight_key)
         if owner is not None:
             self.stats.coalesced += 1
+            t_wait = time.perf_counter()
             try:
                 outcome = await asyncio.shield(owner)
             except BaseException as exc:
                 return self._error_response(msg.id, exc)
+            phases.coalesce_wait_us = (time.perf_counter() - t_wait) * 1e6
             return self._ok_response(msg, outcome, source="coalesced")
         loop = asyncio.get_running_loop()
         future = loop.create_future()
@@ -496,22 +631,33 @@ class EvaluationServer:
             validate=msg.validate,
             with_energy=msg.with_energy,
             future=future,
+            label=f"{accel_fp[:8]}/{mapping_fp[:12]}",
+            traced=context is not None and context.sampled,
+            t_enqueue=time.perf_counter(),
         )
-        shard = int(mapping_fp[:12], 16) % self.config.shards
         try:
             await self._queues[shard].put(item)  # backpressure point
         except BaseException:
             self._inflight.pop(inflight_key, None)
             raise
+        depth = self._queues[shard].qsize()
+        if depth > self._queue_highwater[shard]:
+            self._queue_highwater[shard] = depth
         try:
             outcome = await asyncio.shield(future)
         except BaseException as exc:
             return self._error_response(msg.id, exc)
+        phases.evaluated = True
+        phases.queue_wait_us = item.queue_wait_us
+        phases.kernel_us = outcome.wall_s * 1e6
+        phases.kernel_records = outcome.kernel_records
         self.stats.evaluations += 1
         if msg.with_energy:
             self.stats.energy_evaluations += 1
         if not msg.with_energy:
+            t_store = time.perf_counter()
             self.store.put(store_key, outcome.report, wall_time_s=outcome.wall_s)
+            phases.store_write_us = (time.perf_counter() - t_store) * 1e6
         if self._run is not None:
             self._run.advance(
                 1, wall_s=outcome.wall_s, worker=f"shard:{shard}",
@@ -542,6 +688,106 @@ class EvaluationServer:
         return ErrorResponse(
             id=request_id, error=type(exc).__name__, message=str(exc)
         )
+
+    #: Error kinds a client's payload can legitimately cause; anything
+    #: else is a server-side fault and triggers a flight-recorder dump.
+    _CLIENT_ERRORS = frozenset({
+        "MappingError", "ProtocolError", "SerdeError", "ServerDraining",
+        "KeyError", "ValueError", "TypeError",
+    })
+
+    def _record_request(
+        self, msg: EvaluateRequest, response, phases: _Phases, wall_s: float
+    ) -> None:
+        """Fold one finished request into metrics / flight ring / slow log."""
+        metrics = self.metrics
+        metrics.counter(
+            "repro_serve_requests_total", "Evaluate requests received."
+        ).inc()
+        failed = isinstance(response, ErrorResponse)
+        if failed:
+            metrics.counter(
+                "repro_serve_request_errors_total",
+                "Evaluate requests answered with an error frame.",
+                labels={"error": response.error},
+            ).inc()
+        else:
+            metrics.counter(
+                "repro_serve_responses_total",
+                "Evaluate responses by provenance.",
+                labels={"source": response.source},
+            ).inc()
+        shard_label = {"shard": str(phases.shard if phases.shard is not None else -1)}
+        metrics.histogram(
+            "repro_serve_request_seconds",
+            "Server-side evaluate wall time.",
+            labels=shard_label,
+        ).observe(wall_s)
+        if phases.evaluated:
+            metrics.histogram(
+                "repro_serve_queue_wait_seconds",
+                "Admission-to-shard-pickup wait.",
+                labels=shard_label,
+            ).observe(phases.queue_wait_us / 1e6)
+        entry: Dict[str, Any] = {
+            "id": msg.id,
+            "outcome": response.error if failed else response.source,
+            "shard": phases.shard,
+            "wall_ms": round(wall_s * 1e3, 3),
+            "queue_wait_ms": round(phases.queue_wait_us / 1e3, 3),
+            "kernel_ms": round(phases.kernel_us / 1e3, 3),
+            "accel_fp": phases.accel_fp[:8],
+            "mapping_fp": phases.mapping_fp[:12],
+            "queue_depth": phases.queued_at_arrival,
+        }
+        self.flight.record(**entry)
+        if (
+            failed
+            and response.error not in self._CLIENT_ERRORS
+            and self.config.flight_path
+            and not self._error_dumped
+        ):
+            self._error_dumped = True
+            self.flight.dump(self.config.flight_path)
+        slow_ms = self.config.slow_ms
+        if slow_ms is not None and not failed and wall_s * 1e3 >= slow_ms:
+            self.stats.slow_requests += 1
+            slow = dict(entry)
+            slow.update(
+                ts=time.time(),
+                coalesce_wait_ms=round(phases.coalesce_wait_us / 1e3, 3),
+                store_write_ms=round(phases.store_write_us / 1e3, 3),
+                threshold_ms=float(slow_ms),
+            )
+            self._slow_log.append(slow)
+            metrics.counter(
+                "repro_serve_slow_requests_total",
+                "Requests over the --slow-ms threshold.",
+            ).inc()
+            ledger = self.config.ledger
+            if ledger is not None and ledger.enabled:
+                ledger.append(record_slow_request(
+                    accelerator_fp=phases.accel_fp,
+                    mapping_fp=phases.mapping_fp,
+                    options_fp=phases.options_fp,
+                    source=response.source,
+                    shard=phases.shard,
+                    total_ms=wall_s * 1e3,
+                    queue_wait_ms=phases.queue_wait_us / 1e3,
+                    kernel_ms=phases.kernel_us / 1e3,
+                    store_write_ms=phases.store_write_us / 1e3,
+                    coalesce_wait_ms=phases.coalesce_wait_us / 1e3,
+                    queue_depth=phases.queued_at_arrival,
+                    threshold_ms=slow_ms,
+                ))
+            if self._run is not None:
+                self._run.heartbeat(
+                    worker=f"shard:{phases.shard}",
+                    note=(
+                        f"slow request {phases.mapping_fp[:12]} "
+                        f"{wall_s * 1e3:.0f}ms (> {slow_ms:g}ms)"
+                    ),
+                )
 
     # -- payload resolution (memoized) ---------------------------------- #
 
@@ -591,6 +837,14 @@ class EvaluationServer:
             item = await queue.get()
             if item is None:
                 break
+            item.queue_wait_us = (time.perf_counter() - item.t_enqueue) * 1e6
+            if self._run is not None:
+                # Announce the kernel *before* it runs: if the shard
+                # thread wedges, the stall warning names this request.
+                self._run.heartbeat(
+                    worker=f"shard:{shard}",
+                    note=f"evaluating {item.label} (kernel)",
+                )
             try:
                 outcome = await loop.run_in_executor(
                     executor, self._evaluate_blocking, shard, item
@@ -611,15 +865,38 @@ class EvaluationServer:
             item.future.set_result(outcome)
 
     def _evaluate_blocking(self, shard: int, item: _WorkItem) -> _Outcome:
-        """The kernel call, in the shard's thread (no ambient context here)."""
+        """The kernel call, in the shard's thread (no ambient context here).
+
+        ``run_in_executor`` deliberately does not propagate contextvars,
+        so a traced request installs its *own* kernel tracer here: the
+        engine's stall-attribution spans land in a fresh record list
+        that travels back through the outcome and — remapped — across
+        the wire.
+        """
         engine = self._engine_for(shard, item)
         hook = self.config.pre_evaluate_hook
         if hook is not None:
             hook(item)
+        kernel_records: Tuple[SpanRecord, ...] = ()
         t0 = time.perf_counter()
-        report = engine.evaluate(item.mapping, validate=item.validate)
-        energy = engine.evaluate_energy(item.mapping) if item.with_energy else None
-        return _Outcome(report=report, energy=energy, wall_s=time.perf_counter() - t0)
+        if item.traced:
+            kernel_tracer = Tracer()
+            with use_tracer(kernel_tracer):
+                report = engine.evaluate(item.mapping, validate=item.validate)
+                energy = (
+                    engine.evaluate_energy(item.mapping)
+                    if item.with_energy else None
+                )
+            kernel_records = tuple(kernel_tracer.records)
+        else:
+            report = engine.evaluate(item.mapping, validate=item.validate)
+            energy = engine.evaluate_energy(item.mapping) if item.with_energy else None
+        return _Outcome(
+            report=report,
+            energy=energy,
+            wall_s=time.perf_counter() - t0,
+            kernel_records=kernel_records,
+        )
 
     def _engine_for(self, shard: int, item: _WorkItem) -> EvaluationEngine:
         """The shard's engine for the item's (machine, options) pair.
@@ -652,11 +929,75 @@ class EvaluationServer:
         data["warm_rows"] = float(self.store.warm_rows)
         data["inflight"] = float(len(self._inflight))
         data["queued"] = float(sum(q.qsize() for q in self._queues))
+        data["queue_highwater"] = float(
+            max(self._queue_highwater) if self._queue_highwater else 0
+        )
         data["shards"] = float(self.config.shards)
         data["uptime_s"] = float(time.time() - self.started_ts) if self.started_ts else 0.0
         for key, value in self.engine_stats.snapshot().items():
             data[f"engine_{key}"] = value
         return data
+
+    def render_metrics(self) -> str:
+        """Prometheus text for ``/metrics``: request series + fresh gauges.
+
+        Called from the admin thread per scrape; the counter/histogram
+        series accumulate on the request path, the gauges (snapshot
+        counters, per-shard queue depths) are refreshed here.
+        """
+        metrics = self.metrics
+        metrics.ingest("repro_serve", self.stats_snapshot())
+        for shard, queue in enumerate(self._queues):
+            labels = {"shard": str(shard)}
+            metrics.gauge(
+                "repro_serve_queue_depth", "Requests queued per shard.",
+                labels=labels,
+            ).set(queue.qsize())
+            metrics.gauge(
+                "repro_serve_queue_highwater",
+                "Deepest the shard's queue has been this boot.",
+                labels=labels,
+            ).set(self._queue_highwater[shard])
+        return metrics.to_prometheus()
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``/statusz`` JSON: identity, shard table, store, slow log."""
+        return {
+            "server": self.config.name,
+            "url": self.url if self._server is not None else "",
+            "pid": os.getpid(),
+            "uptime_s": time.time() - self.started_ts if self.started_ts else 0.0,
+            "accelerator": getattr(self._own_accel, "name", ""),
+            "accelerator_fp": self._own_accel_fp[:12],
+            "protocol": f"{protocol.PROTOCOL_VERSION}.{protocol.PROTOCOL_MINOR}",
+            "draining": self._draining,
+            "stats": self.stats_snapshot(),
+            "shards": [
+                {
+                    "shard": shard,
+                    "queued": queue.qsize(),
+                    "highwater": self._queue_highwater[shard],
+                    "engines": len(self._engines[shard]),
+                }
+                for shard, queue in enumerate(self._queues)
+            ],
+            "store": {
+                "size": len(self.store),
+                "warm_rows": self.store.warm_rows,
+            },
+            "slow_requests": list(self._slow_log),
+            "flight": {
+                "size": len(self.flight),
+                "capacity": self.flight.capacity,
+                "dumps": self.flight.dumps,
+                "path": self.config.flight_path,
+            },
+        }
+
+    def dump_flight(self, path: Optional[str] = None) -> int:
+        """Dump the flight ring (SIGQUIT handler / admin hook); record count."""
+        target = path or self.config.flight_path or "serve-flight.jsonl"
+        return self.flight.dump(target)
 
 
 __all__ = [

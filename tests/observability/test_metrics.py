@@ -100,6 +100,56 @@ def test_prometheus_exporter_matches_golden():
     assert got == expected
 
 
+def test_labeled_series_are_distinct_instruments():
+    registry = MetricsRegistry()
+    a = registry.counter("req_total", labels={"shard": "0"})
+    b = registry.counter("req_total", labels={"shard": "1"})
+    bare = registry.counter("req_total")
+    assert a is not b and a is not bare
+    assert a is registry.counter("req_total", labels={"shard": "0"})
+    a.inc(2)
+    b.inc(3)
+    assert (a.value, b.value, bare.value) == (2, 3, 0)
+
+
+def test_prometheus_groups_label_series_under_one_header():
+    registry = MetricsRegistry()
+    registry.counter(
+        "req_total", "Requests.", labels={"shard": "1"}
+    ).inc(3)
+    registry.counter("req_total", labels={"shard": "0"}).inc(2)
+    text = registry.to_prometheus()
+    # One HELP/TYPE header for the base name; series sorted by label.
+    assert text.count("# HELP req_total") == 1
+    assert text.count("# TYPE req_total counter") == 1
+    body = [line for line in text.splitlines() if not line.startswith("#")]
+    assert body == ['req_total{shard="0"} 2', 'req_total{shard="1"} 3']
+
+
+def test_prometheus_labeled_histogram_composes_le_after_labels():
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "lat_seconds", "Latency.", buckets=(0.1,), labels={"shard": "2"}
+    )
+    hist.observe(0.05)
+    hist.observe(1.0)
+    text = registry.to_prometheus()
+    assert 'lat_seconds_bucket{shard="2",le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{shard="2",le="+Inf"} 2' in text
+    assert 'lat_seconds_sum{shard="2"} 1.05' in text
+    assert 'lat_seconds_count{shard="2"} 2' in text
+
+
+def test_unlabeled_output_is_unchanged_by_label_support():
+    # The golden files above are the real assertion; this pins the rule
+    # they rely on — no labels means byte-identical legacy rendering.
+    registry = MetricsRegistry()
+    registry.counter("c", "A counter.").inc()
+    assert registry.to_prometheus() == (
+        "# HELP c A counter.\n# TYPE c counter\nc 1\n"
+    )
+
+
 def test_json_snapshot_roundtrips():
     data = json.loads(build_reference_registry().to_json())
     assert data["counters"]["repro_requests_total"] == 5

@@ -338,6 +338,42 @@ def test_worker_silence_past_threshold_yields_stall_warning():
     assert [w.worker for w in monitor.check()] == ["pid:1", "pid:2"]
 
 
+def test_stall_warning_names_the_in_flight_request():
+    """A bare heartbeat-with-note marks what the worker started; if it
+    then goes silent, the warning says what it was doing — actionable
+    straight from ``top``."""
+    clock = FakeClock(0.0)
+    emitter = ProgressEmitter(clock=clock)
+    monitor = HeartbeatMonitor(threshold_s=10.0, emitter=emitter, clock=clock)
+    emitter.subscribe(monitor.observe)
+
+    run = emitter.start_run("serve", unit="evals")
+    run.heartbeat(worker="shard:0", note="evaluating ab12cd34/9f (kernel)")
+    clock.tick(11.0)
+    warnings = monitor.check()
+    assert [w.worker for w in warnings] == ["shard:0"]
+    assert warnings[0].note == "evaluating ab12cd34/9f (kernel)"
+    assert "while evaluating ab12cd34/9f (kernel)" in format_event(warnings[0])
+    assert monitor.busy_note("shard:0") == "evaluating ab12cd34/9f (kernel)"
+
+
+def test_completion_clears_the_busy_note():
+    clock = FakeClock(0.0)
+    emitter = ProgressEmitter(clock=clock)
+    monitor = HeartbeatMonitor(threshold_s=10.0, emitter=emitter, clock=clock)
+    emitter.subscribe(monitor.observe)
+
+    run = emitter.start_run("serve", unit="evals")
+    run.heartbeat(worker="shard:0", note="evaluating deadbeef/11 (kernel)")
+    run.advance(1, wall_s=0.1, worker="shard:0")  # the kernel finished
+    assert monitor.busy_note("shard:0") == ""
+    clock.tick(11.0)
+    warnings = monitor.check()
+    assert [w.worker for w in warnings] == ["shard:0"]
+    assert warnings[0].note == ""  # idle-silent, not wedged mid-request
+    assert "while" not in format_event(warnings[0])
+
+
 # --------------------------------------------------------------------- #
 # Metrics bridge
 # --------------------------------------------------------------------- #

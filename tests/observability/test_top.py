@@ -141,6 +141,29 @@ def test_run_top_replay_writes_snapshot_and_exits_zero():
     assert "\n".join(lines) + "\n" == SNAPSHOT.read_text()
 
 
+def test_footer_line_appends_without_touching_the_snapshot():
+    state = DashboardState()
+    state.apply_all(read_events(str(FIXTURE)))
+    footer = "remote: 4 server eval(s), 1 coalesced, 0 warm, queue hw 2"
+    with_footer = render(state, footer=footer)
+    assert with_footer == render(state) + "\n" + footer
+    # The committed snapshot is the footer-less rendering.
+    assert render(state, footer="") + "\n" == SNAPSHOT.read_text()
+
+
+def test_run_top_replay_queries_the_footer_supplier_once():
+    calls = []
+
+    def footer() -> str:
+        calls.append(1)
+        return "remote: live"
+
+    lines = []
+    assert run_top(str(FIXTURE), write=lines.append, footer=footer) == 0
+    assert len(calls) == 1
+    assert lines[0].endswith("remote: live")
+
+
 def test_run_top_replay_missing_or_empty_file_exits_two(tmp_path):
     lines = []
     assert run_top(str(tmp_path / "nope.jsonl"), write=lines.append) == 2

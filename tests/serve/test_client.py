@@ -157,6 +157,27 @@ def test_check_runs_locally(server):
     client.close()
 
 
+def test_remote_stats_combines_both_sides_of_the_connection(server):
+    from repro.serve import RemoteStats
+
+    client = connect(server.url)
+    case = next(iter(sample_cases(seed=11, count=1)))
+    eng = client.derive(accelerator=case.accelerator)
+    eng.evaluate(case.mapping)
+    eng.evaluate(case.mapping)  # client-LRU hit: never reaches the daemon
+    combined = client.remote_stats()
+    assert isinstance(combined, RemoteStats)
+    assert combined.client == client.stats.snapshot()
+    assert combined.server["evaluations"] == 1
+    assert combined.client_cache_hits == 1
+    assert combined.coalesced == 0
+    assert combined.queue_highwater >= 0
+    line = combined.summary()
+    assert "1 server eval(s)" in line
+    assert "1 client LRU hit(s)" in line
+    client.close()
+
+
 def test_connect_refuses_dead_endpoint():
     with pytest.raises(OSError):
         connect("serve://127.0.0.1:1")

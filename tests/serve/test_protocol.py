@@ -100,6 +100,82 @@ def test_encode_rejects_non_protocol_objects():
 
 
 # --------------------------------------------------------------------- #
+# Forward compatibility: the trace/spans/minor additions (protocol 1.1)
+# --------------------------------------------------------------------- #
+
+def test_frames_carry_the_minor_revision():
+    data = json.loads(protocol.encode(HelloRequest(id=1)))
+    assert data["v"] == protocol.PROTOCOL_VERSION
+    assert data["minor"] == protocol.PROTOCOL_MINOR
+    # minor is informational: a frame without it (old peer) still decodes.
+    del data["minor"]
+    assert protocol.decode(json.dumps(data)) == HelloRequest(id=1)
+
+
+def test_none_valued_optional_fields_are_absent_on_the_wire():
+    # The compat contract of every additive field: unused means ABSENT,
+    # not null — an old peer's unknown-key filter never even sees it.
+    request = json.loads(protocol.encode(
+        EvaluateRequest(id=1, layer={}, mapping={})
+    ))
+    assert "trace" not in request
+    assert "accelerator" not in request
+    response = json.loads(protocol.encode(
+        EvaluateResponse(id=1, report={}, source="store")
+    ))
+    assert "spans" not in response
+    assert "energy" not in response
+
+
+def test_old_client_to_new_server_evaluate_decodes_with_no_trace():
+    # Exactly what a pre-1.1 client puts on the wire: no trace, no minor.
+    line = json.dumps({
+        "v": protocol.PROTOCOL_VERSION, "type": "evaluate", "id": 9,
+        "layer": {"a": 1}, "mapping": {"b": 2},
+    })
+    message = protocol.decode(line)
+    assert message == EvaluateRequest(id=9, layer={"a": 1}, mapping={"b": 2})
+    assert message.trace is None
+
+
+def test_new_client_to_old_server_trace_is_just_an_unknown_key():
+    # An old server's decoder drops keys it doesn't know; simulate by
+    # sending the 1.1 fields on a frame type that never declared them.
+    line = json.dumps({
+        "v": protocol.PROTOCOL_VERSION, "type": "hello", "id": 2,
+        "trace": {"trace_id": "t", "span_id": 1}, "minor": 99,
+    })
+    assert protocol.decode(line) == HelloRequest(id=2)
+
+
+def test_old_server_response_without_spans_yields_no_spans():
+    from repro.observability.distributed import spans_from_wire
+
+    line = json.dumps({
+        "v": protocol.PROTOCOL_VERSION, "type": "evaluate_ok", "id": 2,
+        "report": {"r": 1}, "source": "evaluated",
+    })
+    message = protocol.decode(line)
+    assert message.spans is None
+    assert spans_from_wire(message.spans) == []
+
+
+def test_traced_request_roundtrips_spans_and_trace():
+    request = EvaluateRequest(
+        id=3, layer={}, mapping={},
+        trace={"trace_id": "abc", "span_id": 4, "sampled": True},
+    )
+    assert protocol.decode(protocol.encode(request)) == request
+    response = EvaluateResponse(
+        id=3, report={}, source="evaluated",
+        spans=[{"span_id": -1, "parent_id": None, "name": "serve.request",
+                "start_us": 0.0, "duration_us": 5.0, "attributes": {},
+                "track": 0}],
+    )
+    assert protocol.decode(protocol.encode(response)) == response
+
+
+# --------------------------------------------------------------------- #
 # Payload serde
 # --------------------------------------------------------------------- #
 
