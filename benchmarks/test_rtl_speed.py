@@ -1,0 +1,87 @@
+"""RTL backend throughput: how fast the second oracle simulates.
+
+The register-stage-accurate backend exists for differential verification,
+not speed — but its cost bounds how many three-way cases CI can afford,
+so the simulated-cycles-per-wall-second rate is tracked per commit as
+``BENCH_rtl.json``. The bench also records the event engine's rate on
+the same case population, so the artifact shows the price of the second
+oracle relative to the first.
+"""
+
+import time
+
+import pytest
+
+from repro.simulator.engine import CycleSimulator
+from repro.simulator.rtl import RtlSimulator
+from repro.verify.generators import sample_cases
+
+from benchmarks.conftest import emit_bench_artifact, full_mode
+
+
+@pytest.fixture(scope="module")
+def population():
+    count = 60 if full_mode() else 20
+    return sample_cases(seed=5, count=count)
+
+
+def _throughput(cases, make_sim):
+    cycles = 0.0
+    t0 = time.perf_counter()
+    for case in cases:
+        result = make_sim(case).run()
+        cycles += result.total_cycles
+    wall = time.perf_counter() - t0
+    return cycles, wall
+
+
+def test_emit_rtl_bench_artifact(population):
+    """Measure both backends on one population; writes ``BENCH_rtl.json``."""
+    rtl_cycles, rtl_s = _throughput(
+        population, lambda c: RtlSimulator(c.accelerator, c.mapping)
+    )
+    event_cycles, event_s = _throughput(
+        population, lambda c: CycleSimulator(c.accelerator, c.mapping)
+    )
+    assert rtl_cycles == pytest.approx(event_cycles, rel=0.6), (
+        "backends drifted apart beyond the sim/sim band on the bench "
+        "population — run repro-latency verify --backend both"
+    )
+
+    payload = {
+        "cases": len(population),
+        "simulated_cycles": rtl_cycles,
+        "rtl_wall_s": rtl_s,
+        "rtl_cycles_per_s": rtl_cycles / rtl_s,
+        "event_wall_s": event_s,
+        "event_cycles_per_s": event_cycles / event_s,
+        "rtl_slowdown_vs_event": rtl_s / event_s,
+        "rtl_ms_per_case": rtl_s / len(population) * 1e3,
+    }
+    out = emit_bench_artifact("rtl", payload)
+    print(f"\nrtl bench written to {out}: "
+          f"{payload['rtl_cycles_per_s']:.0f} cycles/s rtl vs "
+          f"{payload['event_cycles_per_s']:.0f} event "
+          f"({payload['rtl_slowdown_vs_event']:.1f}x slower, "
+          f"{payload['rtl_ms_per_case']:.1f} ms/case)")
+    # The three-way CI budget assumes a case is cheap; keep it that way.
+    assert payload["rtl_ms_per_case"] < 2000.0
+
+
+def test_rtl_stride_fast_path_pays_off(population):
+    """The stride scheduler must beat the plain tick loop on wall time —
+    it is the reason the RTL leg fits in the tier-1 budget."""
+    case = max(
+        population,
+        key=lambda c: RtlSimulator(c.accelerator, c.mapping).run().total_cycles,
+    )
+    _, fast_s = _throughput([case], lambda c: RtlSimulator(
+        c.accelerator, c.mapping, stride=True))
+    _, slow_s = _throughput([case], lambda c: RtlSimulator(
+        c.accelerator, c.mapping, stride=False))
+    fast = RtlSimulator(case.accelerator, case.mapping, stride=True).run()
+    slow = RtlSimulator(case.accelerator, case.mapping, stride=False).run()
+    assert fast.events <= slow.events
+    assert fast.total_cycles == slow.total_cycles
+    # Wall-time advantage tracks the iteration advantage; allow noise.
+    assert fast_s < slow_s * 1.5

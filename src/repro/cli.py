@@ -367,10 +367,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         corpus_dir=pathlib.Path(args.corpus) if args.corpus else None,
         corpus_only=args.corpus_only,
         shrink=not args.no_shrink,
+        backend=args.backend,
     )
     total = len(summary.violations) + len(summary.corpus_violations)
     print(
-        f"verify: seed={summary.seed} "
+        f"verify: seed={summary.seed} backend={summary.backend} "
         f"{summary.cases_checked} generated + {summary.corpus_cases} corpus "
         f"case(s), {total} violation(s) in {summary.wall_time_s:.1f}s"
     )
@@ -674,6 +675,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "gate, so it is recorded by default)")
     verify.add_argument("--examples", type=int, default=200,
                         help="number of generated cases to check")
+    verify.add_argument("--backend", choices=("event", "rtl", "both"),
+                        default="event",
+                        help="simulator backend(s) for the differential "
+                             "oracles: the event engine, the register-"
+                             "stage-accurate RTL backend, or both (which "
+                             "also arms the three-way sim-vs-sim "
+                             "agreement property)")
     verify.add_argument("--seed", type=int, default=0,
                         help="generator seed (same seed -> same cases)")
     verify.add_argument("--corpus", default="tests/verify/corpus",

@@ -45,9 +45,10 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Current on-disk schema version (``PRAGMA user_version`` in SQLite, the
 #: ``"v"`` field of each JSONL line). v1 predates the ``ss_comb`` map,
-#: ``git_sha`` and ``label`` columns; :class:`RunLedger` migrates v1
-#: files in place on open.
-SCHEMA_VERSION = 2
+#: ``git_sha`` and ``label`` columns; v2 predates the ``backend`` column
+#: (which simulator backed a ``kind="verify"`` row). :class:`RunLedger`
+#: migrates older files in place on open.
+SCHEMA_VERSION = 3
 
 #: Record fields gated by ``repro-latency diff`` (deterministic model
 #: outputs). Timing fields (``ts``, ``wall_time_s``) and provenance
@@ -76,9 +77,13 @@ class RunRecord:
     ``kind`` is ``"evaluation"`` (engine latency run), ``"bench"``
     (benchmark artifact routed through :mod:`benchmarks.conftest`), or
     any other caller-defined class. ``label`` disambiguates records
-    sharing a kind (the bench name; free-form otherwise). ``ss_comb``
-    maps unit-memory keys (``"W@LB/L0"``) to their Step-2 combined
-    stall; ``extra`` carries free-form numeric payloads (bench metrics).
+    sharing a kind (the bench name; free-form otherwise). ``backend``
+    names the simulator backend a ``kind="verify"`` row ran against
+    (``"event"``, ``"rtl"``, ``"both"``; rows written before v3 read
+    back as ``"event"``) and stays empty for kinds with no backend
+    axis. ``ss_comb`` maps unit-memory keys (``"W@LB/L0"``) to their
+    Step-2 combined stall; ``extra`` carries free-form numeric payloads
+    (bench metrics).
     """
 
     kind: str = "evaluation"
@@ -101,12 +106,21 @@ class RunRecord:
     utilization: float = 0.0
     cache_hit: Optional[bool] = None
     wall_time_s: float = 0.0
+    backend: str = ""
     ss_comb: Dict[str, float] = dataclasses.field(default_factory=dict)
     extra: Dict[str, float] = dataclasses.field(default_factory=dict)
 
-    def key(self) -> Tuple[str, str, str, str]:
-        """The identity a diff matches baseline and candidate rows on."""
-        return (self.kind, self.label, self.accelerator, self.layer)
+    def key(self) -> Tuple[str, str, str, str, str]:
+        """The identity a diff matches baseline and candidate rows on.
+
+        ``backend`` is part of the key so ``repro-latency diff`` gates
+        each verification backend independently — an event-backend
+        baseline never masks (or spuriously fails) an rtl-backend run.
+        """
+        return (
+            self.kind, self.label, self.accelerator, self.layer,
+            self.backend,
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready flat view (JSONL line sans the version field)."""
@@ -115,13 +129,23 @@ class RunRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
-        """Inverse of :meth:`as_dict`; tolerant of missing (v1) fields."""
+        """Inverse of :meth:`as_dict`; tolerant of missing (v1/v2) fields.
+
+        Verification rows written before the ``backend`` column existed
+        were all event-backend runs, so a ``kind="verify"`` row with no
+        recorded backend normalizes to ``"event"`` — old baselines keep
+        matching new event-backend candidates.
+        """
         fields = {f.name for f in dataclasses.fields(cls)}
         kwargs = {k: v for k, v in data.items() if k in fields}
         if kwargs.get("ss_comb") is None:
             kwargs["ss_comb"] = {}
         if kwargs.get("extra") is None:
             kwargs["extra"] = {}
+        if not kwargs.get("backend"):
+            kwargs["backend"] = (
+                "event" if kwargs.get("kind") == "verify" else ""
+            )
         return cls(**kwargs)
 
 
@@ -181,6 +205,7 @@ def record_from_verification(
     corpus_violations: int,
     shrunk: int,
     wall_time_s: float = 0.0,
+    backend: str = "event",
     git_sha_value: Optional[str] = None,
 ) -> RunRecord:
     """Build a ledger row for one ``repro verify`` run.
@@ -188,7 +213,9 @@ def record_from_verification(
     Verification runs share the ledger with evaluations and benches (one
     row per run, ``kind="verify"``), so the run history shows when the
     property suite was last green and how many counterexamples each
-    regression hunt produced.
+    regression hunt produced. ``backend`` names the simulator axis the
+    run exercised (``"event"``, ``"rtl"`` or ``"both"``) and is part of
+    the diff key.
     """
     return RunRecord(
         kind="verify",
@@ -199,6 +226,7 @@ def record_from_verification(
         layer=f"{examples} examples",
         total_cycles=0.0,
         wall_time_s=wall_time_s,
+        backend=backend,
         extra={
             "seed": float(seed),
             "examples": float(examples),
@@ -347,8 +375,17 @@ _V2_ADDED_COLUMNS = (
     ("ss_comb_json", "TEXT", "'{}'"),
 )
 
-_ALL_COLUMNS = tuple(n for n, _ in _SCALAR_COLUMNS_V1) + tuple(
-    n for n, _, _ in _V2_ADDED_COLUMNS
+#: Columns v3 added on top of v2 (same ALTER TABLE migration pattern).
+#: The empty default is what :meth:`RunRecord.from_dict` normalizes to
+#: ``"event"`` for pre-v3 verification rows.
+_V3_ADDED_COLUMNS = (
+    ("backend", "TEXT", "''"),
+)
+
+_ALL_COLUMNS = (
+    tuple(n for n, _ in _SCALAR_COLUMNS_V1)
+    + tuple(n for n, _, _ in _V2_ADDED_COLUMNS)
+    + tuple(n for n, _, _ in _V3_ADDED_COLUMNS)
 )
 
 
@@ -360,20 +397,32 @@ def _create_v1(conn: sqlite3.Connection) -> None:
     conn.commit()
 
 
+_MIGRATION_COLUMNS = {
+    # target version -> columns its migration step adds
+    2: _V2_ADDED_COLUMNS,
+    3: _V3_ADDED_COLUMNS,
+}
+
+
 def _migrate(conn: sqlite3.Connection, from_version: int) -> None:
-    """Bring an older on-disk schema up to :data:`SCHEMA_VERSION`."""
-    if from_version == 1:
-        for name, typ, default in _V2_ADDED_COLUMNS:
+    """Bring an older on-disk schema up to :data:`SCHEMA_VERSION`.
+
+    Migrations chain: a v1 file gets the v2 columns then the v3 columns,
+    each step a pure ``ALTER TABLE ADD COLUMN`` with a default, so old
+    rows read back with the documented absent-value semantics.
+    """
+    if not 1 <= from_version < SCHEMA_VERSION:
+        raise LedgerSchemaError(
+            f"cannot migrate ledger schema v{from_version} "
+            f"(this build reads v1..v{SCHEMA_VERSION})"
+        )
+    for target in range(from_version + 1, SCHEMA_VERSION + 1):
+        for name, typ, default in _MIGRATION_COLUMNS[target]:
             conn.execute(
                 f"ALTER TABLE runs ADD COLUMN {name} {typ} DEFAULT {default}"
             )
-        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
-        conn.commit()
-        return
-    raise LedgerSchemaError(
-        f"cannot migrate ledger schema v{from_version} "
-        f"(this build reads v1..v{SCHEMA_VERSION})"
-    )
+    conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+    conn.commit()
 
 
 class LedgerSchemaError(RuntimeError):
@@ -468,6 +517,7 @@ class RunLedger:
             record.label,
             record.git_sha,
             json.dumps(record.ss_comb, sort_keys=True),
+            record.backend,
         )
 
     # -- reads ---------------------------------------------------------- #
@@ -580,9 +630,10 @@ def load_snapshot(path: str, sha: Optional[str] = None) -> List[RunRecord]:
 
 @dataclasses.dataclass(frozen=True)
 class MetricDelta:
-    """One compared metric of one (kind, label, accelerator, layer) key."""
+    """One compared metric of one (kind, label, accelerator, layer,
+    backend) key."""
 
-    key: Tuple[str, str, str, str]
+    key: Tuple[str, str, str, str, str]
     metric: str
     baseline: Optional[float]
     candidate: Optional[float]
@@ -605,8 +656,8 @@ class MetricDelta:
 
     def describe(self) -> str:
         """One aligned line for the diff table."""
-        kind, label, accelerator, layer = self.key
-        where = "/".join(p for p in (kind, label, layer) if p)
+        kind, label, accelerator, layer, backend = self.key
+        where = "/".join(p for p in (kind, label, layer, backend) if p)
         if self.baseline is None:
             return f"  + {where} {self.metric}: added ({self.candidate})"
         if self.candidate is None:
@@ -626,8 +677,8 @@ class LedgerDiff:
     """The full result of comparing two snapshots."""
 
     deltas: Tuple[MetricDelta, ...]
-    missing_keys: Tuple[Tuple[str, str, str, str], ...]
-    added_keys: Tuple[Tuple[str, str, str, str], ...]
+    missing_keys: Tuple[Tuple[str, str, str, str, str], ...]
+    added_keys: Tuple[Tuple[str, str, str, str, str], ...]
 
     @property
     def drifted(self) -> Tuple[MetricDelta, ...]:

@@ -15,11 +15,16 @@ is what makes the model-vs-simulator comparison meaningful.
   clock gated by job thresholds, processor-sharing port arbitration, and
   dependency-chained multi-hop refills;
 * :class:`~repro.simulator.result.SimulationResult` — measured cycles,
-  stall anatomy and per-port busy statistics.
+  stall anatomy and per-port busy statistics;
+* :mod:`~repro.simulator.rtl` — a register-stage-accurate *second* oracle
+  (tick-driven, fixed-priority arbiters, its own lowering) that shares no
+  evaluation code with the event engine, enabling three-way differential
+  verification in :mod:`repro.verify`.
 """
 
 from repro.simulator.engine import CycleSimulator
 from repro.simulator.result import SimulationResult, accuracy
+from repro.simulator.rtl import RtlSimulationResult, RtlSimulator
 from repro.simulator.streams import JobStream, TransferJob, build_streams
 from repro.simulator.trace import JobEvent, StallInterval, TraceRecorder
 
@@ -27,6 +32,8 @@ __all__ = [
     "CycleSimulator",
     "JobEvent",
     "JobStream",
+    "RtlSimulationResult",
+    "RtlSimulator",
     "SimulationResult",
     "StallInterval",
     "TraceRecorder",

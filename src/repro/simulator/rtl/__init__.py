@@ -1,0 +1,46 @@
+"""Register-stage-accurate second oracle for the verify fleet.
+
+A structurally independent re-implementation of the abstract machine:
+explicit cycle-callable components (per-port fixed-priority arbiters,
+FIFO'd DTL transfer engines, per-unit-memory preload/offload engines, a
+MAC-array issue stage) driven by a tick scheduler, sharing *no*
+evaluation code with the event-driven :class:`~repro.simulator.engine.
+CycleSimulator`. Agreement between the two — exact on the certified
+integral/uncontended subset, banded elsewhere — is what turns the
+model-vs-simulator band check into three-way differential testing.
+
+* :mod:`~repro.simulator.rtl.program` — the independent lowering to
+  per-engine transfer FIFOs plus the static exactness analysis;
+* :mod:`~repro.simulator.rtl.components` — the cycle-callable stages;
+* :mod:`~repro.simulator.rtl.sim` — the tick scheduler and the
+  measured :class:`~repro.simulator.rtl.sim.RtlSimulationResult`.
+"""
+
+from repro.simulator.rtl.components import (
+    MacArrayIssueStage,
+    OffloadEngine,
+    PortArbiter,
+    PreloadEngine,
+    TransferEngine,
+)
+from repro.simulator.rtl.program import (
+    EnginePlan,
+    MachineProgram,
+    TransferStep,
+    lower_program,
+)
+from repro.simulator.rtl.sim import RtlSimulationResult, RtlSimulator
+
+__all__ = [
+    "EnginePlan",
+    "MacArrayIssueStage",
+    "MachineProgram",
+    "OffloadEngine",
+    "PortArbiter",
+    "PreloadEngine",
+    "RtlSimulationResult",
+    "RtlSimulator",
+    "TransferEngine",
+    "TransferStep",
+    "lower_program",
+]

@@ -1,0 +1,215 @@
+"""Cycle-callable hardware components of the RTL backend.
+
+Each class models one register stage of the abstract machine and exposes
+tick-granular methods the scheduler calls in a fixed order every cycle:
+
+* :class:`PortArbiter` — one per physical port. Fixed-priority,
+  work-conserving: requesters are served in the documented rank order
+  (refills > read-backs > flushes; W > I > O; inner levels first) and any
+  bandwidth a winner leaves on the table cascades to the next requester
+  in the same cycle. Contended cycles are counted — a port cycle with two
+  or more requesters is exactly where this policy can diverge from the
+  event engine's processor sharing, so the count is the dynamic half of
+  the exactness certificate.
+* :class:`TransferEngine` — one per DTL FIFO. Holds at most one
+  :class:`~repro.simulator.rtl.program.TransferStep` in flight
+  (store-and-forward: a tile must fully land before the next is issued)
+  and tracks the per-port bits still to drain.
+* :class:`PreloadEngine` / :class:`OffloadEngine` — one pair per unit
+  memory. The preload engine owns the inbound FIFOs (refills and partial
+  -sum read-backs into the memory), the offload engine the outbound
+  flush FIFO; each issues its engines' startable steps at tick start and
+  accumulates the unit memory's measured traffic.
+* :class:`MacArrayIssueStage` — the compute front end: issues one
+  temporal iteration per cycle while no engine's blocking threshold has
+  been reached, and attributes every stalled cycle to the unit memories
+  whose pending transfers block it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.simulator.rtl.program import EnginePlan, PortKey, TransferStep
+
+_EPS = 1e-9
+
+
+class TransferEngine:
+    """One DTL's FIFO of transfer steps, at most one in flight."""
+
+    def __init__(self, plan: EnginePlan) -> None:
+        self.plan = plan
+        self.name = plan.name
+        self.priority = plan.priority
+        self._next = 0
+        self.active: Optional[TransferStep] = None
+        self._remaining: Dict[PortKey, float] = {}
+        self.bits_moved = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.active is None and self._next >= len(self.plan.steps)
+
+    @property
+    def frontier(self) -> Optional[TransferStep]:
+        """Oldest unretired step — in flight or still queued."""
+        if self.active is not None:
+            return self.active
+        if self._next < len(self.plan.steps):
+            return self.plan.steps[self._next]
+        return None
+
+    def next_gate(self) -> Optional[float]:
+        """Gate of the queued head, when idle (None when busy or done)."""
+        if self.active is None and self._next < len(self.plan.steps):
+            return self.plan.steps[self._next].gate
+        return None
+
+    def try_issue(self, c: int, retired: Dict[str, int]) -> Optional[TransferStep]:
+        """Put the queued head in flight if its gate and dependency allow."""
+        if self.active is not None or self._next >= len(self.plan.steps):
+            return None
+        step = self.plan.steps[self._next]
+        if step.gate > c + _EPS:
+            return None
+        if step.dep is not None and retired.get(step.dep[0], -1) < step.dep[1]:
+            return None
+        self.active = step
+        self._remaining = {key: bits for key, bits in step.legs}
+        return step
+
+    def pending(self, port: PortKey) -> float:
+        """Bits this engine still needs to move through ``port``."""
+        if self.active is None:
+            return 0.0
+        return self._remaining.get(port, 0.0)
+
+    def drain(self, port: PortKey, bits: float) -> None:
+        """Consume a granted allocation on one leg."""
+        if bits > 0.0 and port in self._remaining:
+            self._remaining[port] = max(0.0, self._remaining[port] - bits)
+
+    def maybe_retire(self) -> Optional[TransferStep]:
+        """Retire the in-flight step once every leg has drained."""
+        if self.active is None:
+            return None
+        if any(rem > _EPS for rem in self._remaining.values()):
+            return None
+        step = self.active
+        self.active = None
+        self._remaining = {}
+        self._next += 1
+        self.bits_moved += step.bits
+        return step
+
+
+class PortArbiter:
+    """Fixed-priority, work-conserving arbiter for one physical port.
+
+    Every cycle the scheduler hands it the engines requesting the port;
+    grants are issued in ascending ``priority`` order, each engine taking
+    ``min(pending, capacity_left)``, so leftover bandwidth cascades
+    downward instead of being wasted. The policy is deliberately *not*
+    the event engine's equal split: under contention the two backends
+    disagree by design, which is why contended cycles void the
+    exact-match certificate and fall back to the banded comparison.
+    """
+
+    def __init__(self, key: PortKey, bandwidth: float) -> None:
+        self.key = key
+        self.bandwidth = bandwidth
+        self.busy_bits = 0.0
+        self.contended_cycles = 0.0
+
+    def arbitrate(
+        self, requesters: List[TransferEngine], cycles: float = 1.0
+    ) -> List[Tuple[TransferEngine, float]]:
+        """Grant this cycle's bandwidth; returns per-engine bit rates.
+
+        ``cycles`` scales the bookkeeping when the scheduler replays the
+        identical grant pattern over a run of cycles (see the stride
+        fast-path in :mod:`repro.simulator.rtl.sim`); the grants returned
+        are always per-cycle rates.
+        """
+        queue = sorted(
+            (e for e in requesters if e.pending(self.key) > _EPS),
+            key=lambda e: e.priority,
+        )
+        if len(queue) >= 2:
+            self.contended_cycles += cycles
+        grants: List[Tuple[TransferEngine, float]] = []
+        left = self.bandwidth
+        for engine in queue:
+            if left <= _EPS:
+                break
+            grant = min(engine.pending(self.key), left)
+            left -= grant
+            grants.append((engine, grant))
+        return grants
+
+
+class PreloadEngine:
+    """Inbound side of one unit memory: refill + read-back FIFOs."""
+
+    direction = "preload"
+
+    def __init__(self, unit_memory: str, engines: Iterable[TransferEngine]) -> None:
+        self.unit_memory = unit_memory
+        self.engines = tuple(engines)
+
+    def issue(self, c: int, retired: Dict[str, int]) -> List[TransferStep]:
+        """Start every startable inbound step at tick start."""
+        issued = []
+        for engine in self.engines:
+            step = engine.try_issue(c, retired)
+            if step is not None:
+                issued.append(step)
+        return issued
+
+    @property
+    def bits_moved(self) -> float:
+        return sum(e.bits_moved for e in self.engines)
+
+
+class OffloadEngine(PreloadEngine):
+    """Outbound side of one unit memory: the flush FIFO.
+
+    Same issue mechanics as the preload side — modelled separately so a
+    unit memory can preload the next tile while the previous one drains,
+    exactly the overlap the predictable-offloading formalization allows.
+    """
+
+    direction = "offload"
+
+
+class MacArrayIssueStage:
+    """The compute front end: one temporal iteration per unstalled cycle."""
+
+    def __init__(self, total_cycles: int) -> None:
+        self.total_cycles = total_cycles
+        self.c = 0
+        self.stall_cycles = 0.0
+        self.stall_by_memory: Dict[str, float] = {}
+
+    @property
+    def finished(self) -> bool:
+        return self.c >= self.total_cycles
+
+    def can_issue(self, limit: float) -> bool:
+        """Whether the next iteration may issue under ``limit``."""
+        return not self.finished and self.c < limit - _EPS
+
+    def issue(self, cycles: int) -> None:
+        """Issue ``cycles`` consecutive iterations (scheduler-validated)."""
+        self.c += cycles
+
+    def stall(self, cycles: float, blockers: List[str]) -> None:
+        """Record stalled cycles, split across the blocking unit memories."""
+        self.stall_cycles += cycles
+        if blockers:
+            share = cycles / len(blockers)
+            for key in blockers:
+                self.stall_by_memory[key] = (
+                    self.stall_by_memory.get(key, 0.0) + share
+                )

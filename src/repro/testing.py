@@ -9,6 +9,11 @@ exported for downstream users who want hand-computable fixtures:
 * :func:`make_mapping` — build a :class:`~repro.mapping.mapping.Mapping`
   from explicit per-operand, per-level loop lists;
 * :func:`loops` — terse loop-list construction from ("K", 4)-style pairs;
+* :func:`private_toy_accelerator` — a machine whose three operands own
+  fully private memory chains (no shared ports at all), the canonical
+  member of the RTL backend's certified-exact scenario subset;
+* :func:`simulate` — run either simulator backend (``"event"`` /
+  ``"rtl"``) behind one call, for backend-parametrized tests;
 * :func:`random_accelerator`, :func:`random_layer`, :func:`sample_cases` —
   re-exported from :mod:`repro.verify.generators`: constrained, seeded
   random machines / layers / valid mappings for property-based tests.
@@ -44,9 +49,11 @@ __all__ = [
     "iter_cases",
     "loops",
     "make_mapping",
+    "private_toy_accelerator",
     "random_accelerator",
     "random_layer",
     "sample_cases",
+    "simulate",
     "toy_accelerator",
 ]
 
@@ -102,6 +109,85 @@ def toy_accelerator(
         hierarchy=hierarchy,
         stall_overlap=stall_overlap or StallOverlapConfig.all_concurrent(),
     )
+
+
+def private_toy_accelerator(
+    reg_bits: int = 8,
+    o_reg_bits: int = 24,
+    reg_bw: float = 8.0,
+    buf_bw: float = 64.0,
+    reg_double_buffered: bool = False,
+) -> Accelerator:
+    """A 2-level machine where every operand's chain is fully private.
+
+    Each operand gets its own register *and* its own upper buffer with
+    dedicated read/write ports, so no physical port ever serves two
+    transfer streams. On such machines the RTL backend's dynamic
+    exactness condition (zero contended port cycles) holds by
+    construction, and with power-of-two sizes the lowered program is
+    integral — the certified subset where both simulator backends must
+    agree on total cycles *exactly* (see :mod:`repro.simulator.rtl`).
+    """
+    def _reg(name: str, bits: int, bw: float) -> MemoryInstance:
+        return MemoryInstance(
+            name, bits, dual_port(bw, bw),
+            double_buffered=reg_double_buffered and not name.startswith("O"),
+            read_energy_pj_per_bit=0.01, write_energy_pj_per_bit=0.01,
+        )
+
+    def _buf(name: str) -> MemoryInstance:
+        return MemoryInstance(
+            name, 64 * 1024 * 8, dual_port(buf_bw, buf_bw),
+            read_energy_pj_per_bit=0.05, write_energy_pj_per_bit=0.05,
+        )
+
+    o_bw = max(reg_bw, float(o_reg_bits))
+    chains = {
+        Operand.W: (
+            auto_allocate(_reg("W-Reg", reg_bits, reg_bw), {Operand.W}),
+            auto_allocate(_buf("W-Buf"), {Operand.W}),
+        ),
+        Operand.I: (
+            auto_allocate(_reg("I-Reg", reg_bits, reg_bw), {Operand.I}),
+            auto_allocate(_buf("I-Buf"), {Operand.I}),
+        ),
+        Operand.O: (
+            auto_allocate(_reg("O-Reg", o_reg_bits, o_bw), {Operand.O}),
+            auto_allocate(_buf("O-Buf"), {Operand.O}),
+        ),
+    }
+    return Accelerator(
+        name="private-toy",
+        mac_array=MacArray(rows=1, cols=1, macs_per_pe=1, mac_energy_pj=0.1),
+        hierarchy=MemoryHierarchy(chains),
+        stall_overlap=StallOverlapConfig.all_concurrent(),
+    )
+
+
+def simulate(
+    accelerator: Accelerator,
+    mapping: Mapping,
+    backend: str = "event",
+    **kwargs,
+):
+    """Run one mapping through the chosen simulator backend.
+
+    ``backend="event"`` dispatches to the event-driven
+    :class:`~repro.simulator.engine.CycleSimulator`, ``backend="rtl"``
+    to the register-stage-accurate
+    :class:`~repro.simulator.rtl.RtlSimulator`; extra keyword arguments
+    go to the chosen simulator's constructor. Both return the shared
+    :class:`~repro.simulator.result.SimulationResult` shape, which is
+    what lets test suites parametrize over the two oracles.
+    """
+    from repro.simulator.engine import CycleSimulator
+    from repro.simulator.rtl import RtlSimulator
+
+    if backend == "event":
+        return CycleSimulator(accelerator, mapping, **kwargs).run()
+    if backend == "rtl":
+        return RtlSimulator(accelerator, mapping, **kwargs).run()
+    raise ValueError(f"unknown simulator backend {backend!r}")
 
 
 def make_mapping(

@@ -6,7 +6,8 @@ pipeline but specialised to the paper's 3-step stall model:
 * :mod:`repro.verify.generators` — constrained, seeded generators for
   random accelerators, layers and valid mappings (always evaluable);
 * :mod:`repro.verify.properties` — differential and metamorphic oracles
-  (model vs. cycle simulator, Table I ReqBW algebra, Eq. (1)/(2) stall
+  (model vs. cycle simulator, three-way model/event-sim/RTL-sim agreement
+  under ``backend="both"``, Table I ReqBW algebra, Eq. (1)/(2) stall
   combination laws, bandwidth monotonicity, clamping invariants);
 * :mod:`repro.verify.shrink` — greedy minimisation of a failing
   (accelerator, mapping, layer) triple to a hand-checkable counterexample;
@@ -32,19 +33,28 @@ from repro.verify.generators import (
     sample_cases,
 )
 from repro.verify.properties import (
+    BACKENDS,
     PROPERTIES,
     Tolerance,
     Violation,
     check_case,
+    default_properties,
 )
-from repro.verify.runner import VerificationSummary, run_verification
+from repro.verify.runner import (
+    ShrunkFailure,
+    VerificationSummary,
+    replay_corpus,
+    run_verification,
+)
 from repro.verify.shrink import case_size, shrink_case
 
 __all__ = [
+    "BACKENDS",
     "Case",
     "CorpusCase",
     "GeneratorConfig",
     "PROPERTIES",
+    "ShrunkFailure",
     "Tolerance",
     "VerificationSummary",
     "Violation",
@@ -52,9 +62,11 @@ __all__ = [
     "case_size",
     "case_to_dict",
     "check_case",
+    "default_properties",
     "load_corpus",
     "random_accelerator",
     "random_layer",
+    "replay_corpus",
     "run_verification",
     "sample_cases",
     "save_case",

@@ -33,11 +33,18 @@ SCHEMA_VERSION = 1
 
 @dataclasses.dataclass(frozen=True)
 class CorpusCase:
-    """One committed regression case plus its provenance metadata."""
+    """One committed regression case plus its provenance metadata.
+
+    ``pairs`` records which differential comparison disagreed when the
+    case was saved (``"event/rtl"``, ``"model/rtl"``, ``"model/event"``);
+    empty for algebraic failures and for files predating the three-way
+    oracle (the field is schema-tolerant: absent reads as ``()``).
+    """
 
     case: Case
     comment: str
     properties: Tuple[str, ...]
+    pairs: Tuple[str, ...] = ()
     path: Optional[pathlib.Path] = None
 
 
@@ -56,7 +63,10 @@ _mapping_from_dict = mapping_from_dict
 
 
 def case_to_dict(
-    case: Case, comment: str = "", properties: Sequence[str] = ()
+    case: Case,
+    comment: str = "",
+    properties: Sequence[str] = (),
+    pairs: Sequence[str] = (),
 ) -> Dict:
     """Serialize one case (plus provenance) to a JSON-ready dict."""
     return {
@@ -64,6 +74,7 @@ def case_to_dict(
         "case_id": case.case_id,
         "comment": comment,
         "properties": list(properties),
+        "pairs": list(pairs),
         "accelerator": accelerator_to_dict(case.accelerator),
         "layer": _layer_to_dict(case.layer),
         "mapping": _mapping_to_dict(case.mapping),
@@ -111,6 +122,7 @@ def case_from_dict(data: Dict, path: Optional[pathlib.Path] = None) -> CorpusCas
         case=case,
         comment=str(data.get("comment", "")),
         properties=tuple(data.get("properties", ())),
+        pairs=tuple(data.get("pairs", ())),
         path=path,
     )
 
@@ -120,13 +132,16 @@ def save_case(
     directory: pathlib.Path,
     comment: str,
     properties: Sequence[str] = (),
+    pairs: Sequence[str] = (),
 ) -> pathlib.Path:
     """Write one case into the corpus directory (filename from content)."""
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     digest = case.mapping.fingerprint()[:10]
     path = directory / f"{case.case_id.replace('~', '-')}-{digest}.json"
-    payload = case_to_dict(case, comment=comment, properties=properties)
+    payload = case_to_dict(
+        case, comment=comment, properties=properties, pairs=pairs
+    )
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

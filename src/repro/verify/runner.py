@@ -31,15 +31,28 @@ from repro.verify.shrink import shrink_case, shrink_report
 
 @dataclasses.dataclass(frozen=True)
 class ShrunkFailure:
-    """One failing case together with its minimised counterexample."""
+    """One failing case together with its minimised counterexample.
+
+    ``pairs`` collects the disagreeing comparisons from the violations
+    (``"event/rtl"``, ``"model/rtl"``, ``"model/event"``) so three-way
+    counterexamples are tagged with *which* pair fell apart — the triage
+    signal (sim-vs-sim = simulator bug, model-vs-sim = model accuracy).
+    """
 
     original: Case
     shrunk: Case
     failing: Tuple[str, ...]
     violations: Tuple[Violation, ...]
 
+    @property
+    def pairs(self) -> Tuple[str, ...]:
+        return tuple(sorted({v.pair for v in self.violations if v.pair}))
+
     def describe(self) -> str:
-        return shrink_report(self.original, self.shrunk, list(self.failing))
+        report = shrink_report(self.original, self.shrunk, list(self.failing))
+        if self.pairs:
+            report = f"disagreeing pairs: {', '.join(self.pairs)}\n" + report
+        return report
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,6 +67,7 @@ class VerificationSummary:
     corpus_violations: Tuple[Violation, ...]
     failures: Tuple[ShrunkFailure, ...]
     wall_time_s: float
+    backend: str = "event"
 
     @property
     def ok(self) -> bool:
@@ -64,6 +78,7 @@ class VerificationSummary:
         return {
             "seed": self.seed,
             "examples": self.examples,
+            "backend": self.backend,
             "cases_checked": self.cases_checked,
             "corpus_cases": self.corpus_cases,
             "ok": self.ok,
@@ -74,10 +89,12 @@ class VerificationSummary:
                 {
                     "case_id": f.original.case_id,
                     "failing": list(f.failing),
+                    "pairs": list(f.pairs),
                     "shrunk": case_to_dict(
                         f.shrunk,
                         comment=f"shrunk from {f.original.case_id}",
                         properties=f.failing,
+                        pairs=f.pairs,
                     ),
                     "report": f.describe(),
                 }
@@ -87,13 +104,17 @@ class VerificationSummary:
 
 
 def replay_corpus(
-    corpus_dir: pathlib.Path, tolerance: Tolerance = Tolerance()
+    corpus_dir: pathlib.Path,
+    tolerance: Tolerance = Tolerance(),
+    backend: str = "event",
 ) -> Tuple[List[CorpusCase], List[Violation]]:
     """Re-check every committed corpus case against the full suite."""
     cases = load_corpus(corpus_dir)
     violations: List[Violation] = []
     for entry in cases:
-        violations.extend(check_case(entry.case, tolerance=tolerance))
+        violations.extend(
+            check_case(entry.case, tolerance=tolerance, backend=backend)
+        )
     return cases, violations
 
 
@@ -105,6 +126,7 @@ def run_verification(
     config: GeneratorConfig = GeneratorConfig(),
     tolerance: Tolerance = Tolerance(),
     shrink: bool = True,
+    backend: str = "event",
 ) -> VerificationSummary:
     """One full verification run; appends a row to the ambient ledger.
 
@@ -127,7 +149,9 @@ def run_verification(
     corpus_violations: List[Violation] = []
     if corpus_dir is not None:
         corpus_t0 = time.perf_counter()
-        corpus_cases, corpus_violations = replay_corpus(corpus_dir, tolerance)
+        corpus_cases, corpus_violations = replay_corpus(
+            corpus_dir, tolerance, backend
+        )
         if run is not None and corpus_cases:
             run.advance(
                 len(corpus_cases),
@@ -146,7 +170,7 @@ def run_verification(
                     break
                 checked += 1
                 case_t0 = time.perf_counter()
-                found = check_case(case, tolerance=tolerance)
+                found = check_case(case, tolerance=tolerance, backend=backend)
                 if not found:
                     if run is not None:
                         run.advance(
@@ -164,7 +188,9 @@ def run_verification(
                         note=f"FAIL {case.case_id}: {', '.join(failing)}",
                     )
                 shrunk = (
-                    shrink_case(case, failing, config, tolerance)
+                    shrink_case(
+                        case, failing, config, tolerance, backend=backend
+                    )
                     if shrink
                     else case
                 )
@@ -192,6 +218,7 @@ def run_verification(
         corpus_violations=tuple(corpus_violations),
         failures=tuple(failures),
         wall_time_s=time.monotonic() - start,
+        backend=backend,
     )
     current_ledger().append(
         record_from_verification(
@@ -203,6 +230,7 @@ def run_verification(
             corpus_violations=len(summary.corpus_violations),
             shrunk=len(summary.failures),
             wall_time_s=summary.wall_time_s,
+            backend=backend,
         )
     )
     return summary
@@ -234,6 +262,7 @@ def write_artifacts(
                         failure.shrunk,
                         comment=f"shrunk from {failure.original.case_id}",
                         properties=failure.failing,
+                        pairs=failure.pairs,
                     ),
                     indent=2,
                     sort_keys=True,

@@ -153,6 +153,7 @@ def _rebuild(
     failing: Sequence[str],
     config: GeneratorConfig,
     tolerance: Tolerance,
+    backend: str = "event",
 ) -> Optional[Case]:
     """Re-map a mutant and return it as a still-failing case, if any."""
     acc, spatial, layer = mutant
@@ -171,7 +172,10 @@ def _rebuild(
             mapping=mapping,
             case_id=f"{base.case_id.split('~')[0]}~shrunk",
         )
-        if check_case(candidate, properties=failing, tolerance=tolerance):
+        if check_case(
+            candidate, properties=failing, tolerance=tolerance,
+            backend=backend,
+        ):
             return candidate
     return None
 
@@ -182,11 +186,14 @@ def shrink_case(
     config: GeneratorConfig = GeneratorConfig(),
     tolerance: Tolerance = Tolerance(),
     max_accepted: int = 64,
+    backend: str = "event",
 ) -> Case:
     """Greedily minimise ``case`` while it keeps violating ``failing``.
 
     Returns the smallest still-failing case found (possibly ``case``
-    itself when nothing simpler fails). Deterministic for a given input.
+    itself when nothing simpler fails). Deterministic for a given input —
+    ``backend`` is part of that input: shrinking a three-way failure
+    re-checks mutants under the same backend that found it.
     """
     if not failing:
         return case
@@ -197,7 +204,9 @@ def shrink_case(
     while improved and accepted < max_accepted:
         improved = False
         for mutant in _mutants(current):
-            candidate = _rebuild(mutant, current, failing, config, tolerance)
+            candidate = _rebuild(
+                mutant, current, failing, config, tolerance, backend
+            )
             if candidate is None:
                 continue
             size = case_size(candidate)

@@ -118,7 +118,8 @@ def test_records_kind_filter(tmp_path):
 
 
 def test_v1_file_migrates_in_place(tmp_path):
-    """A v1 ledger (pre label/git_sha/ss_comb) opens with v2 code."""
+    """A v1 ledger (pre label/git_sha/ss_comb/backend) opens with current
+    code — the migration chain carries it through every schema step."""
     path = str(tmp_path / "old.sqlite")
     conn = sqlite3.connect(path)
     _create_v1(conn)
@@ -137,9 +138,86 @@ def test_v1_file_migrates_in_place(tmp_path):
         assert rec.label == ""
         assert rec.git_sha == "unknown"
         assert rec.ss_comb == {}
-        # And the migrated file accepts v2 rows alongside.
+        assert rec.backend == ""
+        # And the migrated file accepts current rows alongside.
         ledger.append(make_record())
         assert len(ledger) == 2
+
+
+def test_v2_file_migrates_and_normalizes_verify_backend(tmp_path):
+    """A v2 ledger (pre backend) migrates in place; its verify rows — all
+    event-backend by construction — read back as ``backend="event"``."""
+    from repro.observability.ledger import _V2_ADDED_COLUMNS
+
+    path = str(tmp_path / "v2.sqlite")
+    conn = sqlite3.connect(path)
+    _create_v1(conn)
+    for name, typ, default in _V2_ADDED_COLUMNS:
+        conn.execute(f"ALTER TABLE runs ADD COLUMN {name} {typ} DEFAULT {default}")
+    conn.execute("PRAGMA user_version = 2")
+    conn.execute(
+        "INSERT INTO runs (kind, ts, accelerator, layer, extra_json, label)"
+        " VALUES ('verify', 1.0, 'generated', '64 examples', '{}', 'seed=0')"
+    )
+    conn.execute(
+        "INSERT INTO runs (kind, ts, accelerator, layer, extra_json, label)"
+        " VALUES ('evaluation', 2.0, 'chip', 'L', '{}', '')"
+    )
+    conn.commit()
+    conn.close()
+
+    with RunLedger(path) as ledger:
+        assert ledger.schema_version == SCHEMA_VERSION
+        verify, evaluation = ledger.records()
+        assert verify.backend == "event"       # absent = event, for verify
+        assert evaluation.backend == ""        # no backend axis otherwise
+
+
+def test_from_dict_backend_normalization():
+    assert RunRecord.from_dict({"kind": "verify"}).backend == "event"
+    assert RunRecord.from_dict({"kind": "evaluation"}).backend == ""
+    assert RunRecord.from_dict({"kind": "verify", "backend": "rtl"}).backend == "rtl"
+
+
+def test_verify_record_backend_roundtrip(tmp_path):
+    from repro.observability.ledger import record_from_verification
+
+    rec = record_from_verification(
+        seed=7, examples=16, cases_checked=16, violations=0,
+        corpus_cases=3, corpus_violations=0, shrunk=0,
+        backend="both", git_sha_value="abc1234",
+    )
+    assert rec.kind == "verify" and rec.backend == "both"
+    db = str(tmp_path / "runs.sqlite")
+    snap = str(tmp_path / "runs.jsonl")
+    with RunLedger(db) as ledger:
+        ledger.append(rec)
+        (back,) = ledger.records()
+        ledger.export_jsonl(snap)
+    assert back.backend == "both"
+    assert load_jsonl(snap)[0].backend == "both"
+
+
+def test_backend_is_part_of_the_diff_key():
+    """Event- and rtl-backend verify runs gate independently: they never
+    match each other, so one backend's baseline can't mask the other."""
+    from repro.observability.ledger import record_from_verification
+
+    def verify_row(backend, violations=0):
+        return record_from_verification(
+            seed=0, examples=8, cases_checked=8, violations=violations,
+            corpus_cases=3, corpus_violations=0, shrunk=0,
+            backend=backend, git_sha_value="abc1234",
+        )
+
+    event, rtl = verify_row("event"), verify_row("rtl")
+    assert event.key() != rtl.key()
+    assert event.key()[-1] == "event" and rtl.key()[-1] == "rtl"
+    diff = diff_records([event], [rtl])
+    assert diff.missing_keys == (event.key(),)
+    assert diff.added_keys == (rtl.key(),)
+    # Same-backend rows still match and diff clean.
+    assert diff_records([event], [verify_row("event")]).clean
 
 
 def test_newer_schema_refused(tmp_path):
@@ -222,7 +300,9 @@ def test_missing_key_informational_unless_strict():
     cand = [make_record()]
     diff = diff_records(base, cand)
     assert diff.clean
-    assert diff.missing_keys == (("evaluation", "", "case-study-16x16", "other-layer"),)
+    assert diff.missing_keys == (
+        ("evaluation", "", "case-study-16x16", "other-layer", ""),
+    )
     strict = diff_records(base, cand, strict_keys=True)
     assert not strict.clean
 

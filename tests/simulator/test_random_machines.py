@@ -10,22 +10,36 @@ hand-built presets, over a much wider machine space than the old
 fixed-topology strategies covered.
 """
 
+import time
+
 import pytest
 
 from repro.core.model import LatencyModel
 from repro.simulator.engine import CycleSimulator
 from repro.simulator.result import accuracy, within_band
+from repro.simulator.rtl import RtlSimulator
 from repro.verify.generators import sample_cases
+from repro.verify.properties import Tolerance
 
 CASES = sample_cases(seed=2026, count=120)
 
+#: Tier-1 runs the RTL leg on a prefix of the population; the rest rides
+#: behind ``-m slow`` so a local ``-m "not slow"`` loop stays snappy.
+RTL_TIER1 = 40
 
-@pytest.mark.parametrize("case", CASES, ids=lambda c: c.case_id)
-def test_model_tracks_simulator_on_random_machines(case):
+#: Per-case wall budget for the RTL backend (seconds). The tick scheduler
+#: with the stride fast path clears this by more than an order of
+#: magnitude; tripping it means the fast path regressed.
+RTL_TIME_BUDGET_S = 2.0
+
+_TOL = Tolerance()
+
+
+def _check_backend(case, run_simulator):
     report = LatencyModel(case.accelerator).evaluate(
         case.mapping, validate=False
     )
-    sim = CycleSimulator(case.accelerator, case.mapping).run()
+    sim = run_simulator(case)
     # Hard bounds.
     spatial = case.mapping.spatial_cycles
     assert sim.total_cycles >= spatial - 1e-6
@@ -36,6 +50,47 @@ def test_model_tracks_simulator_on_random_machines(case):
     assert within_band(report.total_cycles, sim.total_cycles), (
         case.describe(), report.total_cycles, sim.total_cycles,
     )
+
+
+def _run_event(case):
+    return CycleSimulator(case.accelerator, case.mapping).run()
+
+
+def _run_rtl(case):
+    start = time.perf_counter()
+    sim = RtlSimulator(case.accelerator, case.mapping).run()
+    assert time.perf_counter() - start < RTL_TIME_BUDGET_S, (
+        f"RTL backend exceeded its {RTL_TIME_BUDGET_S}s budget on "
+        f"{case.case_id}"
+    )
+    # Sim-vs-sim: the second oracle must stay inside the calibrated band
+    # of the first (exactness is pinned separately in tests/simulator/rtl).
+    event = CycleSimulator(case.accelerator, case.mapping).run()
+    assert within_band(
+        event.total_cycles, sim.total_cycles,
+        _TOL.sim_rel_band, _TOL.sim_abs_band,
+    ), (case.describe(), event.total_cycles, sim.total_cycles)
+    return sim
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.case_id)
+def test_model_tracks_simulator_on_random_machines(case):
+    _check_backend(case, _run_event)
+
+
+@pytest.mark.parametrize(
+    "case", CASES[:RTL_TIER1], ids=lambda c: c.case_id
+)
+def test_model_tracks_rtl_backend_on_random_machines(case):
+    _check_backend(case, _run_rtl)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "case", CASES[RTL_TIER1:], ids=lambda c: c.case_id
+)
+def test_model_tracks_rtl_backend_full_sweep(case):
+    _check_backend(case, _run_rtl)
 
 
 def test_generated_cases_are_diverse():

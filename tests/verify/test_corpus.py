@@ -44,6 +44,24 @@ def test_case_roundtrip(tmp_path):
     assert before.total_cycles == after.total_cycles
 
 
+def test_pairs_roundtrip_and_absent_pairs_tolerated(tmp_path):
+    """Counterexamples record which oracle pair disagreed; files written
+    before the field existed load back with no pairs."""
+    case = sample_cases(seed=3, count=1)[0]
+    path = save_case(
+        case, tmp_path,
+        comment="pairs test",
+        properties=("three_way_agreement",),
+        pairs=("event/rtl",),
+    )
+    (entry,) = load_corpus(tmp_path)
+    assert entry.pairs == ("event/rtl",)
+    # Strip the field — the pre-pairs on-disk form — and reload.
+    data = json.loads(path.read_text())
+    del data["pairs"]
+    assert case_from_dict(data).pairs == ()
+
+
 def test_fingerprint_drift_is_rejected(tmp_path):
     case = sample_cases(seed=3, count=1)[0]
     path = save_case(case, tmp_path, comment="drift test")
