@@ -21,6 +21,7 @@ from repro.energy.energy_model import EnergyReport
 from repro.engine import EvaluationEngine
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import Mapping, MappingError
+from repro.observability.campaign import current_campaign
 from repro.observability.ledger import current_ledger, record_interruption
 from repro.observability.metrics import current_metrics
 from repro.observability.progress import current_emitter
@@ -157,6 +158,8 @@ class NetworkEvaluator:
                 unit="layers",
                 accelerator=self.preset.accelerator.name,
             )
+        campaign = current_campaign()
+        funnel = campaign.phase("network") if campaign.enabled else None
         with tracer.span(
             "network.evaluate",
             accelerator=self.preset.accelerator.name,
@@ -167,6 +170,8 @@ class NetworkEvaluator:
             try:
                 for index, layer in enumerate(layers):
                     lowered = im2col(layer) if self.apply_im2col else layer
+                    if funnel is not None:
+                        funnel.admit()
                     layer_t0 = time.perf_counter()
                     with tracer.span(
                         "network.layer", layer=layer.name or str(layer.layer_type)
@@ -179,6 +184,8 @@ class NetworkEvaluator:
                             best = self.mapper.best_mapping(lowered)
                         except MappingError:
                             skipped.append(layer.name or str(layer.layer_type))
+                            if funnel is not None:
+                                funnel.discard("unmappable-layer")
                             layer_span.set("mappable", False)
                             if run is not None:
                                 run.advance(
@@ -199,6 +206,8 @@ class NetworkEvaluator:
                                 cycles=best.report.total_cycles,
                                 utilization=best.report.utilization,
                             )
+                        if funnel is not None:
+                            funnel.retain()
                         results.append(
                             LayerResult(
                                 layer=lowered, mapping=best.mapping,
@@ -222,6 +231,9 @@ class NetworkEvaluator:
                         unit="layers",
                         reason="KeyboardInterrupt",
                     ))
+                    # Checkpoint the campaign alongside the interrupted
+                    # row (partial: funnel counts + incumbent so far).
+                    campaign.flush_to(ledger, partial=True)
                 if run is not None:
                     run.interrupt("KeyboardInterrupt")
                 raise

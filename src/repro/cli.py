@@ -42,9 +42,11 @@ from repro.hardware.presets import (
     inhouse_accelerator,
 )
 from repro.observability import (
+    CampaignRecorder,
     JsonlSink,
     MetricsRegistry,
     MetricsSubscriber,
+    NULL_CAMPAIGN,
     NULL_EMITTER,
     NULL_LEDGER,
     NULL_METRICS,
@@ -54,6 +56,7 @@ from repro.observability import (
     Tracer,
     current_ledger,
     current_metrics,
+    use_campaign,
     use_emitter,
     use_ledger,
     use_metrics,
@@ -448,6 +451,102 @@ def _cmd_arch_search(args: argparse.Namespace) -> int:
     return _finish(search.engine, args)
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Inspect, compare and gate campaign rows in ledger snapshots."""
+    from repro.observability.campaign import (
+        campaign_records,
+        compare_campaigns,
+        gate_campaigns,
+        phase_records,
+        select_campaign,
+    )
+    from repro.observability.ledger import load_snapshot
+
+    if args.campaign_command == "list":
+        rows = campaign_records(load_snapshot(args.snapshot))
+        if not rows:
+            print(f"no campaign rows in {args.snapshot}")
+            return 1
+        for row in rows:
+            extra = row.extra
+            state = "partial" if extra.get("partial") else "complete"
+            best = extra.get("best_objective")
+            best_text = f"{best:g}" if isinstance(best, (int, float)) else "-"
+            print(f"  {row.label:24s} {state:8s} best {best_text:>12s}  "
+                  f"enumerated {extra.get('enumerated', 0):g}  "
+                  f"scored {extra.get('scored', 0):g}  @ {row.git_sha}")
+        return 0
+
+    if args.campaign_command == "show":
+        records = load_snapshot(args.snapshot)
+        summary = select_campaign(records, args.name)
+        if summary is None:
+            print("campaign show: no campaign row"
+                  + (f" named {args.name!r}" if args.name else "")
+                  + f" in {args.snapshot}", file=sys.stderr)
+            return 2
+        phases = phase_records(records, summary.label)
+        extra = summary.extra
+        state = "partial" if extra.get("partial") else "complete"
+        best = extra.get("best_objective")
+        best_text = f"{best:g}" if isinstance(best, (int, float)) else "n/a"
+        print(f"campaign {summary.label!r} ({state}) @ {summary.git_sha}")
+        print(f"  best objective : {best_text}")
+        print(f"  observed       : {extra.get('observed', 0):g} "
+              f"({extra.get('improvements', 0):g} improvement(s), "
+              f"rate {extra.get('improvement_rate', 0.0):.2%})")
+        print(f"  funnel         : enumerated {extra.get('enumerated', 0):g} "
+              f"= deduped {extra.get('deduped', 0):g} "
+              f"+ cache {extra.get('cache_hits', 0):g} "
+              f"+ evaluated {extra.get('evaluated', 0):g} "
+              f"+ invalid {extra.get('invalid', 0):g} "
+              f"+ dominated {extra.get('dominated', 0):g} "
+              f"[{'conserved' if extra.get('conserved') else 'NOT conserved'}]")
+        for phase in phases:
+            tags = ", ".join(
+                f"{key[4:]}={phase.extra[key]:g}"
+                for key in sorted(phase.extra) if key.startswith("tag.")
+            )
+            print(f"  phase {phase.label:16s} "
+                  f"enumerated {phase.extra.get('enumerated', 0):g} "
+                  f"scored {phase.extra.get('scored', 0):g}"
+                  + (f"  ({tags})" if tags else ""))
+        if args.html:
+            from repro.observability.report import write_campaign_report
+
+            write_campaign_report(args.html, summary, phases)
+            print(f"campaign report written to {args.html}")
+        return 0
+
+    if args.campaign_command == "compare":
+        baseline = select_campaign(load_snapshot(args.baseline), args.name)
+        candidate = select_campaign(load_snapshot(args.candidate), args.name)
+        if baseline is None or candidate is None:
+            side = "baseline" if baseline is None else "candidate"
+            print(f"campaign compare: no campaign row in the {side} snapshot",
+                  file=sys.stderr)
+            return 2
+        for line in compare_campaigns(baseline, candidate):
+            print(line)
+        return 0
+
+    # gate
+    result = gate_campaigns(
+        load_snapshot(args.baseline),
+        load_snapshot(args.candidate),
+        name=args.name,
+        rel_tol=args.rel_tol,
+        coverage_floor=args.coverage_floor,
+    )
+    for line in result.lines:
+        print(line)
+    if result.code and args.warn_only:
+        print("campaign gate: regression detected, but --warn-only "
+              "requested -> exit 0")
+        return 0
+    return result.code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot the sharded evaluation daemon (see ``docs/SERVICE.md``).
 
@@ -597,6 +696,13 @@ def _common_options() -> argparse.ArgumentParser:
                           "best-so-far, cache stats) to this JSONL file; "
                           "watch it live with 'repro-latency top FILE "
                           "--follow'")
+    obs.add_argument("--campaign", default=None, metavar="NAME",
+                     help="record this run as a named search campaign: "
+                          "candidate-funnel accounting with pruning "
+                          "provenance, convergence telemetry and Pareto "
+                          "snapshots; persisted to --ledger as "
+                          "kind=\"campaign\" rows (inspect with "
+                          "'repro-latency campaign')")
     return common
 
 
@@ -803,6 +909,60 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report drift but always exit 0 (CI soft gate)")
     diff.add_argument("--show-all", action="store_true",
                       help="print unchanged metrics too")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="inspect, compare and gate kind=\"campaign\" ledger rows "
+             "written by runs started with --campaign NAME: candidate "
+             "funnel with pruning provenance, convergence trajectory, "
+             "Pareto evolution, and a search-quality regression gate",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    c_list = campaign_sub.add_parser(
+        "list", help="list every campaign row in a ledger snapshot"
+    )
+    c_list.add_argument("snapshot", help="ledger snapshot (.sqlite or .jsonl)")
+    c_show = campaign_sub.add_parser(
+        "show",
+        help="print one campaign's funnel, convergence and per-phase "
+             "provenance; --html renders the self-contained report",
+    )
+    c_show.add_argument("snapshot", help="ledger snapshot (.sqlite or .jsonl)")
+    c_show.add_argument("--name", default=None,
+                        help="campaign name (default: the latest row)")
+    c_show.add_argument("--html", default=None, metavar="FILE",
+                        help="write the self-contained HTML campaign report "
+                             "(funnel waterfall, convergence curve, Pareto "
+                             "evolution) here")
+    c_compare = campaign_sub.add_parser(
+        "compare", help="print deltas between two snapshots' campaign rows"
+    )
+    c_compare.add_argument("baseline", help="baseline snapshot")
+    c_compare.add_argument("candidate", help="candidate snapshot")
+    c_compare.add_argument("--name", default=None,
+                           help="campaign name (default: latest per side)")
+    c_gate = campaign_sub.add_parser(
+        "gate",
+        help="search-quality regression gate: exit 1 when the candidate "
+             "campaign's best objective regresses beyond --rel-tol or its "
+             "scored coverage collapses below --coverage-floor x baseline; "
+             "exit 2 when either snapshot has no campaign row",
+    )
+    c_gate.add_argument("baseline", help="baseline snapshot")
+    c_gate.add_argument("candidate", help="candidate snapshot")
+    c_gate.add_argument("--name", default=None,
+                        help="campaign name (default: latest per side)")
+    c_gate.add_argument("--rel-tol", type=float, default=0.01,
+                        help="tolerated relative best-objective regression")
+    c_gate.add_argument("--coverage-floor", type=float, default=0.5,
+                        help="minimum candidate scored count as a fraction "
+                             "of the baseline's")
+    c_gate.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0 "
+                             "(CI soft gate)")
     return parser
 
 
@@ -836,15 +996,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         emitter.subscribe(console_subscriber(print))
         if registry.enabled:
             emitter.subscribe(MetricsSubscriber(registry))
+    campaign_name = getattr(args, "campaign", None)
+    campaign = CampaignRecorder(campaign_name) if campaign_name \
+        else NULL_CAMPAIGN
 
     interrupted = False
     try:
         with use_tracer(tracer), use_metrics(registry), use_ledger(ledger), \
-                use_emitter(emitter):
-            code = args.func(args)
-    except KeyboardInterrupt:
-        interrupted = True
-        code = 130
+                use_emitter(emitter), use_campaign(campaign):
+            try:
+                code = args.func(args)
+            except KeyboardInterrupt:
+                # Caught inside the ambient scopes so the campaign can
+                # finish (convergence/funnel events) and flush its partial
+                # rows alongside the flow's own kind="interrupted" row.
+                # Flows that already checkpointed the campaign in their
+                # handler make the flush here a no-op (idempotent).
+                interrupted = True
+                code = 130
+            finally:
+                if campaign.enabled:
+                    campaign.finish(partial=interrupted)
+                    campaign.flush_to(ledger, partial=interrupted)
+                    print(campaign.summary_line())
     finally:
         if ledger.enabled:
             print(f"ledger: {len(ledger)} record(s) in {ledger_path}")

@@ -19,6 +19,7 @@ from repro.engine import EvaluationEngine
 from repro.hardware.pool import MemoryCandidate, MemoryPool, searched_memory_names
 from repro.hardware.presets import Preset
 from repro.mapping.mapping import MappingError
+from repro.observability.campaign import current_campaign
 from repro.observability.ledger import current_ledger, record_interruption
 from repro.observability.metrics import current_metrics
 from repro.observability.progress import current_emitter
@@ -136,6 +137,8 @@ class ArchSearch:
                 unit="points",
                 layer=layer.name or str(layer.layer_type),
             )
+        campaign = current_campaign()
+        funnel = campaign.phase("arch_search") if campaign.enabled else None
         with tracer.span(
             "arch_search.sweep", layer=layer.name or str(layer.layer_type)
         ) as span:
@@ -146,11 +149,25 @@ class ArchSearch:
                     self.design_points()
                 ):
                     t0 = time.perf_counter()
+                    if funnel is not None:
+                        funnel.admit()
                     point = self.evaluate_one(layer, label, gb_bw, cand, preset)
                     if point is not None:
                         points.append(point)
+                        if funnel is not None:
+                            funnel.retain()
+                            # Snapshot the front at power-of-two point
+                            # counts: O(log n) snapshots over a sweep.
+                            if len(points) & (len(points) - 1) == 0:
+                                campaign.pareto_snapshot(
+                                    "arch_search",
+                                    [p.coords() for p in self.front(points)],
+                                    label=f"@{len(points)}",
+                                )
                     else:
                         skipped += 1
+                        if funnel is not None:
+                            funnel.discard("unmappable-design")
                     if run is not None:
                         run.advance(
                             1,
@@ -177,9 +194,19 @@ class ArchSearch:
                         unit="points",
                         reason="KeyboardInterrupt",
                     ))
+                    # Checkpoint the campaign alongside the interrupted
+                    # row: funnel counts so far + incumbent-so-far, with
+                    # the partial flag set (conservation not guaranteed).
+                    campaign.flush_to(ledger, partial=True)
                 if run is not None:
                     run.interrupt("KeyboardInterrupt")
                 raise
+            if funnel is not None and points:
+                campaign.pareto_snapshot(
+                    "arch_search",
+                    [p.coords() for p in self.front(points)],
+                    label="final",
+                )
             if run is not None:
                 run.finish()
             if tracer.enabled:
@@ -246,13 +273,26 @@ class ArchSearch:
                 # no temporal stalls and no memory-size-dependent loading —
                 # which is why same-array designs collapse onto one latency.
                 baseline = BwUnawareModel(accelerator, include_loading=False)
+                campaign = current_campaign()
                 latency = float("inf")
                 utilization = 0.0
+                scored = 0
                 for mapping in mapper.mappings(layer):
                     report = baseline.evaluate(mapping)
+                    scored += 1
+                    if campaign.enabled:
+                        campaign.observe(report.total_cycles)
                     if report.total_cycles < latency:
                         latency = report.total_cycles
                         utilization = report.utilization
+                if campaign.enabled and scored:
+                    # mappings() admitted these candidates into the
+                    # mapper funnel; the baseline scored them outside the
+                    # engine, so classify them here: one winner, the rest
+                    # beaten by it.
+                    mapper_funnel = campaign.phase("mapper")
+                    mapper_funnel.retain()
+                    mapper_funnel.discard("beaten-incumbent", scored - 1)
                 if latency == float("inf"):
                     return None
         except MappingError:

@@ -28,6 +28,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.dse.mapper import MapperConfig, MappingSearchResult, TemporalMapper
 from repro.mapping.mapping import Mapping, MappingError
+from repro.observability.campaign import current_campaign
 from repro.observability.progress import current_emitter
 from repro.workload.dims import LoopDim
 from repro.workload.layer import LayerSpec
@@ -77,28 +78,44 @@ class LocalSearchMapper:
     def _evaluate_order(
         self, layer: LayerSpec, order: Order
     ) -> Optional[MappingSearchResult]:
+        campaign = current_campaign()
+        funnel = campaign.phase("local_search") if campaign.enabled else None
+        if funnel is not None:
+            funnel.admit()
         temporal = self.mapper.allocate(layer, order)
         if temporal is None:
+            if funnel is not None:
+                funnel.discard("allocation-overflow")
             return None
         try:
             mapping = Mapping(layer, self.mapper.spatial, temporal)
             return self.mapper.evaluate(mapping)
         except MappingError:
+            if funnel is not None:
+                funnel.discard("mapping-error")
             return None
 
     def _evaluate_orders(
         self, layer: LayerSpec, orders: List[Order]
     ) -> List[Optional[MappingSearchResult]]:
         """Score many orders in one engine batch; ``None`` per bad order."""
+        campaign = current_campaign()
+        funnel = campaign.phase("local_search") if campaign.enabled else None
         mappings: List[Optional[Mapping]] = []
         for order in orders:
+            if funnel is not None:
+                funnel.admit()
             temporal = self.mapper.allocate(layer, order)
             if temporal is None:
+                if funnel is not None:
+                    funnel.discard("allocation-overflow")
                 mappings.append(None)
                 continue
             try:
                 mappings.append(Mapping(layer, self.mapper.spatial, temporal))
             except MappingError:
+                if funnel is not None:
+                    funnel.discard("mapping-error")
                 mappings.append(None)
         feasible = [m for m in mappings if m is not None]
         outcomes = iter(
@@ -115,6 +132,8 @@ class LocalSearchMapper:
                 continue
             outcome = next(outcomes)
             if outcome is None:
+                if funnel is not None:
+                    funnel.discard("engine-infeasible")
                 results.append(None)
                 continue
             results.append(MappingSearchResult(
@@ -122,6 +141,7 @@ class LocalSearchMapper:
                 outcome.report,
                 outcome.energy,
                 self.mapper._objective(outcome.report, outcome.energy),
+                cache_hit=outcome.cache_hit,
             ))
         return results
 
@@ -152,13 +172,17 @@ class LocalSearchMapper:
         scored neighbors land in the engine cache, so later rounds and
         restarts revisiting them are free.
         """
+        campaign = current_campaign()
         rng = random.Random(self.config.seed)
         current = self._evaluate_order(layer, start)
         if current is None:
             return None
+        if campaign.enabled:
+            campaign.observe(current.objective)
         start_objective = current.objective
         current_order = start
         evaluations = 1
+        scored = 1
         steps = 0
         improved = True
         while improved and steps < self.config.max_steps:
@@ -173,11 +197,22 @@ class LocalSearchMapper:
                 round_orders.append(neighbor)
             candidates = self._evaluate_orders(layer, round_orders)
             evaluations += len(round_orders)
+            if campaign.enabled:
+                for candidate in candidates:
+                    if candidate is not None:
+                        scored += 1
+                        campaign.observe(candidate.objective)
             for neighbor, candidate in zip(round_orders, candidates):
                 if candidate is not None and candidate.objective < current.objective:
                     current, current_order = candidate, neighbor
                     improved = True
                     break
+        if campaign.enabled:
+            # The climb's final incumbent is its result; every other
+            # scored candidate lost to it along the way.
+            funnel = campaign.phase("local_search")
+            funnel.retain(cache_hit=current.cache_hit)
+            funnel.discard("worse-neighbor", scored - 1)
         return LocalSearchOutcome(
             best=current, start_objective=start_objective, evaluations=evaluations
         )
@@ -189,10 +224,13 @@ class LocalSearchMapper:
                 f"spatial mapping {self.mapper.spatial} does not fit "
                 f"{self.mapper.accelerator.name}"
             )
+        campaign = current_campaign()
         seeds: List[Tuple[float, Order]] = []
         for order in self.mapper.orders(layer):
             result = self._evaluate_order(layer, order)
             if result is not None:
+                if campaign.enabled:
+                    campaign.observe(result.objective)
                 seeds.append((result.objective, order))
         if not seeds:
             raise MappingError(
@@ -201,6 +239,12 @@ class LocalSearchMapper:
             )
         seeds.sort(key=lambda s: s[0])
         restarts = seeds[: self.config.restarts]
+        if campaign.enabled:
+            # Seeds selected for polishing survive this stage; the rest
+            # are truncated out exactly like the mapper's keep-top cut.
+            funnel = campaign.phase("local_search")
+            funnel.retain(len(restarts))
+            funnel.discard("keep-top", len(seeds) - len(restarts))
         emitter = current_emitter()
         run = None
         if emitter.enabled:

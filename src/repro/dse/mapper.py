@@ -43,6 +43,7 @@ from repro.mapping.loop import Loop
 from repro.mapping.mapping import Mapping, MappingError
 from repro.mapping.spatial import SpatialMapping
 from repro.mapping.temporal import TemporalMapping
+from repro.observability.campaign import current_campaign
 from repro.observability.metrics import current_metrics
 from repro.observability.progress import current_emitter
 from repro.observability.tracer import current_tracer
@@ -76,12 +77,17 @@ class MapperConfig:
 
 @dataclasses.dataclass(frozen=True)
 class MappingSearchResult:
-    """One evaluated mapping with its reports and objective value."""
+    """One evaluated mapping with its reports and objective value.
+
+    ``cache_hit`` carries the engine's score provenance (persistent-cache
+    probe vs. fresh kernel) through to campaign funnel accounting.
+    """
 
     mapping: Mapping
     report: LatencyReport
     energy: Optional[EnergyReport]
     objective: float
+    cache_hit: bool = False
 
     def describe(self) -> str:
         """One-line summary for ranking printouts."""
@@ -267,26 +273,38 @@ class TemporalMapper:
         """
         if not self.spatial.fits(self.accelerator.mac_array.size):
             return  # spatial unrolling alone exceeds the array: no mappings
+        campaign = current_campaign()
+        funnel = campaign.phase("mapper") if campaign.enabled else None
         seen = set()
         canonical_seen = set()
         for order in self.orders(layer):
+            if funnel is not None:
+                funnel.admit()
             temporal = self.allocate(layer, order)
             if temporal is None:
+                if funnel is not None:
+                    funnel.discard("allocation-overflow")
                 continue
             key = (temporal.loops, tuple(sorted(
                 (op.value, temporal.cuts[op]) for op in Operand
             )))
             if key in seen:
+                if funnel is not None:
+                    funnel.discard("duplicate")
                 continue
             seen.add(key)
             canonical = self._canonical_key(temporal)
             if canonical in canonical_seen:
                 self.engine.stats.dedup_skipped += 1
+                if funnel is not None:
+                    funnel.discard("canonical-equivalent")
                 continue
             canonical_seen.add(canonical)
             try:
                 yield Mapping(layer, self.spatial, temporal)
             except MappingError:
+                if funnel is not None:
+                    funnel.discard("mapping-error")
                 continue
 
     @staticmethod
@@ -349,6 +367,8 @@ class TemporalMapper:
         Infeasible mappings (``None`` outcomes from the engine) are
         skipped, matching the old per-mapping try/except behavior.
         """
+        campaign = current_campaign()
+        funnel = campaign.phase("mapper") if campaign.enabled else None
         batch: List[Mapping] = []
 
         def flush() -> Iterator[MappingSearchResult]:
@@ -358,12 +378,15 @@ class TemporalMapper:
             batch.clear()
             for outcome in outcomes:
                 if outcome is None:
+                    if funnel is not None:
+                        funnel.discard("engine-infeasible")
                     continue
                 yield MappingSearchResult(
                     outcome.mapping,
                     outcome.report,
                     outcome.energy,
                     self._objective(outcome.report, outcome.energy),
+                    cache_hit=outcome.cache_hit,
                 )
 
         for mapping in self.mappings(layer):
@@ -392,6 +415,31 @@ class TemporalMapper:
                 memoized_fingerprint(layer),
                 self.config,
             ),
+        )
+
+    def _note_campaign_context(self, campaign) -> None:
+        """Record the replayability context on the mapper's funnel phase.
+
+        Together with the config fingerprint these scalars make a
+        campaign exactly replayable from its ledger row alone: chunk
+        ``i`` of the sampled stream draws from
+        ``random.Random(seed + i)`` (see :meth:`orders`), so the whole
+        candidate set is a pure function of the recorded values.
+        """
+        from repro.fingerprint import stable_fingerprint
+
+        cfg = self.config
+        campaign.note_context(
+            "mapper",
+            config_fp=stable_fingerprint(cfg),
+            seed=cfg.seed,
+            samples=cfg.samples,
+            max_enumerated=cfg.max_enumerated,
+            sample_chunk=cfg.sample_chunk,
+            keep_top=cfg.keep_top,
+            batch_size=cfg.batch_size,
+            lpf_limit=0 if cfg.lpf_limit is None else cfg.lpf_limit,
+            objective=cfg.objective,
         )
 
     def _progress_run(self, flow: str, layer: LayerSpec):
@@ -429,12 +477,18 @@ class TemporalMapper:
             metrics.counter(
                 "repro_mapper_searches_total", "Mapper search() calls."
             ).inc()
+            campaign = current_campaign()
+            if campaign.enabled:
+                self._note_campaign_context(campaign)
             key = self._search_key("search", layer)
             if self.engine.use_cache:
                 cached = self.engine.cache.get(key)
                 if cached is not None:
                     self.engine.stats.cache_hits += 1
                     span.set("cache_hit", True)
+                    campaign.note_memoized_search()
+                    if campaign.enabled and cached:
+                        campaign.observe(cached[0].objective)
                     return list(cached)
             run = self._progress_run("mapper.search", layer)
             try:
@@ -447,8 +501,17 @@ class TemporalMapper:
                 "repro_mapper_candidates_total",
                 "Feasible mapping candidates scored by the mapper.",
             ).inc(len(results))
+            if campaign.enabled:
+                for result in results:
+                    campaign.observe(result.objective)
+            scored = len(results)
             results.sort(key=lambda r: r.objective)
             results = results[: self.config.keep_top]
+            if campaign.enabled:
+                funnel = campaign.phase("mapper")
+                for result in results:
+                    funnel.retain(cache_hit=result.cache_hit)
+                funnel.discard("keep-top", scored - len(results))
             if run is not None:
                 if results:
                     best = results[0]
@@ -509,12 +572,18 @@ class TemporalMapper:
             metrics.counter(
                 "repro_mapper_searches_total", "Mapper search() calls."
             ).inc()
+            campaign = current_campaign()
+            if campaign.enabled:
+                self._note_campaign_context(campaign)
             key = self._search_key("best_mapping", layer)
             if self.engine.use_cache:
                 cached = self.engine.cache.get(key)
                 if cached is not None:
                     self.engine.stats.cache_hits += 1
                     span.set("cache_hit", True)
+                    campaign.note_memoized_search()
+                    if campaign.enabled:
+                        campaign.observe(cached.objective)
                     return cached
             run = self._progress_run("mapper.best_mapping", layer)
             best: Optional[MappingSearchResult] = None
@@ -522,6 +591,8 @@ class TemporalMapper:
             try:
                 for result in self._evaluated(layer):
                     candidates += 1
+                    if campaign.enabled:
+                        campaign.observe(result.objective)
                     if best is None or result.objective < best.objective:
                         best = result
                         if run is not None:
@@ -546,6 +617,10 @@ class TemporalMapper:
                     f"no valid temporal mapping of {layer.describe()} on "
                     f"{self.accelerator.name} with spatial {self.spatial}"
                 )
+            if campaign.enabled:
+                funnel = campaign.phase("mapper")
+                funnel.retain(cache_hit=best.cache_hit)
+                funnel.discard("beaten-incumbent", candidates - 1)
             if tracer.enabled:
                 span.set("cache_hit", False)
                 span.set("candidates", candidates)

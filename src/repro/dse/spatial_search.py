@@ -26,6 +26,7 @@ from repro.engine import EvaluationEngine
 from repro.hardware.accelerator import Accelerator
 from repro.mapping.mapping import MappingError
 from repro.mapping.spatial import SpatialMapping
+from repro.observability.campaign import current_campaign
 from repro.workload.dims import LoopDim
 from repro.workload.layer import LayerSpec
 from repro.workload.operand import Operand
@@ -137,14 +138,22 @@ class SpatialSearch:
         array = self.accelerator.mac_array.size
         o_reg = self.accelerator.hierarchy.innermost(Operand.O).instance
         lanes = o_reg.instances
+        campaign = current_campaign()
+        funnel = campaign.phase("spatial_search") if campaign.enabled else None
         out = []
         for spatial in enumerate_unrollings(layer, array, self.config):
+            if funnel is not None:
+                funnel.admit()
             if output_lanes_needed(spatial) <= max(lanes, 1):
                 out.append(spatial)
+            elif funnel is not None:
+                funnel.discard("lane-overflow")
         return out
 
     def search(self, layer: LayerSpec) -> List[SpatialSearchResult]:
         """Best temporal mapping per candidate unrolling, best first."""
+        campaign = current_campaign()
+        funnel = campaign.phase("spatial_search") if campaign.enabled else None
         results: List[SpatialSearchResult] = []
         for spatial in self.candidates(layer):
             mapper = TemporalMapper(
@@ -156,7 +165,11 @@ class SpatialSearch:
             try:
                 best = mapper.best_mapping(layer)
             except MappingError:
+                if funnel is not None:
+                    funnel.discard("unmappable-spatial")
                 continue
+            if funnel is not None:
+                funnel.retain()
             results.append(SpatialSearchResult(spatial, best))
         results.sort(key=lambda r: r.total_cycles)
         return results

@@ -53,6 +53,7 @@ from repro.observability.ledger import (
     record_from_report,
     record_interruption,
 )
+from repro.observability.campaign import current_campaign
 from repro.observability.metrics import current_metrics
 from repro.observability.progress import current_emitter
 from repro.observability.stats import EngineStats
@@ -61,11 +62,18 @@ from repro.observability.tracer import current_tracer
 
 @dataclasses.dataclass(frozen=True)
 class Evaluation:
-    """One mapping's evaluated reports, as returned by :meth:`evaluate_many`."""
+    """One mapping's evaluated reports, as returned by :meth:`evaluate_many`.
+
+    ``cache_hit`` records score provenance — True when the result was
+    served by a persistent-cache probe rather than a fresh kernel
+    evaluation — so search loops can attribute funnel retention to the
+    right campaign bucket.
+    """
 
     mapping: Mapping
     report: LatencyReport
     energy: Optional[EnergyReport] = None
+    cache_hit: bool = False
 
 
 class EvaluationEngine:
@@ -325,8 +333,13 @@ class EvaluationEngine:
     def _ledger_record(
         self, mapping: Mapping, report: LatencyReport, *, cache_hit, wall_time_s: float
     ) -> RunRecord:
-        """One evaluation as a ledger row, fingerprinted for this engine."""
-        return record_from_report(
+        """One evaluation as a ledger row, fingerprinted for this engine.
+
+        When a campaign is ambient its name is stamped on the row, so a
+        campaign's evaluation rows can be selected back out of a shared
+        ledger.
+        """
+        record = record_from_report(
             report,
             accelerator_fp=self._accel_fp,
             mapping_fp=mapping.fingerprint(),
@@ -334,6 +347,10 @@ class EvaluationEngine:
             cache_hit=cache_hit,
             wall_time_s=wall_time_s,
         )
+        campaign = current_campaign()
+        if campaign.enabled:
+            record.campaign = campaign.name
+        return record
 
     def evaluate_energy(self, mapping: Mapping) -> EnergyReport:
         """Dynamic energy of ``mapping``, served from the cache when possible."""
@@ -416,7 +433,9 @@ class EvaluationEngine:
                     )
                     if report is not None and (not with_energy or energy is not None):
                         self.stats.cache_hits += 1
-                        results[i] = Evaluation(mapping, report, energy)
+                        results[i] = Evaluation(
+                            mapping, report, energy, cache_hit=True
+                        )
                         if ledger.enabled:
                             ledger_rows.append(self._ledger_record(
                                 mapping, report,

@@ -46,6 +46,22 @@ benchmark holds it under 5% of kernel time). Enable per scope::
 or from the CLI with ``--trace --trace-out trace.json`` / ``--metrics``.
 """
 
+from repro.observability.campaign import (
+    CampaignGateResult,
+    CampaignRecorder,
+    FUNNEL_BUCKETS,
+    NULL_CAMPAIGN,
+    NullCampaign,
+    PROVENANCE_BUCKETS,
+    PhaseFunnel,
+    campaign_records,
+    compare_campaigns,
+    current_campaign,
+    gate_campaigns,
+    phase_records,
+    select_campaign,
+    use_campaign,
+)
 from repro.observability.distributed import (
     FlightRecorder,
     TraceContext,
@@ -95,12 +111,15 @@ from repro.observability.progress import (
     BestSoFar,
     CacheStats,
     ChunkCompleted,
+    ConvergenceUpdate,
+    FunnelSnapshot,
     Heartbeat,
     HeartbeatMonitor,
     JsonlSink,
     MetricsSubscriber,
     NULL_EMITTER,
     NullProgressEmitter,
+    ParetoFrontSnapshot,
     ProgressEmitter,
     RunFinished,
     RunHandle,
@@ -123,8 +142,11 @@ from repro.observability.span import (
 )
 from repro.observability.top import DashboardState, render, run_top
 from repro.observability.report import (
+    read_campaign_report_data,
+    render_campaign_report,
     render_report,
     stall_waterfall,
+    write_campaign_report,
     write_report,
 )
 from repro.observability.stats import EngineStats
@@ -140,11 +162,16 @@ from repro.observability.tracer import (
 __all__ = [
     "BestSoFar",
     "CacheStats",
+    "CampaignGateResult",
+    "CampaignRecorder",
     "ChunkCompleted",
+    "ConvergenceUpdate",
     "Counter",
     "DashboardState",
     "EngineStats",
+    "FUNNEL_BUCKETS",
     "FlightRecorder",
+    "FunnelSnapshot",
     "Gauge",
     "Heartbeat",
     "HeartbeatMonitor",
@@ -155,14 +182,19 @@ __all__ = [
     "MetricDelta",
     "MetricsRegistry",
     "MetricsSubscriber",
+    "NULL_CAMPAIGN",
     "NULL_EMITTER",
     "NULL_LEDGER",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NullCampaign",
     "NullLedger",
     "NullMetricsRegistry",
     "NullProgressEmitter",
     "NullTracer",
+    "PROVENANCE_BUCKETS",
+    "ParetoFrontSnapshot",
+    "PhaseFunnel",
     "ProgressEmitter",
     "RunFinished",
     "RunHandle",
@@ -177,8 +209,11 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "WorkerStalled",
+    "campaign_records",
     "chrome_trace",
+    "compare_campaigns",
     "extract_trace",
+    "current_campaign",
     "current_emitter",
     "current_ledger",
     "current_metrics",
@@ -189,17 +224,22 @@ __all__ = [
     "find_spans",
     "follow_events",
     "format_event",
+    "gate_campaigns",
     "git_sha",
     "inject_trace",
     "load_chrome_trace",
     "load_snapshot",
     "per_dtl_stalls",
+    "phase_records",
+    "read_campaign_report_data",
     "read_events",
     "reconcile_ss_overall",
     "record_from_report",
     "render",
+    "render_campaign_report",
     "render_report",
     "run_top",
+    "select_campaign",
     "server_span_records",
     "span_from_dict",
     "span_to_dict",
@@ -208,10 +248,12 @@ __all__ = [
     "spans_to_wire",
     "stall_waterfall",
     "tree_shape",
+    "use_campaign",
     "use_emitter",
     "use_ledger",
     "use_metrics",
     "use_tracer",
+    "write_campaign_report",
     "write_chrome_trace",
     "write_report",
 ]

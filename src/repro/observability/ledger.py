@@ -46,9 +46,10 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 #: Current on-disk schema version (``PRAGMA user_version`` in SQLite, the
 #: ``"v"`` field of each JSONL line). v1 predates the ``ss_comb`` map,
 #: ``git_sha`` and ``label`` columns; v2 predates the ``backend`` column
-#: (which simulator backed a ``kind="verify"`` row). :class:`RunLedger`
-#: migrates older files in place on open.
-SCHEMA_VERSION = 3
+#: (which simulator backed a ``kind="verify"`` row); v3 predates the
+#: ``campaign`` column (which search campaign a row belongs to).
+#: :class:`RunLedger` migrates older files in place on open.
+SCHEMA_VERSION = 4
 
 #: Record fields gated by ``repro-latency diff`` (deterministic model
 #: outputs). Timing fields (``ts``, ``wall_time_s``) and provenance
@@ -81,9 +82,12 @@ class RunRecord:
     names the simulator backend a ``kind="verify"`` row ran against
     (``"event"``, ``"rtl"``, ``"both"``; rows written before v3 read
     back as ``"event"``) and stays empty for kinds with no backend
-    axis. ``ss_comb`` maps unit-memory keys (``"W@LB/L0"``) to their
-    Step-2 combined stall; ``extra`` carries free-form numeric payloads
-    (bench metrics).
+    axis. ``campaign`` names the search campaign a row was written
+    under (``kind="campaign"``/``"campaign_phase"`` summary rows and,
+    when the plane is active, the evaluation rows it produced; empty
+    otherwise — and for all pre-v4 rows). ``ss_comb`` maps unit-memory
+    keys (``"W@LB/L0"``) to their Step-2 combined stall; ``extra``
+    carries free-form numeric payloads (bench metrics).
     """
 
     kind: str = "evaluation"
@@ -107,6 +111,7 @@ class RunRecord:
     cache_hit: Optional[bool] = None
     wall_time_s: float = 0.0
     backend: str = ""
+    campaign: str = ""
     ss_comb: Dict[str, float] = dataclasses.field(default_factory=dict)
     extra: Dict[str, float] = dataclasses.field(default_factory=dict)
 
@@ -382,10 +387,17 @@ _V3_ADDED_COLUMNS = (
     ("backend", "TEXT", "''"),
 )
 
+#: Columns v4 added on top of v3: which search campaign a row belongs
+#: to. Pre-v4 rows read back with the empty string (no campaign).
+_V4_ADDED_COLUMNS = (
+    ("campaign", "TEXT", "''"),
+)
+
 _ALL_COLUMNS = (
     tuple(n for n, _ in _SCALAR_COLUMNS_V1)
     + tuple(n for n, _, _ in _V2_ADDED_COLUMNS)
     + tuple(n for n, _, _ in _V3_ADDED_COLUMNS)
+    + tuple(n for n, _, _ in _V4_ADDED_COLUMNS)
 )
 
 
@@ -401,15 +413,17 @@ _MIGRATION_COLUMNS = {
     # target version -> columns its migration step adds
     2: _V2_ADDED_COLUMNS,
     3: _V3_ADDED_COLUMNS,
+    4: _V4_ADDED_COLUMNS,
 }
 
 
 def _migrate(conn: sqlite3.Connection, from_version: int) -> None:
     """Bring an older on-disk schema up to :data:`SCHEMA_VERSION`.
 
-    Migrations chain: a v1 file gets the v2 columns then the v3 columns,
-    each step a pure ``ALTER TABLE ADD COLUMN`` with a default, so old
-    rows read back with the documented absent-value semantics.
+    Migrations chain: a v1 file gets the v2 columns, then the v3
+    columns, then the v4 columns — each step a pure ``ALTER TABLE ADD
+    COLUMN`` with a default, so old rows read back with the documented
+    absent-value semantics.
     """
     if not 1 <= from_version < SCHEMA_VERSION:
         raise LedgerSchemaError(
@@ -518,6 +532,7 @@ class RunLedger:
             record.git_sha,
             json.dumps(record.ss_comb, sort_keys=True),
             record.backend,
+            record.campaign,
         )
 
     # -- reads ---------------------------------------------------------- #

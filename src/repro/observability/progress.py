@@ -198,6 +198,56 @@ class RunFinished:
     ts: float = 0.0
 
 
+@dataclasses.dataclass(frozen=True)
+class ConvergenceUpdate:
+    """The campaign incumbent moved (or the search tripped into stagnation).
+
+    Emitted by :class:`repro.observability.campaign.CampaignRecorder` on
+    each improvement, so the stream carries the full incumbent
+    trajectory without a per-candidate event.
+    """
+
+    run_id: str
+    objective: float = 0.0
+    observed: int = 0
+    improvements: int = 0
+    improvement_rate: float = 0.0
+    since_improvement: int = 0
+    stagnated: bool = False
+    ts: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ParetoFrontSnapshot:
+    """The Pareto front of one campaign flow at a point in the search.
+
+    ``points`` is a list of ``[x, y]`` pairs (e.g. array size vs.
+    latency for an architecture sweep).
+    """
+
+    run_id: str
+    flow: str = ""
+    label: str = ""
+    size: int = 0
+    points: List[List[float]] = dataclasses.field(default_factory=list)
+    ts: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class FunnelSnapshot:
+    """Terminal funnel counts for one campaign phase (see campaign docs)."""
+
+    run_id: str
+    flow: str = ""
+    enumerated: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    evaluated: int = 0
+    invalid: int = 0
+    dominated: int = 0
+    ts: float = 0.0
+
+
 ProgressEvent = Union[
     RunStarted,
     ChunkCompleted,
@@ -207,6 +257,9 @@ ProgressEvent = Union[
     WorkerStalled,
     RunInterrupted,
     RunFinished,
+    ConvergenceUpdate,
+    ParetoFrontSnapshot,
+    FunnelSnapshot,
 ]
 
 #: Serialization registry: JSONL ``"type"`` field -> event class.
@@ -221,6 +274,9 @@ EVENT_TYPES: Dict[str, Type] = {
         WorkerStalled,
         RunInterrupted,
         RunFinished,
+        ConvergenceUpdate,
+        ParetoFrontSnapshot,
+        FunnelSnapshot,
     )
 }
 
@@ -287,6 +343,23 @@ def format_event(event: ProgressEvent) -> str:
         return (
             f"[{rid}] finished: {event.done_units} unit(s) "
             f"in {event.wall_s:.1f}s{best}"
+        )
+    if isinstance(event, ConvergenceUpdate):
+        flag = " STAGNATED" if event.stagnated else ""
+        return (
+            f"[{rid}] incumbent {event.objective:g} "
+            f"({event.improvements} improvement(s) / {event.observed} "
+            f"scored, {event.since_improvement} since last){flag}"
+        )
+    if isinstance(event, ParetoFrontSnapshot):
+        label = f" {event.label}" if event.label else ""
+        return f"[{rid}] pareto[{event.flow}] {event.size} point(s){label}"
+    if isinstance(event, FunnelSnapshot):
+        return (
+            f"[{rid}] funnel[{event.flow}] enumerated={event.enumerated} "
+            f"deduped={event.deduped} cache={event.cache_hits} "
+            f"evaluated={event.evaluated} invalid={event.invalid} "
+            f"dominated={event.dominated}"
         )
     return f"[{rid}] {type(event).__name__}"
 
@@ -931,6 +1004,38 @@ class MetricsSubscriber:
                 "repro_progress_worker_stalls_total",
                 "Heartbeat-loss warnings emitted.",
             ).inc()
+        elif isinstance(event, ConvergenceUpdate):
+            registry.gauge(
+                "repro_campaign_best_objective",
+                "Best objective found by the active search campaign.",
+            ).set(event.objective)
+            registry.gauge(
+                "repro_campaign_observed",
+                "Scored candidates observed by the active campaign.",
+            ).set(float(event.observed))
+            registry.gauge(
+                "repro_campaign_improvements",
+                "Incumbent improvements in the active campaign.",
+            ).set(float(event.improvements))
+            registry.gauge(
+                "repro_campaign_stagnation",
+                "Candidates since the incumbent last improved.",
+            ).set(float(event.since_improvement))
+        elif isinstance(event, ParetoFrontSnapshot):
+            registry.gauge(
+                "repro_campaign_pareto_size",
+                "Size of the latest recorded Pareto front.",
+            ).set(float(event.size))
+        elif isinstance(event, FunnelSnapshot):
+            for bucket in (
+                "enumerated", "deduped", "cache_hits",
+                "evaluated", "invalid", "dominated",
+            ):
+                registry.gauge(
+                    "repro_campaign_funnel",
+                    "Campaign candidate funnel, by terminal bucket.",
+                    labels={"bucket": bucket, "flow": event.flow},
+                ).set(float(getattr(event, bucket)))
 
 
 def console_subscriber(
@@ -958,8 +1063,10 @@ __all__ = [
     "BestSoFar",
     "CacheStats",
     "ChunkCompleted",
+    "ConvergenceUpdate",
     "EVENT_TYPES",
     "EtaEstimator",
+    "FunnelSnapshot",
     "Heartbeat",
     "HeartbeatMonitor",
     "JsonlSink",
@@ -968,6 +1075,7 @@ __all__ = [
     "NULL_RUN",
     "NullProgressEmitter",
     "NullRunHandle",
+    "ParetoFrontSnapshot",
     "ProgressEmitter",
     "ProgressEvent",
     "RATE_WINDOW_S",

@@ -459,12 +459,249 @@ def read_report_data(path: str) -> Dict[str, Any]:
     return json.loads(text[start:end])
 
 
+# --------------------------------------------------------------------- #
+# Campaign reports
+# --------------------------------------------------------------------- #
+
+#: The HTML id of the campaign report's embedded JSON payload.
+CAMPAIGN_DATA_ELEMENT_ID = "repro-campaign-data"
+
+_FUNNEL_SEGMENTS = (
+    ("cache_hits", "#5b8dd9"),
+    ("evaluated", "#8fa8c9"),
+    ("dominated", "#e0b25b"),
+    ("invalid", "#d97b5b"),
+    ("deduped", "#c9cfdd"),
+)
+
+
+def _campaign_funnel_html(
+    totals: Dict[str, float], phases: Sequence[RunRecord]
+) -> str:
+    """Stacked funnel bar over the totals plus a per-phase table."""
+    enumerated = max(1.0, float(totals.get("enumerated", 0.0)))
+    segments, legend = [], []
+    for name, color in _FUNNEL_SEGMENTS:
+        value = float(totals.get(name, 0.0))
+        width = value / enumerated * 560
+        if width >= 0.5:
+            segments.append(
+                f"<span class='seg' title='{_esc(name)}: {value:g}' "
+                f"style='width:{width:.1f}px;background:{color}'></span>"
+            )
+        legend.append(
+            f"<td>{_esc(name)}</td><td>{value:g}</td>"
+            f"<td>{value / enumerated:.1%}</td>"
+        )
+    rows = "".join(f"<tr>{cells}</tr>" for cells in legend)
+    parts = [
+        f"<div>{''.join(segments)}</div>",
+        "<table><tr><th>bucket</th><th>candidates</th><th>share</th></tr>",
+        rows,
+        "</table>",
+    ]
+    if phases:
+        parts.append(
+            "<table><tr><th>phase</th><th>enumerated</th><th>deduped</th>"
+            "<th>cache</th><th>evaluated</th><th>invalid</th>"
+            "<th>dominated</th><th>conserved</th></tr>"
+        )
+        for phase in phases:
+            e = phase.extra
+            parts.append(
+                f"<tr><td>{_esc(phase.label)}</td>"
+                f"<td>{e.get('enumerated', 0):g}</td>"
+                f"<td>{e.get('deduped', 0):g}</td>"
+                f"<td>{e.get('cache_hits', 0):g}</td>"
+                f"<td>{e.get('evaluated', 0):g}</td>"
+                f"<td>{e.get('invalid', 0):g}</td>"
+                f"<td>{e.get('dominated', 0):g}</td>"
+                f"<td>{'✓' if e.get('conserved') else '✗'}</td></tr>"
+            )
+        parts.append("</table>")
+        tags: List[str] = []
+        for phase in phases:
+            for key in sorted(phase.extra):
+                if key.startswith("tag."):
+                    tags.append(
+                        f"{_esc(phase.label)}/{_esc(key[4:])}: "
+                        f"{phase.extra[key]:g}"
+                    )
+        if tags:
+            parts.append(
+                "<p class='muted'>discard provenance — "
+                + ", ".join(tags) + "</p>"
+            )
+    return "".join(parts)
+
+
+def _campaign_convergence_html(extra: Dict[str, Any]) -> str:
+    """Incumbent-trajectory sparkline plus convergence statistics."""
+    trajectory = extra.get("trajectory") or []
+    values = [float(point[1]) for point in trajectory]
+    stats = (
+        ("observed", f"{extra.get('observed', 0):g}"),
+        ("improvements", f"{extra.get('improvements', 0):g}"),
+        ("improvement rate", f"{float(extra.get('improvement_rate', 0.0)):.2%}"),
+        ("since improvement", f"{extra.get('since_improvement', 0):g}"),
+        ("stagnated", "yes" if extra.get("stagnated") else "no"),
+    )
+    rows = "".join(f"<tr><td>{k}</td><td>{v}</td></tr>" for k, v in stats)
+    return (
+        "<p>incumbent trajectory: "
+        f"{_sparkline(values, width=420, height=48)}</p>"
+        f"<table><tr><th>statistic</th><th>value</th></tr>{rows}</table>"
+    )
+
+
+def _campaign_pareto_html(snapshots: Sequence[Dict[str, Any]]) -> str:
+    """Scatter of the Pareto-front evolution: late snapshots darker."""
+    points_of = [snap.get("points") or [] for snap in snapshots]
+    everything = [p for points in points_of for p in points]
+    if not everything:
+        return "<p class='muted'>no Pareto snapshots recorded</p>"
+    xs = [float(p[0]) for p in everything]
+    ys = [float(p[1]) for p in everything]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(ys), max(ys)
+    span_x = (hi_x - lo_x) or 1.0
+    span_y = (hi_y - lo_y) or 1.0
+    width, height, pad = 560, 240, 12
+    parts = [
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+    ]
+    last = len(snapshots) - 1
+    for index, points in enumerate(points_of):
+        color = "#d97b5b" if index == last else "#5b8dd9"
+        opacity = 0.25 + 0.75 * (index + 1) / len(snapshots)
+        for p in points:
+            cx = pad + (float(p[0]) - lo_x) / span_x * (width - 2 * pad)
+            cy = height - pad - (float(p[1]) - lo_y) / span_y * (height - 2 * pad)
+            parts.append(
+                f"<circle cx='{cx:.1f}' cy='{cy:.1f}' r='3' "
+                f"fill='{color}' fill-opacity='{opacity:.2f}'/>"
+            )
+    parts.append("</svg>")
+    legend = "".join(
+        f"<tr><td>{_esc(snap.get('label', '') or index)}</td>"
+        f"<td>{_esc(snap.get('flow', ''))}</td>"
+        f"<td>{snap.get('at', 0):g}</td>"
+        f"<td>{len(points_of[index])}</td></tr>"
+        for index, snap in enumerate(snapshots)
+    )
+    return (
+        "".join(parts)
+        + "<table><tr><th>snapshot</th><th>flow</th><th>at (scored)</th>"
+        f"<th>front size</th></tr>{legend}</table>"
+    )
+
+
+def render_campaign_report(
+    summary: RunRecord,
+    phases: Sequence[RunRecord] = (),
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """One self-contained HTML document for a search campaign.
+
+    ``summary`` is the ``kind="campaign"`` ledger row, ``phases`` its
+    ``kind="campaign_phase"`` rows. The output is a pure function of the
+    records (no wall clock), so a fixed record set renders byte-stable —
+    which is how the golden test pins it. The embedded JSON payload (id
+    ``repro-campaign-data``) carries the funnel, trajectory and Pareto
+    numbers for round-trip reads.
+    """
+    extra = summary.extra
+    title = title or f"campaign report: {summary.label}"
+    totals = {
+        name: float(extra.get(name, 0.0))
+        for name in (
+            "enumerated", "deduped", "cache_hits",
+            "evaluated", "invalid", "dominated",
+        )
+    }
+    snapshots = extra.get("pareto") or []
+    payload: Dict[str, Any] = {
+        "title": title,
+        "campaign": summary.label,
+        "git_sha": summary.git_sha,
+        "partial": bool(extra.get("partial")),
+        "best_objective": extra.get("best_objective"),
+        "funnel": totals,
+        "scored": extra.get("scored", 0),
+        "conserved": bool(extra.get("conserved")),
+        "observed": extra.get("observed", 0),
+        "improvements": extra.get("improvements", 0),
+        "trajectory": extra.get("trajectory") or [],
+        "pareto": snapshots,
+        "phases": [
+            {"flow": p.label, "extra": p.extra, "options_fp": p.options_fp}
+            for p in phases
+        ],
+    }
+    best = extra.get("best_objective")
+    state = "partial (interrupted)" if extra.get("partial") else "complete"
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        "<p class='muted'>"
+        f"campaign <span class='mono'>{_esc(summary.label)}</span>, "
+        f"{state}, git <span class='mono'>{_esc(summary.git_sha)}</span>, "
+        "best objective "
+        f"<span class='mono'>{best:g}</span></p>"
+        if isinstance(best, (int, float))
+        else "<p class='muted'>"
+        f"campaign <span class='mono'>{_esc(summary.label)}</span>, "
+        f"{state}, git <span class='mono'>{_esc(summary.git_sha)}</span>, "
+        "no incumbent found</p>",
+        "<h2>Candidate funnel</h2>",
+        _campaign_funnel_html(totals, phases),
+        "<h2>Convergence</h2>",
+        _campaign_convergence_html(extra),
+        "<h2>Pareto evolution</h2>",
+        _campaign_pareto_html(snapshots),
+        f"<script type='application/json' id='{CAMPAIGN_DATA_ELEMENT_ID}'>"
+        + json.dumps(payload, sort_keys=True)
+        + "</script>",
+        "</body></html>",
+    ]
+    return "".join(parts)
+
+
+def write_campaign_report(
+    path: str,
+    summary: RunRecord,
+    phases: Sequence[RunRecord] = (),
+    *,
+    title: Optional[str] = None,
+) -> None:
+    """Write :func:`render_campaign_report` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(render_campaign_report(summary, phases, title=title))
+
+
+def read_campaign_report_data(path: str) -> Dict[str, Any]:
+    """Read the embedded JSON payload back out of a campaign report."""
+    with open(path) as handle:
+        text = handle.read()
+    marker = f"id='{CAMPAIGN_DATA_ELEMENT_ID}'>"
+    start = text.index(marker) + len(marker)
+    end = text.index("</script>", start)
+    return json.loads(text[start:end])
+
+
 __all__ = [
+    "CAMPAIGN_DATA_ELEMENT_ID",
     "DATA_ELEMENT_ID",
     "Waterfall",
     "WaterfallRow",
+    "read_campaign_report_data",
     "read_report_data",
+    "render_campaign_report",
     "render_report",
     "stall_waterfall",
+    "write_campaign_report",
     "write_report",
 ]

@@ -992,7 +992,33 @@ class EvaluationServer:
                 "dumps": self.flight.dumps,
                 "path": self.config.flight_path,
             },
+            "campaigns": self._campaign_status(),
         }
+
+    def _campaign_status(self) -> List[Dict[str, Any]]:
+        """The last few campaign rows in the daemon's ledger.
+
+        Lets an operator see which search campaigns fed (or are feeding)
+        this daemon's store straight from ``/statusz``; live campaign
+        counters are on ``/metrics`` as ``repro_campaign_*`` gauges.
+        """
+        ledger = self.config.ledger
+        if ledger is None or not getattr(ledger, "enabled", False):
+            return []
+        from repro.observability.campaign import campaign_records
+
+        out = []
+        for row in campaign_records(ledger.records())[-5:]:
+            extra = row.extra
+            out.append({
+                "name": row.label,
+                "partial": bool(extra.get("partial")),
+                "best_objective": extra.get("best_objective"),
+                "enumerated": extra.get("enumerated", 0),
+                "scored": extra.get("scored", 0),
+                "git_sha": row.git_sha,
+            })
+        return out
 
     def dump_flight(self, path: Optional[str] = None) -> int:
         """Dump the flight ring (SIGQUIT handler / admin hook); record count."""

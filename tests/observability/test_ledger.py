@@ -220,6 +220,70 @@ def test_backend_is_part_of_the_diff_key():
     assert diff_records([event], [verify_row("event")]).clean
 
 
+def test_v3_file_migrates_adding_campaign_column(tmp_path):
+    """A v3 ledger (pre campaign) opens in place: its rows read back with
+    ``campaign=""`` and the migrated file accepts campaign-stamped rows."""
+    from repro.observability.ledger import _V2_ADDED_COLUMNS, _V3_ADDED_COLUMNS
+
+    path = str(tmp_path / "v3.sqlite")
+    conn = sqlite3.connect(path)
+    _create_v1(conn)
+    for name, typ, default in _V2_ADDED_COLUMNS + _V3_ADDED_COLUMNS:
+        conn.execute(f"ALTER TABLE runs ADD COLUMN {name} {typ} DEFAULT {default}")
+    conn.execute("PRAGMA user_version = 3")
+    conn.execute(
+        "INSERT INTO runs (kind, ts, accelerator, layer, extra_json, label)"
+        " VALUES ('evaluation', 1.0, 'chip', 'L', '{}', '')"
+    )
+    conn.commit()
+    conn.close()
+
+    with RunLedger(path) as ledger:
+        assert ledger.schema_version == SCHEMA_VERSION
+        (old,) = ledger.records()
+        assert old.campaign == ""
+        ledger.append(make_record(campaign="sweep-1"))
+        __, new = ledger.records()
+    assert new.campaign == "sweep-1"
+
+
+def test_v1_chain_reaches_v4_with_empty_campaign(tmp_path):
+    """The full v1 -> v2 -> v3 -> v4 chain leaves pre-campaign rows with
+    the empty-campaign default."""
+    path = str(tmp_path / "chain.sqlite")
+    conn = sqlite3.connect(path)
+    _create_v1(conn)
+    conn.execute(
+        "INSERT INTO runs (kind, ts, accelerator, layer, ss_overall, extra_json)"
+        " VALUES ('evaluation', 1.0, 'chip', 'L', 42.0, '{}')"
+    )
+    conn.commit()
+    conn.close()
+    with RunLedger(path) as ledger:
+        (rec,) = ledger.records()
+    assert rec.campaign == "" and rec.backend == ""
+
+
+def test_campaign_column_roundtrips_sqlite_and_jsonl(tmp_path):
+    db = str(tmp_path / "runs.sqlite")
+    snap = str(tmp_path / "runs.jsonl")
+    rec = make_record(campaign="nightly")
+    with RunLedger(db) as ledger:
+        ledger.append(rec)
+        (back,) = ledger.records()
+        ledger.export_jsonl(snap)
+    assert back.campaign == "nightly"
+    assert load_jsonl(snap)[0].campaign == "nightly"
+
+
+def test_campaign_is_not_part_of_the_diff_key():
+    """The same design point evaluated inside and outside a campaign must
+    still match in the regression gate — campaign names change per run."""
+    inside, outside = make_record(campaign="sweep"), make_record()
+    assert inside.key() == outside.key()
+    assert diff_records([inside], [outside]).clean
+
+
 def test_newer_schema_refused(tmp_path):
     path = str(tmp_path / "future.sqlite")
     with RunLedger(path) as ledger:
